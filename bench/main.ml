@@ -1,0 +1,163 @@
+(* Benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation section
+   from five uninformed PSA-flow runs:
+
+     Fig. 5  - hotspot speedups of all generated designs (+ Auto-Selected)
+     Table I - added lines of code per generated design
+     Fig. 6  - FPGA-vs-GPU cost across price ratios
+
+   and runs Bechamel micro-benchmarks of the pipeline stages behind each
+   experiment (grouped per figure/table), so regressions in the flow
+   machinery itself are visible.
+
+   An ablation study (each optimising transform disabled in turn) and the
+   micro-benchmarks round out the evaluation.
+
+   Usage:
+     main.exe                 everything (evaluation workloads)
+     main.exe --quick         test workloads (fast smoke run)
+     main.exe fig5 table1 fig6 ablation micro    any subset, in any order *)
+
+let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
+
+let wants section =
+  let named = [ "fig5"; "table1"; "fig6"; "micro"; "ablation" ] in
+  let requested = List.filter (fun a -> List.mem a named) (Array.to_list Sys.argv) in
+  requested = [] || List.mem section requested
+
+(* ---- experiment regeneration ---- *)
+
+let reports = lazy (Runs.ok_reports (Runs.collect ~quick ()))
+
+let run_experiments () =
+  let reports = Lazy.force reports in
+  if wants "fig5" then begin
+    print_newline ();
+    print_string (Fig5.render (Fig5.of_reports reports))
+  end;
+  if wants "table1" then begin
+    print_newline ();
+    print_string (Table1.render (Table1.of_reports reports))
+  end;
+  if wants "fig6" then begin
+    print_newline ();
+    print_string (Fig6.render (Fig6.of_reports reports))
+  end
+
+(* ---- micro-benchmarks ---- *)
+
+let nbody_program = App.program Nbody.app
+
+let tiny_config =
+  { Machine.default_config with
+    overrides = App.machine_overrides [ ("N", 64); ("STEPS", 1) ] }
+
+let micro_inputs =
+  lazy
+    (let art = Artifact.create Nbody.app ~workload:[ ("N", 64); ("STEPS", 1) ] in
+     match Graph.run Pipeline.target_independent art with
+     | Ok [ oc ] ->
+       let art = oc.Graph.oc_artifact in
+       let kp = Artifact.kprofile_exn art in
+       let hip = Result.get_ok (Hip.generate art.Artifact.art_program ~kernel:"knl") in
+       let ks =
+         Result.get_ok
+           (Kstatic.of_kernel hip.Hip.hip_program ~fname:hip.Hip.hip_body_fn
+              ~thread_index:"i")
+       in
+       (art, kp, hip, ks)
+     | _ -> failwith "micro bench setup failed")
+
+let micro_tests =
+  let open Bechamel in
+  let t name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"psaflow"
+    [
+      (* Fig. 5's machinery: frontend, profiling, analyses, codegen, models *)
+      t "fig5/parse_nbody" (fun () -> ignore (App.program Nbody.app));
+      t "fig5/interpret_nbody_64" (fun () ->
+          ignore (Machine.run ~config:tiny_config nbody_program));
+      t "fig5/hotspot_detect" (fun () ->
+          ignore (Hotspot.detect ~config:tiny_config nbody_program));
+      t "fig5/dependence_analysis" (fun () ->
+          let lm = List.hd (Query.loops nbody_program) in
+          ignore (Dependence.analyse_loop nbody_program lm));
+      t "fig5/hip_codegen" (fun () ->
+          let art, _, _, _ = Lazy.force micro_inputs in
+          ignore (Hip.generate art.Artifact.art_program ~kernel:"knl"));
+      t "fig5/gpu_model_estimate" (fun () ->
+          let _, kp, _, ks = Lazy.force micro_inputs in
+          ignore (Gpu_model.estimate Device.rtx_2080_ti ks kp Gpu_model.default_params));
+      t "fig5/cpu_model_openmp" (fun () ->
+          let _, kp, _, _ = Lazy.force micro_inputs in
+          ignore (Cpu_model.openmp Device.epyc_7543 ~threads:32 kp));
+      (* Table I's machinery: emission + LOC accounting *)
+      t "table1/pretty_print" (fun () -> ignore (Pretty.program_to_string nbody_program));
+      t "table1/loc_count" (fun () -> ignore (Loc_count.program_loc nbody_program));
+      (* Fig. 6's machinery: FPGA resource model, the Fig. 2 DSE, cost curve *)
+      t "fig6/fpga_resource_model" (fun () ->
+          let _, _, _, ks = Lazy.force micro_inputs in
+          ignore (Fpga_model.resources_of Device.pac_stratix10 ks ~unroll:8));
+      t "fig6/unroll_until_overmap_dse" (fun () ->
+          let _, kp, hip, ks = Lazy.force micro_inputs in
+          ignore
+            (Unroll_dse.run Device.pac_stratix10 ks kp ~zero_copy:true
+               hip.Hip.hip_program ~kernel_fn:hip.Hip.hip_launch_fn));
+      t "fig6/cost_curve" (fun () ->
+          ignore
+            (List.map
+               (fun r -> Cost.relative_cost ~fpga_s:1e-3 ~gpu_s:4e-4 ~price_ratio:r)
+               Fig6.price_ratios));
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  ignore (Lazy.force micro_inputs);
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let table = Util.Table.create ~headers:[ "micro-benchmark"; "time/run" ] in
+  Util.Table.set_aligns table [ Util.Table.Left; Util.Table.Right ];
+  List.iter
+    (fun (name, est) ->
+      let cell =
+        match Analyze.OLS.estimates est with
+        | Some (ns :: _) ->
+          if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+          else Printf.sprintf "%.0f ns" ns
+        | Some [] | None -> "?"
+      in
+      Util.Table.add_row table [ name; cell ])
+    (List.sort compare rows);
+  print_newline ();
+  print_endline "Micro-benchmarks of the pipeline stages (Bechamel, OLS time/run)";
+  Util.Table.print table
+
+let run_ablation () =
+  (* the transforms' individual contributions, on the two accelerator-won
+     benchmarks: N-Body (GPU) and AdPredictor (FPGA) *)
+  (match Ablation.gpu ~quick Nbody.app with
+   | Ok rows ->
+     print_newline ();
+     print_string
+       (Ablation.render ~title:"Ablation - N-Body HIP design on the RTX 2080 Ti" rows)
+   | Error e -> Printf.eprintf "gpu ablation failed: %s\n" e);
+  match Ablation.fpga ~quick Adpredictor.app with
+  | Ok rows ->
+    print_newline ();
+    print_string
+      (Ablation.render ~title:"Ablation - AdPredictor oneAPI design on the Stratix10" rows)
+  | Error e -> Printf.eprintf "fpga ablation failed: %s\n" e
+
+let () =
+  if wants "fig5" || wants "table1" || wants "fig6" then run_experiments ();
+  if wants "ablation" then run_ablation ();
+  if wants "micro" then run_micro ()

@@ -1,0 +1,271 @@
+(* psaflow - end-to-end design automation CLI.
+
+   Runs the implemented PSA-flow (Fig. 4) on the benchmark suite: informed
+   mode lets the Fig. 3 strategy pick one target, uninformed mode generates
+   every design.  Also regenerates the paper's evaluation artifacts
+   (Fig. 5, Table I, Fig. 6) and prints the task repository. *)
+
+open Cmdliner
+
+let mode_conv =
+  Arg.enum [ ("informed", Pipeline.Informed); ("uninformed", Pipeline.Uninformed) ]
+
+let app_arg =
+  let doc =
+    "Benchmark to run (nbody, kmeans, adpredictor, rush_larsen, bezier), or a \
+     path to a mini-C++ source file when --file is given."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let file_arg =
+  let doc = "Treat APP as a path to a mini-C++ source file and run the flow on it." in
+  Arg.(value & flag & info [ "file"; "f" ] ~doc)
+
+let scale_arg =
+  let doc = "Outer-trip extrapolation factor for --file programs (default 1)." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc)
+
+let mode_arg =
+  let doc = "Branch-point A strategy: informed (Fig. 3 PSA) or uninformed (all paths)." in
+  Arg.(value & opt mode_conv Pipeline.Uninformed & info [ "mode"; "m" ] ~doc)
+
+let quick_arg =
+  let doc = "Use the small test workload instead of the evaluation workload." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let explain_arg =
+  let doc = "Print the PSA decision trail and the task log." in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let emit_arg =
+  let doc = "Write the generated design sources into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"DIR" ~doc)
+
+let diff_arg =
+  let doc = "Print a unified diff of each generated design against the reference source." in
+  Arg.(value & flag & info [ "diff" ] ~doc)
+
+let find_app slug =
+  match Suite.find slug with
+  | Some app -> Ok app
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %S (try: %s)" slug
+         (String.concat ", " (List.map (fun (a : App.t) -> a.app_slug) Suite.all)))
+
+let app_of_file path ~scale =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    src
+  with
+  | exception Sys_error msg -> Error msg
+  | src ->
+    let slug = Filename.remove_extension (Filename.basename path) in
+    let app =
+      {
+        App.app_name = slug ^ " (user program)";
+        app_slug = slug;
+        app_descr = "user-supplied source: " ^ path;
+        app_source = src;
+        app_eval_overrides = [];
+        app_test_overrides = [];
+        app_outer_scale = scale;
+      }
+    in
+    (* fail early with a readable message on parse/type errors *)
+    (match App.program app with
+     | exception Failure msg -> Error msg
+     | _ -> Ok app)
+
+let emit_designs dir (rep : Engine.report) =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (d : Design.t) ->
+      let file =
+        Printf.sprintf "%s/%s_%s.cpp" dir rep.Engine.rep_app.App.app_slug
+          (String.map
+             (function ' ' -> '_' | c -> c)
+             (String.lowercase_ascii (Target.short d.Design.d_target)))
+      in
+      let oc = open_out file in
+      output_string oc (Pretty.program_to_string d.Design.d_program);
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    rep.Engine.rep_designs
+
+let run_cmd =
+  let run slug file scale mode quick explain emit diff =
+    match (if file then app_of_file slug ~scale else find_app slug) with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok app ->
+      let workload =
+        if quick then app.App.app_test_overrides else app.App.app_eval_overrides
+      in
+      (match Engine.run ~workload ~mode app with
+       | Error msg ->
+         Printf.eprintf "flow failed: %s\n" msg;
+         1
+       | Ok rep ->
+         Printf.printf "%s - %s mode, workload %s\n\n" app.App.app_name
+           (Pipeline.mode_name mode)
+           (String.concat ", "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) workload));
+         print_string (Report.decision_text rep);
+         Printf.printf "\nbaseline (single-thread CPU hotspot): %.4g s\n\n"
+           rep.Engine.rep_baseline_s;
+         print_string (Report.design_table rep);
+         if explain then begin
+           print_newline ();
+           print_string (Report.log_text rep)
+         end;
+         (match emit with Some dir -> emit_designs dir rep | None -> ());
+         if diff then begin
+           let reference = Pretty.program_to_string (App.program app) in
+           List.iter
+             (fun (d : Design.t) ->
+               Printf.printf "\n--- reference\n+++ %s\n%s"
+                 (Design.label d)
+                 (Util.Diff.unified ~old_text:reference
+                    (Pretty.program_to_string d.Design.d_program)))
+             rep.Engine.rep_designs
+         end;
+         0)
+  in
+  let doc =
+    "Run the PSA-flow on one benchmark (or, with --file, on any mini-C++ \
+     source) and print the evaluated designs."
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ app_arg $ file_arg $ scale_arg $ mode_arg $ quick_arg
+          $ explain_arg $ emit_arg $ diff_arg)
+
+let apps_cmd =
+  let run () =
+    List.iter
+      (fun (a : App.t) ->
+        Printf.printf "%-12s %-28s %s\n" a.app_slug a.app_name a.app_descr)
+      Suite.all;
+    0
+  in
+  let doc = "List the benchmark applications." in
+  Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
+
+let tasks_cmd =
+  let run () =
+    let table = Util.Table.create ~headers:[ "scope"; "task"; "kind"; "dynamic" ] in
+    let seen = Hashtbl.create 32 in
+    List.iter
+      (fun (t : Task.t) ->
+        (* tasks shared by several device paths appear once *)
+        let key = (Task.scope_label t.Task.scope, t.Task.name) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          Util.Table.add_row table
+            [
+              Task.scope_label t.Task.scope;
+              t.Task.name;
+              Task.kind_letter t.Task.kind;
+              (if t.Task.dynamic then "yes" else "");
+            ]
+        end)
+      Pipeline.repository;
+    Util.Table.print table;
+    0
+  in
+  let doc = "Print the repository of codified design-flow tasks (Fig. 4)." in
+  Cmd.v (Cmd.info "tasks" ~doc) Term.(const run $ const ())
+
+let with_reports quick f =
+  let reports = Runs.ok_reports (Runs.collect ~quick ()) in
+  if reports = [] then begin
+    prerr_endline "no successful flow runs";
+    1
+  end
+  else begin
+    f reports;
+    0
+  end
+
+let fig5_cmd =
+  let run quick = with_reports quick (fun reports ->
+      print_string (Fig5.render (Fig5.of_reports reports)))
+  in
+  let doc = "Regenerate Fig. 5 (speedups of all generated designs)." in
+  Cmd.v (Cmd.info "fig5" ~doc) Term.(const run $ quick_arg)
+
+let table1_cmd =
+  let run quick = with_reports quick (fun reports ->
+      print_string (Table1.render (Table1.of_reports reports)))
+  in
+  let doc = "Regenerate Table I (added lines of code per design)." in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ quick_arg)
+
+let fig6_cmd =
+  let run quick = with_reports quick (fun reports ->
+      print_string (Fig6.render (Fig6.of_reports reports)))
+  in
+  let doc = "Regenerate Fig. 6 (FPGA vs GPU cost across price ratios)." in
+  Cmd.v (Cmd.info "fig6" ~doc) Term.(const run $ quick_arg)
+
+let dot_cmd =
+  let run mode =
+    print_string (Graph.to_dot ~name:"psaflow" (Pipeline.full_flow mode));
+    0
+  in
+  let doc = "Print the implemented PSA-flow as a Graphviz digraph (Fig. 4)." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ mode_arg)
+
+let budget_cmd =
+  let run slug budget quick =
+    match find_app slug with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok app ->
+      let workload =
+        if quick then app.App.app_test_overrides else app.App.app_eval_overrides
+      in
+      (match Engine.run_budgeted ~workload ~budget app with
+       | Error msg ->
+         Printf.eprintf "flow failed: %s\n" msg;
+         1
+       | Ok br ->
+         Printf.printf "%s under a budget of $%g per run\n\n" app.App.app_name budget;
+         List.iter
+           (fun (a : Engine.attempt) ->
+             Printf.printf "  tried %-5s -> %s\n" a.Engine.at_branch
+               (match a.Engine.at_design, a.Engine.at_cost with
+                | Some d, Some c ->
+                  Printf.sprintf "%s, %.3g s, $%.3g%s"
+                    (Target.short d.Design.d_target)
+                    (Option.value d.Design.d_time_s ~default:Float.nan)
+                    c
+                    (if a.Engine.at_within then " (within budget)" else " (over budget)")
+                | _, _ -> "no feasible design"))
+           br.Engine.br_attempts;
+         (match br.Engine.br_accepted with
+          | Some { Engine.at_design = Some d; _ } ->
+            Printf.printf "\naccepted: %s%s\n" (Design.label d)
+              (if br.Engine.br_within_budget then ""
+               else " - nothing fits the budget; cheapest design reported")
+          | _ -> print_endline "\nno design could be produced");
+         0)
+  in
+  let budget_arg =
+    let doc = "Budget in USD per execution of the hotspot." in
+    Arg.(required & pos 1 (some float) None & info [] ~docv:"USD" ~doc)
+  in
+  let doc = "Run the informed flow under a monetary budget (Fig. 3's cost feedback)." in
+  Cmd.v (Cmd.info "budget" ~doc) Term.(const run $ app_arg $ budget_arg $ quick_arg)
+
+let main =
+  let doc = "auto-generating diverse heterogeneous designs (PSA-flows)" in
+  Cmd.group (Cmd.info "psaflow" ~doc)
+    [ run_cmd; apps_cmd; tasks_cmd; dot_cmd; budget_cmd; fig5_cmd; table1_cmd; fig6_cmd ]
+
+let () = exit (Cmd.eval' main)

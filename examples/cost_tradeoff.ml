@@ -1,0 +1,83 @@
+(* Cost and performance trade-offs (the Section IV-D analysis).
+
+   Generate all five designs for Bezier with the uninformed flow, then ask
+   two questions the paper poses for heterogeneous clouds:
+
+   1. how does the *monetary* cost of FPGA vs GPU execution move as their
+      relative prices change (Fig. 6)?
+   2. under a concrete price sheet, which design is cheapest — and is it
+      the fastest one?
+
+     dune exec examples/cost_tradeoff.exe *)
+
+let () =
+  let app = Bezier.app in
+  match Engine.run ~workload:app.App.app_test_overrides ~mode:Pipeline.Uninformed app with
+  | Error msg -> prerr_endline ("flow failed: " ^ msg)
+  | Ok report ->
+    Printf.printf "== %s: %d generated designs ==\n\n" app.App.app_name
+      (List.length report.Engine.rep_designs);
+    print_string (Report.design_table report);
+
+    (* 1. the Fig. 6 price-ratio sweep for this app *)
+    (match Fig6.of_reports [ report ] with
+     | [ series ] ->
+       Printf.printf
+         "\nStratix10 vs RTX 2080 Ti: t_fpga = %.3g s, t_gpu = %.3g s\n"
+         series.Fig6.f6_fpga_s series.Fig6.f6_gpu_s;
+       List.iter
+         (fun (ratio, rel) ->
+           Printf.printf "  price ratio %4.2f -> FPGA costs %.2fx the GPU run\n" ratio rel)
+         series.Fig6.f6_points;
+       Printf.printf
+         "  crossover: the FPGA stays cheaper while its price is below %.2fx the GPU's\n"
+         series.Fig6.f6_crossover
+     | _ -> print_endline "\n(no FPGA+GPU design pair for this app)");
+
+    (* 2. cheapest design under a concrete price sheet *)
+    let pricing = Cost.default_pricing in
+    let alternatives =
+      List.filter_map
+        (fun (d : Design.t) ->
+          match d.Design.d_time_s with
+          | Some t -> Some (d.Design.d_target, t)
+          | None -> None)
+        report.Engine.rep_designs
+    in
+    (match Cost.cheapest pricing alternatives, Engine.best_design report with
+     | Some (target, time_s, cost), Some fastest ->
+       Printf.printf
+         "\nunder prices cpu=$%.2f gpu=$%.2f fpga=$%.2f per hour:\n"
+         pricing.Cost.cpu_per_hour pricing.Cost.gpu_per_hour pricing.Cost.fpga_per_hour;
+       Printf.printf "  cheapest: %-24s %.3g s, $%.3g per run\n" (Target.short target)
+         time_s cost;
+       Printf.printf "  fastest:  %-24s" (Target.short fastest.Design.d_target);
+       (match fastest.Design.d_time_s with
+        | Some t -> Printf.printf " %.3g s\n" t
+        | None -> print_newline ());
+       if Target.short target <> Target.short fastest.Design.d_target then
+         print_endline
+           "  -> the most performant design is not the most cost-effective one"
+     | _, _ -> ());
+
+    (* 3. Fig. 3's budget feedback: squeeze the budget until the informed
+       branch is revised *)
+    print_endline "\nbudget feedback at branch point A:";
+    List.iter
+      (fun budget ->
+        match
+          Engine.run_budgeted ~workload:app.App.app_test_overrides ~budget app
+        with
+        | Error msg -> prerr_endline msg
+        | Ok br ->
+          let chain =
+            String.concat " -> "
+              (List.map (fun (a : Engine.attempt) -> a.Engine.at_branch)
+                 br.Engine.br_attempts)
+          in
+          Printf.printf "  budget $%-8g tried %-22s accepted %s%s\n" budget chain
+            (match br.Engine.br_accepted with
+             | Some { Engine.at_design = Some d; _ } -> Target.short d.Design.d_target
+             | _ -> "none")
+            (if br.Engine.br_within_budget then "" else " (over budget)"))
+      [ 1.0; 2e-7; 1e-12 ]

@@ -1,0 +1,103 @@
+(* Authoring a custom PSA-flow.
+
+   The paper stresses that design-flows are programmable: tasks are
+   building blocks and branch-point strategies are replaceable.  This
+   example (1) codifies a brand-new analysis task, (2) writes a custom PSA
+   strategy that only ever offloads to the GPU when the kernel carries
+   enough work per byte of transfer, and (3) composes both with the stock
+   task repository into a new flow graph.
+
+     dune exec examples/custom_flow.exe *)
+
+(* 1. a new codified task: report the deepest loop nest of the kernel *)
+let nest_depth_analysis =
+  Task.make ~name:"Loop Nest Depth Analysis" ~kind:Task.Analysis
+    ~scope:Task.Target_independent (fun art ->
+      let kernel = Artifact.kernel_exn art in
+      match Ast.find_func art.Artifact.art_program kernel with
+      | None -> Error "kernel disappeared"
+      | Some fn ->
+        let depth =
+          List.fold_left
+            (fun acc (lm : Query.loop_match) -> max acc (Query.loop_depth lm.lm_ctx + 1))
+            0 (Query.loops_in_func fn)
+        in
+        Ok (Artifact.logf art "kernel loop nest depth: %d" depth))
+
+(* 2. a custom strategy: offload to the GPU only when the hotspot performs
+   at least [threshold] weighted flops per byte it would transfer *)
+let flops_per_transfer_byte_strategy ~threshold art =
+  match art.Artifact.art_kprofile with
+  | None -> Error "analyses have not run"
+  | Some kp ->
+    let flops = Intensity.flop_equiv kp.Kprofile.kp_counters in
+    let bytes = float_of_int (kp.Kprofile.kp_bytes_in + kp.Kprofile.kp_bytes_out) in
+    let ratio = if bytes = 0.0 then Float.infinity else flops /. bytes in
+    Printf.printf "custom strategy: %.1f weighted flops per transferred byte\n" ratio;
+    if ratio >= threshold then Ok [ "gpu" ] else Ok [ "cpu" ]
+
+(* 3. compose a new flow: stock analyses, the custom task, a two-path
+   branch point driven by the custom strategy *)
+let my_flow =
+  Graph.Seq
+    [
+      Pipeline.target_independent;
+      Graph.Task nest_depth_analysis;
+      Graph.Branch
+        {
+          Graph.bp_name = "A'";
+          bp_select = flops_per_transfer_byte_strategy ~threshold:20.0;
+          bp_paths =
+            [
+              ( "cpu",
+                Graph.Seq
+                  [
+                    Graph.Task Tasks.multi_thread_parallel_loops;
+                    Graph.Task Tasks.omp_num_threads_dse;
+                  ] );
+              ( "gpu",
+                Graph.Seq
+                  [
+                    Graph.Task Tasks.generate_hip_design;
+                    Graph.Task Tasks.gpu_sp_math_fns;
+                    Graph.Task Tasks.gpu_sp_numeric_literals;
+                    Graph.Task Tasks.introduce_shared_mem_buf;
+                    Graph.Task Tasks.employ_hip_pinned_memory;
+                    Graph.Task Tasks.profile_gpu_design;
+                    Graph.Task (Tasks.gpu_blocksize_dse Device.rtx_2080_ti);
+                  ] );
+            ];
+        };
+    ]
+
+let run app =
+  Printf.printf "\n-- %s through the custom flow --\n" (app : App.t).app_name;
+  let art = Artifact.create app ~workload:app.App.app_test_overrides in
+  match Graph.run my_flow art with
+  | Error msg -> prerr_endline ("flow failed: " ^ msg)
+  | Ok outcomes ->
+    List.iter
+      (fun (oc : Graph.outcome) ->
+        let path =
+          String.concat " -> "
+            (List.map (fun (b, p) -> Printf.sprintf "%s:%s" b p) oc.Graph.oc_path)
+        in
+        let art = oc.Graph.oc_artifact in
+        let time =
+          match art.Artifact.art_design with
+          | Some ds ->
+            (match ds.Artifact.ds_estimate_s with
+             | Some t -> Printf.sprintf "%.3g s" t
+             | None -> "n/a")
+          | None -> "?"
+        in
+        Printf.printf "path %-10s estimated design time %s\n" path time;
+        (* the last few task-log lines show what happened *)
+        let log = art.Artifact.art_log in
+        let tail = List.filteri (fun i _ -> i >= List.length log - 4) log in
+        List.iter (fun line -> Printf.printf "  %s\n" line) tail)
+      outcomes
+
+let () =
+  run Nbody.app;   (* compute-heavy: the custom strategy offloads *)
+  run Kmeans.app   (* streaming: it stays on the CPU *)

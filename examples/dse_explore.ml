@@ -1,0 +1,75 @@
+(* Design-space exploration up close.
+
+   Reproduces the two DSE mechanisms the paper illustrates:
+
+   - Fig. 2's "unroll until overmap": double the unroll factor, query the
+     FPGA resource report, stop above 90% utilisation — traced here factor
+     by factor on both FPGAs;
+   - the per-device GPU blocksize sweep, showing how the best launch
+     configuration differs between the GTX 1080 Ti and RTX 2080 Ti.
+
+     dune exec examples/dse_explore.exe *)
+
+let () =
+  let app = Adpredictor.app in
+  let art = Artifact.create app ~workload:app.App.app_test_overrides in
+  match Graph.run Pipeline.target_independent art with
+  | Error msg -> prerr_endline msg
+  | Ok [ analysed ] ->
+    let art = analysed.Graph.oc_artifact in
+    let kernel = Option.get art.Artifact.art_kernel in
+    let kp = Artifact.kprofile_exn art in
+    let kp = Kprofile.scale kp app.App.app_outer_scale in
+
+    (* ---- Fig. 2: unroll-until-overmap on both FPGAs ---- *)
+    let one = Result.get_ok (Oneapi.generate art.Artifact.art_program ~kernel) in
+    let prog = Unroll.unroll_fixed_inner one.Oneapi.oneapi_program ~kernel:one.Oneapi.oneapi_kernel_fn in
+    let prog = Sp_transforms.apply_all prog ~fnames:[ one.Oneapi.oneapi_kernel_fn ] in
+    let ks = Result.get_ok (Kstatic.of_kernel prog ~require_unroll_pragma:true ~fname:one.Oneapi.oneapi_kernel_fn) in
+    Printf.printf "== unroll-until-overmap DSE on %s's kernel ==\n" app.App.app_name;
+    List.iter
+      (fun (name, spec) ->
+        let r =
+          Unroll_dse.run spec ks kp ~zero_copy:spec.Device.usm_zero_copy prog
+            ~kernel_fn:one.Oneapi.oneapi_kernel_fn
+        in
+        Printf.printf "\n%s:\n" name;
+        List.iter
+          (fun (factor, alm_frac) ->
+            Printf.printf "  unroll %-4d -> %5.1f%% ALMs %s\n" factor
+              (100.0 *. alm_frac)
+              (if alm_frac > Fpga_model.overmap_threshold then "(overmapped: stop)" else ""))
+          r.Unroll_dse.ud_trace;
+        match r.Unroll_dse.ud_unroll with
+        | Some u ->
+          Printf.printf "  selected unroll %d, est. %.3g s (II=%.0f)\n" u
+            r.Unroll_dse.ud_estimate.Fpga_model.fe_time_s
+            r.Unroll_dse.ud_estimate.Fpga_model.fe_ii
+        | None -> print_endline "  not synthesisable at unroll 1")
+      [ ("Arria10", Device.pac_arria10); ("Stratix10", Device.pac_stratix10) ];
+
+    (* ---- per-device blocksize sweep ---- *)
+    let hip = Result.get_ok (Hip.generate art.Artifact.art_program ~kernel) in
+    let ksg =
+      Result.get_ok
+        (Kstatic.of_kernel hip.Hip.hip_program ~fname:hip.Hip.hip_body_fn
+           ~thread_index:"i")
+    in
+    Printf.printf "\n== blocksize DSE on %s's kernel ==\n" app.App.app_name;
+    List.iter
+      (fun (name, spec) ->
+        let r =
+          Blocksize_dse.run spec ksg kp ~base:Gpu_model.default_params
+            hip.Hip.hip_program ~launch_fn:hip.Hip.hip_launch_fn
+        in
+        Printf.printf "\n%s:\n" name;
+        List.iter
+          (fun (bs, t) ->
+            Printf.printf "  blocksize %-5d -> %.3g s%s\n" bs t
+              (if bs = r.Blocksize_dse.bd_blocksize then "   <- selected" else ""))
+          r.Blocksize_dse.bd_sweep;
+        Printf.printf "  occupancy %.0f%%, %d regs/thread\n"
+          (100.0 *. r.Blocksize_dse.bd_estimate.Gpu_model.ge_occupancy)
+          r.Blocksize_dse.bd_estimate.Gpu_model.ge_regs_per_thread)
+      [ ("GTX 1080 Ti", Device.gtx_1080_ti); ("RTX 2080 Ti", Device.rtx_2080_ti) ]
+  | Ok _ -> prerr_endline "unexpected fan-out"

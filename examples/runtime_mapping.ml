@@ -1,0 +1,85 @@
+(* Runtime mapping over a heterogeneous pool, and a learned PSA strategy.
+
+   Section IV-D: with the uninformed flow's diverse designs in hand,
+   computations can be mapped at *runtime* onto priced cloud resources.
+   We schedule a stream of AdPredictor jobs over a small CPU+GPU+FPGA pool
+   under both policies, then demonstrate the paper's future-work item — an
+   ML-based PSA strategy — trained on the suite's own flow runs and
+   plugged into branch point A in place of the Fig. 3 tree.
+
+     dune exec examples/runtime_mapping.exe *)
+
+let () =
+  (* one uninformed run per benchmark: design sets + training data *)
+  let reports =
+    List.filter_map
+      (fun (app : App.t) ->
+        match
+          Engine.run ~workload:app.App.app_test_overrides ~mode:Pipeline.Uninformed app
+        with
+        | Ok r -> Some r
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" app.app_slug msg;
+          None)
+      Suite.all
+  in
+
+  (* ---- 1. runtime scheduling of AdPredictor jobs ---- *)
+  (match
+     List.find_opt
+       (fun (r : Engine.report) -> r.Engine.rep_app.App.app_slug = "adpredictor")
+       reports
+   with
+   | None -> prerr_endline "no adpredictor report"
+   | Some rep ->
+     let alternatives = Scheduler.alternatives_of_report rep in
+     let pool = { Scheduler.cpu_instances = 2; gpu_instances = 1; fpga_instances = 1 } in
+     let jobs =
+       List.init 10 (fun i ->
+           { Scheduler.job_id = i; job_scale = 1.0 +. (0.5 *. float_of_int (i mod 3)) })
+     in
+     Printf.printf "== scheduling 10 AdPredictor jobs on 2xCPU + 1xGPU + 1xFPGA ==\n";
+     List.iter
+       (fun (name, policy) ->
+         match Scheduler.run ~policy ~pool ~alternatives jobs with
+         | Error msg -> prerr_endline msg
+         | Ok sc ->
+           Printf.printf "\npolicy: %s\n" name;
+           print_string (Scheduler.render sc))
+       [ ("minimise cost", Scheduler.Min_cost); ("minimise makespan", Scheduler.Min_makespan) ]);
+
+  (* ---- 2. a learned PSA strategy at branch point A ---- *)
+  let examples = List.filter_map Psa_ml.label_of_report reports in
+  match Psa_ml.train examples with
+  | Error msg -> prerr_endline msg
+  | Ok model ->
+    Printf.printf "\n== learned PSA (1-NN over %d labelled flow runs) ==\n"
+      (List.length examples);
+    List.iter
+      (fun (rep : Engine.report) ->
+        let art = rep.Engine.rep_analysed in
+        let learned =
+          match Psa_ml.strategy model art with
+          | Ok [ b ] -> b
+          | Ok _ | Error _ -> "?"
+        in
+        let informed = rep.Engine.rep_decision.Psa.dec_path in
+        Printf.printf "%-28s informed: %-5s learned: %-5s %s\n"
+          rep.Engine.rep_app.App.app_name informed learned
+          (if learned = informed then "" else "(differs)"))
+      reports;
+    (* the learned model can drive the actual flow, too *)
+    (match
+       Graph.run
+         (Graph.with_select (Pipeline.full_flow Pipeline.Informed) ~branch:"A"
+            (Psa_ml.strategy model))
+         (Artifact.create Kmeans.app ~workload:Kmeans.app.App.app_test_overrides)
+     with
+     | Ok outcomes ->
+       Printf.printf "\nK-Means through the ML-driven flow: %d design(s) via %s\n"
+         (List.length outcomes)
+         (String.concat ", "
+            (List.concat_map
+               (fun (oc : Graph.outcome) -> List.map snd oc.Graph.oc_path)
+               outcomes))
+     | Error msg -> prerr_endline msg)

@@ -1,0 +1,31 @@
+(* The uninformed mode over the whole suite: every benchmark is pushed down
+   every branch, generating all five designs per application, and the
+   fastest design is compared against what the informed Fig. 3 strategy
+   would have picked — the paper's headline claim is that they agree.
+
+     dune exec examples/uninformed_sweep.exe *)
+
+let () =
+  List.iter
+    (fun (app : App.t) ->
+      match
+        Engine.run ~workload:app.App.app_test_overrides ~mode:Pipeline.Uninformed app
+      with
+      | Error msg -> Printf.eprintf "%s: %s\n" app.app_slug msg
+      | Ok report ->
+        Printf.printf "== %s ==\n" app.App.app_name;
+        print_string (Report.design_table report);
+        let informed =
+          match Runs.auto_selected report with
+          | Some d -> Target.short d.Design.d_target
+          | None -> "none"
+        in
+        let best =
+          match Engine.best_design report with
+          | Some d -> Target.short d.Design.d_target
+          | None -> "none"
+        in
+        Printf.printf "informed strategy picks: %-12s fastest measured: %-12s %s\n\n"
+          informed best
+          (if informed = best then "(agreement)" else "(MISMATCH)"))
+    Suite.all

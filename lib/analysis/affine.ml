@@ -1,0 +1,69 @@
+type t =
+  | Affine of { coeff : int; offset : int }
+  | Invariant
+  | Linear_plus of { coeff : int; rest : Ast.expr }
+  | Unknown
+
+let rec mentions name (e : Ast.expr) =
+  match e.edesc with
+  | Var v -> v = name
+  | _ -> List.exists (mentions name) (Ast.expr_children e)
+
+let invariant_in ~index e = not (mentions index e)
+
+(* Decompose [e] as (coeff, offset, rest): e = coeff*i + offset + rest where
+   [rest] is a list of loop-invariant sub-expressions. *)
+let rec decompose ~index ~consts (e : Ast.expr) : (int * int * Ast.expr list) option =
+  match Consteval.eval_int consts e with
+  | Some n -> Some (0, n, [])
+  | None ->
+    (match e.edesc with
+     | Var v when v = index -> Some (1, 0, [])
+     | Var _ -> Some (0, 0, [ e ])
+     | Unary (Neg, a) ->
+       (match decompose ~index ~consts a with
+        | Some (c, o, []) -> Some (-c, -o, [])
+        | Some _ | None -> None)
+     | Binary (Add, a, b) ->
+       (match decompose ~index ~consts a, decompose ~index ~consts b with
+        | Some (ca, oa, ra), Some (cb, ob, rb) -> Some (ca + cb, oa + ob, ra @ rb)
+        | _, _ -> None)
+     | Binary (Sub, a, b) ->
+       (match decompose ~index ~consts a, decompose ~index ~consts b with
+        | Some (ca, oa, []), Some (cb, ob, []) -> Some (ca - cb, oa - ob, [])
+        | Some (ca, oa, ra), Some (cb, ob, []) -> Some (ca - cb, oa - ob, ra)
+        | _, _ -> None)
+     | Binary (Mul, a, b) ->
+       (match Consteval.eval_int consts a, Consteval.eval_int consts b with
+        | Some k, _ ->
+          (match decompose ~index ~consts b with
+           | Some (c, o, []) -> Some (k * c, k * o, [])
+           | Some _ | None -> if mentions index b then None else Some (0, 0, [ e ]))
+        | _, Some k ->
+          (match decompose ~index ~consts a with
+           | Some (c, o, []) -> Some (k * c, k * o, [])
+           | Some _ | None -> if mentions index a then None else Some (0, 0, [ e ]))
+        | None, None -> if mentions index e then None else Some (0, 0, [ e ]))
+     | _ -> if mentions index e then None else Some (0, 0, [ e ]))
+
+let classify ~index ~consts e =
+  match decompose ~index ~consts e with
+  | None -> if mentions index e then Unknown else Invariant
+  | Some (0, _, _) -> Invariant
+  | Some (coeff, offset, []) -> Affine { coeff; offset }
+  | Some (coeff, offset, rest) ->
+    let rest_expr =
+      let combined =
+        List.fold_left
+          (fun acc r ->
+            match acc with
+            | None -> Some r
+            | Some prev -> Some (Ast.mk_expr (Ast.Binary (Ast.Add, prev, r))))
+          None rest
+      in
+      match combined, offset with
+      | Some r, 0 -> r
+      | Some r, o -> Ast.mk_expr (Ast.Binary (Ast.Add, r, Ast.mk_expr (Ast.Int_lit o)))
+      | None, o -> Ast.mk_expr (Ast.Int_lit o)
+    in
+    Linear_plus { coeff; rest = rest_expr }

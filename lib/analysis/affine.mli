@@ -1,0 +1,27 @@
+(** Affine analysis of array subscripts with respect to a loop index.
+
+    Classifies a subscript expression as [coeff*i + offset] (with integer
+    [coeff], [offset]), loop-invariant, linear with a loop-invariant
+    symbolic remainder (the flattened-2D pattern [i*C + j]), or unknown.
+    This is the machinery behind the ZIV/SIV subscript tests in
+    {!Dependence}. *)
+
+type t =
+  | Affine of { coeff : int; offset : int }
+      (** [coeff * i + offset], all integer *)
+  | Invariant
+      (** does not mention the loop index *)
+  | Linear_plus of { coeff : int; rest : Ast.expr }
+      (** [coeff * i + rest], [rest] loop-invariant but not constant —
+          e.g. [i * M + j] seen from loop [i], where [rest = j] *)
+  | Unknown
+
+val classify : index:string -> consts:Consteval.env -> Ast.expr -> t
+(** Analyse a subscript with respect to loop index [index].  Other
+    variables are symbols; their values may be known through [consts]. *)
+
+val mentions : string -> Ast.expr -> bool
+(** Does the expression read the given variable? *)
+
+val invariant_in : index:string -> Ast.expr -> bool
+(** [not (mentions index e)] — convenience used across analyses. *)

@@ -1,0 +1,26 @@
+type report = (string * bool) list
+
+let analyse ?config p =
+  let config =
+    match config with
+    | Some c -> { c with Machine.trace_aliases = true }
+    | None -> { Machine.default_config with trace_aliases = true }
+  in
+  (Machine.run ~config p).aliased_funcs
+
+let no_alias report fname =
+  match List.assoc_opt fname report with Some aliased -> not aliased | None -> false
+
+let mark_restrict p ~fname =
+  match Ast.find_func p fname with
+  | None -> p
+  | Some fn ->
+    let fparams =
+      List.map
+        (fun prm ->
+          match prm.Ast.prm_ty with
+          | Ast.Tptr _ -> { prm with Ast.prm_restrict = true }
+          | _ -> prm)
+        fn.Ast.fparams
+    in
+    Ast.replace_func p { fn with Ast.fparams }

@@ -1,0 +1,54 @@
+module Smap = Map.Make (String)
+
+type env = int Smap.t
+
+let empty = Smap.empty
+
+let lookup env name = Smap.find_opt name env
+
+let rec eval_int env (e : Ast.expr) : int option =
+  match e.edesc with
+  | Int_lit n -> Some n
+  | Bool_lit b -> Some (if b then 1 else 0)
+  | Var v -> lookup env v
+  | Unary (Neg, a) -> Option.map (fun n -> -n) (eval_int env a)
+  | Unary (Not, a) -> Option.map (fun n -> if n = 0 then 1 else 0) (eval_int env a)
+  | Binary (op, a, b) ->
+    (match eval_int env a, eval_int env b with
+     | Some x, Some y ->
+       (match op with
+        | Add -> Some (x + y)
+        | Sub -> Some (x - y)
+        | Mul -> Some (x * y)
+        | Div -> if y = 0 then None else Some (x / y)
+        | Mod -> if y = 0 then None else Some (x mod y)
+        | Lt -> Some (if x < y then 1 else 0)
+        | Le -> Some (if x <= y then 1 else 0)
+        | Gt -> Some (if x > y then 1 else 0)
+        | Ge -> Some (if x >= y then 1 else 0)
+        | Eq -> Some (if x = y then 1 else 0)
+        | Ne -> Some (if x <> y then 1 else 0)
+        | And -> Some (if x <> 0 && y <> 0 then 1 else 0)
+        | Or -> Some (if x <> 0 || y <> 0 then 1 else 0))
+     | _, _ -> None)
+  | Cast (Tint, a) -> eval_int env a
+  | Cond (c, a, b) ->
+    (match eval_int env c with
+     | Some 0 -> eval_int env b
+     | Some _ -> eval_int env a
+     | None -> None)
+  | Float_lit _ | Call _ | Index _ | Cast _ -> None
+
+let of_program (p : Ast.program) =
+  List.fold_left
+    (fun env g ->
+      match g with
+      | Ast.Gdecl { dty = Ast.Tint; dname; dinit = Some e; darray = None; dconst = true } ->
+        (match eval_int env e with
+         | Some n -> Smap.add dname n env
+         | None -> env)
+      | Ast.Gdecl _ | Ast.Gfunc _ -> env)
+    empty p.pglobals
+
+let with_overrides env bindings =
+  List.fold_left (fun env (name, v) -> Smap.add name v env) env bindings

@@ -1,0 +1,23 @@
+(** Compile-time constant evaluation.
+
+    Resolves integer expressions over literals and [const int] globals —
+    the information static analyses have without running the program.
+    Used for static trip counts ("fixed-bound loops") and full-unrollability
+    checks. *)
+
+type env
+(** Mapping from names to known integer constants. *)
+
+val empty : env
+
+val of_program : Ast.program -> env
+(** Constants from [const int name = <literal-expression>;] globals
+    (resolved in order, so constants may reference earlier ones). *)
+
+val with_overrides : env -> (string * int) list -> env
+(** Extend/override bindings (e.g. workload parameters). *)
+
+val lookup : env -> string -> int option
+
+val eval_int : env -> Ast.expr -> int option
+(** Integer value of the expression if statically known. *)

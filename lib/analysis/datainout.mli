@@ -1,0 +1,25 @@
+(** Data in/out analysis (dynamic task, Fig. 4).
+
+    Quantifies the data-transfer requirements of offloading a kernel: the
+    bytes that must be copied to the accelerator before it runs (elements
+    read before being written) and back afterwards (elements written).
+    The PSA strategy compares the resulting transfer time against the CPU
+    execution time of the hotspot. *)
+
+type t = {
+  dio_kernel : string;
+  dio_invocations : int;
+  dio_bytes_in : int;    (** per whole run (all invocations) *)
+  dio_bytes_out : int;
+  dio_traffic : Machine.array_traffic list;
+  dio_region : Machine.region_stats;
+}
+
+val analyse : ?config:Machine.config -> Ast.program -> kernel:string -> t
+(** Run the program profiling the kernel function as a region. *)
+
+val of_region_stats : kernel:string -> Machine.region_stats -> t
+
+val transfer_time : t -> bandwidth_bytes_per_s:float -> latency_s:float -> float
+(** Estimated host<->device transfer time for the whole run:
+    [(bytes_in + bytes_out) / bandwidth + invocations * latency]. *)

@@ -1,0 +1,56 @@
+(** Static loop-carried dependence analysis.
+
+    Implements the paper's "Loop Dependence Analysis" task: for a canonical
+    counted loop, decide whether iterations are independent (parallel),
+    independent up to recognised reductions (parallelisable with a
+    reduction clause / privatisation), or serialised by a genuine carried
+    dependence.  Array subscripts are compared with ZIV/SIV-style tests on
+    their affine forms ({!Affine}), including the flattened-2D
+    delinearisation pattern [a\[i*C + j\]] with [j] ranging inside [\[0,C)].
+
+    The verdict also reports recurrence chains (e.g. a floating-point
+    accumulation), which the FPGA model turns into a pipeline initiation
+    interval. *)
+
+type reduction_op = Radd | Rmul | Rmin | Rmax
+
+(** A recognised reduction: repeated [target op= e] where [e] does not
+    otherwise read the target. *)
+type reduction = {
+  red_target : string;            (** scalar name, or array name for [a\[inv\] op= e] *)
+  red_is_array : bool;
+  red_op : reduction_op;
+  red_ty : Ast.ty;                (** element/scalar type of the accumulator *)
+}
+
+(** A dependence that serialises the loop. *)
+type carried =
+  | Scalar_carried of string         (** free scalar written and live across iterations *)
+  | Array_carried of { arr : string; reason : string }
+
+type verdict = {
+  loop_sid : int;
+  index : string;
+  carried : carried list;
+  reductions : reduction list;
+  parallel : bool;                   (** no carried deps and no reductions *)
+  parallel_with_reductions : bool;   (** no carried deps (reductions allowed) *)
+}
+
+val analyse_loop :
+  ?consts:Consteval.env -> Ast.program -> Query.loop_match -> verdict
+(** Analyse one canonical loop.  [consts] defaults to the program's global
+    constants; pass {!Consteval.with_overrides} when workload parameters are
+    known. *)
+
+val static_trip_count : Consteval.env -> Ast.for_header -> int option
+(** Iterations of the loop when bounds and step are static. *)
+
+val fully_unrollable :
+  ?threshold:int -> Consteval.env -> Query.loop_match -> bool
+(** "Fixed bounds under a certain threshold" (Fig. 3): the static trip
+    count exists and is at most [threshold] (default 64). *)
+
+val range_of : (string -> (int * int) option) -> Consteval.env -> Ast.expr -> (int * int) option
+(** Interval of an integer expression given per-variable ranges — exposed
+    for tests and the FPGA scheduler. *)

@@ -1,0 +1,150 @@
+type candidate = {
+  ca_stmt_sid : int;
+  ca_array : string;
+  ca_subscript : string;
+}
+
+(* accumulation statements [a[sub] op= rhs] inside the loop, keyed by
+   (array, printed subscript) *)
+type acc_stmt = {
+  as_sid : int;
+  as_array : string;
+  as_sub : Ast.expr;
+  as_key : string;
+}
+
+let acc_stmts (lm : Query.loop_match) : acc_stmt list =
+  let index = lm.lm_header.index in
+  let out = ref [] in
+  let rec walk (s : Ast.stmt) =
+    (match s.sdesc with
+     | Assign (lhs, (Ast.AddEq | Ast.SubEq | Ast.MulEq), rhs) ->
+       (match lhs.edesc with
+        | Index (base, sub) ->
+          (match Query.array_base_name base with
+           | Some arr
+             when Affine.invariant_in ~index sub && not (Affine.mentions arr rhs) ->
+             out :=
+               {
+                 as_sid = s.sid;
+                 as_array = arr;
+                 as_sub = sub;
+                 as_key = arr ^ "[" ^ Pretty.expr_to_string sub ^ "]";
+               }
+               :: !out
+           | Some _ | None -> ())
+        | _ -> ())
+     | _ -> ());
+    List.iter (List.iter walk) (Ast.stmt_sub_blocks s)
+  in
+  List.iter walk lm.lm_body;
+  List.rev !out
+
+(* does the loop access [arr] outside the given statements? *)
+let accessed_elsewhere (lm : Query.loop_match) arr (sids : int list) =
+  let touched = ref false in
+  let rec check_expr (e : Ast.expr) =
+    (match e.edesc with
+     | Var v when v = arr -> touched := true
+     | _ -> ());
+    List.iter check_expr (Ast.expr_children e)
+  in
+  let rec walk (s : Ast.stmt) =
+    if not (List.mem s.sid sids) then begin
+      List.iter check_expr (Ast.stmt_exprs s);
+      List.iter (List.iter walk) (Ast.stmt_sub_blocks s)
+    end
+  in
+  List.iter walk lm.lm_body;
+  !touched
+
+let eligible_groups (p : Ast.program) ~loop_sid =
+  match Query.find_loop p loop_sid with
+  | None -> []
+  | Some lm ->
+    let stmts = acc_stmts lm in
+    let keys =
+      List.sort_uniq compare (List.map (fun a -> a.as_key) stmts)
+    in
+    List.filter_map
+      (fun key ->
+        let group = List.filter (fun a -> a.as_key = key) stmts in
+        match group with
+        | [] -> None
+        | first :: _ ->
+          let arr = first.as_array in
+          (* the whole array must be untouched outside its own group AND
+             outside groups of the same array with other subscripts only if
+             those are this group... conservative: untouched outside all
+             accumulation statements of this array *)
+          let same_array_sids =
+            List.filter_map
+              (fun a -> if a.as_array = arr then Some a.as_sid else None)
+              stmts
+          in
+          if accessed_elsewhere lm arr same_array_sids then None
+          else Some (lm, key, group))
+      keys
+
+let candidates p ~loop_sid =
+  List.concat_map
+    (fun (_, key, group) ->
+      List.map
+        (fun a -> { ca_stmt_sid = a.as_sid; ca_array = a.as_array; ca_subscript = key })
+        group)
+    (eligible_groups p ~loop_sid)
+
+let elem_ty_of (p : Ast.program) (lm : Query.loop_match) arr =
+  let fn = lm.lm_ctx.cx_func in
+  let tenv = Typecheck.env_for_func p fn in
+  match Typecheck.lookup_var tenv arr with
+  | Some (Ast.Tptr t) -> t
+  | Some t -> t
+  | None ->
+    (match Typecheck.scope_at p fn lm.lm_stmt.sid with
+     | scope ->
+       (match List.assoc_opt arr scope with
+        | Some (Ast.Tptr t) -> t
+        | Some t -> t
+        | None -> Ast.Tdouble)
+     | exception Not_found -> Ast.Tdouble)
+
+let apply p ~loop_sid =
+  let groups = eligible_groups p ~loop_sid in
+  match groups with
+  | [] -> p
+  | (lm, _, _) :: _ ->
+    let counter = ref 0 in
+    let pre = ref [] and post = ref [] in
+    let p =
+      List.fold_left
+        (fun p (_, _, group) ->
+          match group with
+          | [] -> p
+          | first :: _ ->
+            incr counter;
+            let tmp = Printf.sprintf "%s_acc%d" first.as_array !counter in
+            let ety = elem_ty_of p lm first.as_array in
+            let load =
+              Builder.decl ety tmp (Builder.idx2 first.as_array first.as_sub)
+            in
+            let store =
+              Builder.assign (Builder.idx2 first.as_array first.as_sub) (Builder.var tmp)
+            in
+            pre := load :: !pre;
+            post := store :: !post;
+            List.fold_left
+              (fun p (a : acc_stmt) ->
+                match Query.find_stmt p a.as_sid with
+                | None -> p
+                | Some (_, s) ->
+                  (match s.Ast.sdesc with
+                   | Ast.Assign (_, op, rhs) ->
+                     Rewrite.replace_stmt p ~sid:a.as_sid
+                       (Ast.mk_stmt ~loc:s.Ast.sloc (Ast.Assign (Builder.var tmp, op, rhs)))
+                   | _ -> p))
+              p group)
+        p groups
+    in
+    let p = Rewrite.insert_before p ~sid:loop_sid (List.rev !pre) in
+    Rewrite.insert_after p ~sid:loop_sid (List.rev !post)

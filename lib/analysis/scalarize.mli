@@ -1,0 +1,30 @@
+(** "Remove Array += Dependency" (target-independent transform, Fig. 4).
+
+    A loop that accumulates into a loop-invariant array element,
+
+    {v
+    for (int j = 0; j < n; j++) {
+      force[i] += f(j);          // load-add-store chain through memory
+    }
+    v}
+
+    carries its dependence through a memory cell.  The transform scalarises
+    the accumulator — hoist the load above the loop, accumulate in a local,
+    store back after — turning the array dependence into a plain scalar
+    reduction that the dependence analysis recognises, OpenMP can reduce,
+    and the FPGA scheduler can pipeline with a register recurrence instead
+    of a memory round-trip. *)
+
+type candidate = {
+  ca_stmt_sid : int;      (** the [a\[sub\] op= e] statement *)
+  ca_array : string;
+  ca_subscript : string;  (** printed subscript, the grouping key *)
+}
+
+val candidates : Ast.program -> loop_sid:int -> candidate list
+(** Accumulation statements in the loop whose subscript is invariant in the
+    loop index and whose array is not otherwise accessed in the loop. *)
+
+val apply : Ast.program -> loop_sid:int -> Ast.program
+(** Scalarise every candidate of the loop.  Programs without candidates are
+    returned unchanged. *)

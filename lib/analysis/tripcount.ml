@@ -1,0 +1,37 @@
+type info = {
+  tc_sid : int;
+  tc_entries : int;
+  tc_iterations : int;
+  tc_avg : float;
+  tc_static : int option;
+}
+
+let of_result (p : Ast.program) (result : Machine.result) =
+  let consts = Consteval.of_program p in
+  let loops = Query.loops p in
+  List.filter_map
+    (fun (lm : Query.loop_match) ->
+      match Machine.find_loop_stats result lm.lm_stmt.sid with
+      | None -> None
+      | Some (stats : Machine.loop_stats) ->
+        Some
+          {
+            tc_sid = lm.lm_stmt.sid;
+            tc_entries = stats.ls_entries;
+            tc_iterations = stats.ls_iterations;
+            tc_avg =
+              (if stats.ls_entries = 0 then 0.0
+               else float_of_int stats.ls_iterations /. float_of_int stats.ls_entries);
+            tc_static = Dependence.static_trip_count consts lm.lm_header;
+          })
+    loops
+
+let analyse ?config p =
+  let config =
+    match config with
+    | Some c -> { c with Machine.profile_loops = true }
+    | None -> { Machine.default_config with profile_loops = true }
+  in
+  of_result p (Machine.run ~config p)
+
+let find infos sid = List.find_opt (fun i -> i.tc_sid = sid) infos

@@ -1,0 +1,23 @@
+(** Loop trip-count analysis (dynamic task, Fig. 4).
+
+    Runs the program under the interpreter with loop profiling and reports,
+    per loop, how often it was entered and how many iterations it performed;
+    the static trip count is attached when the bounds are compile-time
+    constants. *)
+
+type info = {
+  tc_sid : int;            (** loop statement id *)
+  tc_entries : int;
+  tc_iterations : int;
+  tc_avg : float;          (** iterations per entry *)
+  tc_static : int option;  (** compile-time trip count, when bounds are static *)
+}
+
+val analyse : ?config:Machine.config -> Ast.program -> info list
+(** Execute and profile every loop.  [config] defaults to
+    {!Machine.default_config} with [profile_loops] forced on. *)
+
+val of_result : Ast.program -> Machine.result -> info list
+(** Extract trip counts from an existing profiled run. *)
+
+val find : info list -> int -> info option

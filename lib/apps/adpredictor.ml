@@ -1,0 +1,68 @@
+let source =
+  {|
+// AdPredictor: Bayesian CTR scoring with a probit link.
+const int NIMP = 4096;
+const int NW = 8192;
+const int F = 4;
+const int EPOCHS = 4;
+
+int main() {
+  double wmean[NW];
+  double wvar[NW];
+  double loss[NIMP];
+  int clicks[NIMP];
+  for (int w = 0; w < NW; w++) {
+    wmean[w] = rand01() - 0.5;
+    wvar[w] = 0.8 + rand01() * 0.4;
+  }
+  for (int i = 0; i < NIMP; i++) {
+    clicks[i] = rand01() < 0.3 ? 1 : 0;
+    loss[i] = 0.0;
+  }
+  for (int e = 0; e < EPOCHS; e++) {
+    // hotspot: score every impression against the current weights
+    for (int i = 0; i < NIMP; i++) {
+      double smean = 0.0;
+      double svar = 1.0;
+      for (int k = 0; k < F; k++) {
+        smean += wmean[(i * 2377 + k * 7919) % NW];
+        svar += wvar[(i * 2377 + k * 7919) % NW];
+      }
+      double t = smean / sqrt(svar);
+      double z = t / 1.4142135623730951;
+      double pclick = 0.5 * (1.0 + erf(z));
+      double pdf = 0.3989422804014327 * exp(-0.5 * t * t);
+      double v = pdf / fmax(pclick, 0.000001);
+      double w2 = v * (v + t);
+      double y = (double)clicks[i] * 2.0 - 1.0;
+      double p = y > 0.0 ? pclick : 1.0 - pclick;
+      double nll = 0.0 - log(fmax(p, 0.000001));
+      // calibration term: entropy of the predicted Bernoulli
+      double q = fmax(fmin(pclick, 0.999999), 0.000001);
+      double entropy = 0.0 - q * log(q) - (1.0 - q) * log(1.0 - q);
+      loss[i] = nll + 0.01 * entropy + w2 * 0.0001;
+    }
+    // epochs are sequential: the variances decay between scoring passes
+    for (int w = 0; w < NW; w++) {
+      wvar[w] = wvar[w] * 0.999 + 0.0005;
+    }
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < NIMP; i++) {
+    checksum += loss[i];
+  }
+  print_float(checksum);
+  return 0;
+}
+|}
+
+let app =
+  {
+    App.app_name = "AdPredictor";
+    app_slug = "adpredictor";
+    app_descr = "Bayesian click-through-rate scoring (probit link)";
+    app_source = source;
+    app_eval_overrides = [ ("NIMP", 8192); ("EPOCHS", 8) ];
+    app_test_overrides = [ ("NIMP", 512); ("NW", 512); ("EPOCHS", 2) ];
+    app_outer_scale = 8;
+  }

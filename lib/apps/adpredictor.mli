@@ -1,0 +1,14 @@
+(** AdPredictor benchmark (Bayesian click-through-rate scoring).
+
+    Scores [NIMP] impressions per epoch against a Gaussian weight table:
+    each impression gathers [F] feature weights (hashed indices), computes
+    the click probability through a probit link ([erf]/[exp]/[log]) and
+    writes its calibration loss.  Between epochs the variances decay, so
+    the weight table must be re-shipped to an accelerator each epoch.
+
+    The hotspot's outer loop is parallel and compute-bound, and its inner
+    reduction loops have small fixed bounds ([F]) — exactly the "fully
+    unrollable inner loops with dependences" case Fig. 3 routes to the
+    FPGA, where the paper's Stratix10 design is the best of all targets. *)
+
+val app : App.t

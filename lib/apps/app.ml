@@ -1,0 +1,35 @@
+type t = {
+  app_name : string;
+  app_slug : string;
+  app_descr : string;
+  app_source : string;
+  app_eval_overrides : (string * int) list;
+  app_test_overrides : (string * int) list;
+  app_outer_scale : int;
+}
+
+let program app =
+  let p =
+    try Parser.parse_program ~file:(app.app_slug ^ ".cpp") app.app_source
+    with
+    | Parser.Error (loc, msg) ->
+      failwith (Printf.sprintf "%s: parse error at %s: %s" app.app_slug (Loc.to_string loc) msg)
+    | Lexer.Error (loc, msg) ->
+      failwith (Printf.sprintf "%s: lex error at %s: %s" app.app_slug (Loc.to_string loc) msg)
+  in
+  (match Typecheck.check_program p with
+   | Ok () -> ()
+   | Error (e :: _) ->
+     failwith
+       (Printf.sprintf "%s: type error at %s: %s" app.app_slug (Loc.to_string e.loc) e.msg)
+   | Error [] -> ());
+  p
+
+let machine_overrides params =
+  List.map (fun (name, v) -> (name, Value.Vint v)) params
+
+let run ?overrides ?config app =
+  let params = Option.value overrides ~default:app.app_test_overrides in
+  let config = Option.value config ~default:Machine.default_config in
+  let config = { config with Machine.overrides = machine_overrides params } in
+  Machine.run ~config (program app)

@@ -1,0 +1,32 @@
+(** Benchmark applications: the paper's five HPC/AI workloads, written as
+    unoptimised high-level mini-C++ sources (the PSA-flow's input).
+
+    Each app ships two workloads: the evaluation workload used by the
+    benchmark harness (Fig. 5 / Table I / Fig. 6) and a small test workload
+    that keeps unit tests fast.  Workload parameters override global
+    constants by name at interpretation time. *)
+
+type t = {
+  app_name : string;                          (** display name, e.g. "N-Body Simulation" *)
+  app_slug : string;                          (** short id, e.g. "nbody" *)
+  app_descr : string;
+  app_source : string;                        (** mini-C++ source text *)
+  app_eval_overrides : (string * int) list;   (** evaluation workload *)
+  app_test_overrides : (string * int) list;   (** fast workload for tests *)
+  app_outer_scale : int;
+      (** extrapolation factor from the interpreted evaluation workload to
+          the paper-scale workload: the evaluation multiplies the measured
+          kernel profile's outer trips (and proportional counters/volumes)
+          by this factor before feeding the device models *)
+}
+
+val program : t -> Ast.program
+(** Parse (and typecheck) the source. @raise Failure on any error — app
+    sources are internal and must always be valid. *)
+
+val machine_overrides : (string * int) list -> (string * Value.t) list
+(** Lift workload parameters to interpreter overrides. *)
+
+val run :
+  ?overrides:(string * int) list -> ?config:Machine.config -> t -> Machine.result
+(** Interpret the app (default: test workload). *)

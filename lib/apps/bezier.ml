@@ -1,0 +1,78 @@
+(* per-coordinate padded de Casteljau reduction: always reduce the full
+   row width so every loop has static bounds (classic HLS-friendly padding,
+   at the cost of redundant lerps) *)
+let coord_block coord =
+  Printf.sprintf
+    {|    // %s coordinate
+    for (int j = 0; j < CP; j++) {
+      for (int i = 0; i < CP; i++) {
+        row[i] = cp%s[j * CP + i];
+      }
+      for (int l = 0; l < CP - 1; l++) {
+        for (int i = 0; i < CP - 1; i++) {
+          row[i] = w * row[i] + u * row[i + 1];
+        }
+      }
+      col[j] = row[0];
+    }
+    for (int l = 0; l < CP - 1; l++) {
+      for (int i = 0; i < CP - 1; i++) {
+        col[i] = wv * col[i] + v * col[i + 1];
+      }
+    }
+    s%s[t] = col[0];|}
+    coord coord coord
+
+let source =
+  Printf.sprintf
+    {|
+// Bezier surface generation: degree-(CP-1) patch sampled on a RES x RES grid.
+const int RES = 32;
+const int CP = 6;
+
+int main() {
+  double cpx[CP * CP];
+  double cpy[CP * CP];
+  double cpz[CP * CP];
+  double sx[RES * RES];
+  double sy[RES * RES];
+  double sz[RES * RES];
+  for (int j = 0; j < CP; j++) {
+    for (int i = 0; i < CP; i++) {
+      cpx[j * CP + i] = (double)i + rand01() * 0.25;
+      cpy[j * CP + i] = (double)j + rand01() * 0.25;
+      cpz[j * CP + i] = rand01() * 4.0;
+    }
+  }
+  // hotspot: evaluate every surface sample
+  for (int t = 0; t < RES * RES; t++) {
+    double u = (double)(t %% RES) / (double)(RES - 1);
+    double v = (double)(t / RES) / (double)(RES - 1);
+    double w = 1.0 - u;
+    double wv = 1.0 - v;
+    double row[CP];
+    double col[CP];
+%s
+%s
+%s
+  }
+  double checksum = 0.0;
+  for (int t = 0; t < RES * RES; t++) {
+    checksum += sx[t] + sy[t] + sz[t];
+  }
+  print_float(checksum);
+  return 0;
+}
+|}
+    (coord_block "x") (coord_block "y") (coord_block "z")
+
+let app =
+  {
+    App.app_name = "Bezier Surface Generation";
+    app_slug = "bezier";
+    app_descr = "Degree-5 Bezier patch evaluation by padded de Casteljau";
+    app_source = source;
+    app_eval_overrides = [ ("RES", 32) ];
+    app_test_overrides = [ ("RES", 12) ];
+    app_outer_scale = 144;
+  }

@@ -1,0 +1,11 @@
+(** Bezier Surface Generation benchmark.
+
+    Evaluates a degree-5 (6x6 control grid) Bezier patch on a RES x RES
+    sample grid with padded de Casteljau reduction per coordinate.  The
+    hotspot is the parallel sample loop; its inner reduction levels carry
+    dependences with fixed bounds *above* the PSA full-unroll threshold, so
+    the informed strategy maps it to the GPU (the paper's outcome), while
+    the FPGA path can still unroll the levels spatially under its larger
+    hardware-unroll threshold. *)
+
+val app : App.t

@@ -1,0 +1,80 @@
+let source =
+  {|
+// K-Means classification (Lloyd's algorithm).
+const int N = 4096;
+const int K = 8;
+const int D = 4;
+const int ITERS = 3;
+
+int main() {
+  double points[N * D];
+  double centroids[K * D];
+  double sums[K * D];
+  int counts[K];
+  int assign[N];
+  for (int i = 0; i < N * D; i++) {
+    points[i] = rand01() * 100.0;
+  }
+  for (int k = 0; k < K; k++) {
+    for (int d = 0; d < D; d++) {
+      centroids[k * D + d] = points[k * D + d];
+    }
+  }
+  for (int it = 0; it < ITERS; it++) {
+    // assignment phase (hotspot): nearest centroid per point
+    for (int i = 0; i < N; i++) {
+      double best = 1.0e30;
+      int bi = 0;
+      for (int k = 0; k < K; k++) {
+        double d2 = 0.0;
+        for (int d = 0; d < D; d++) {
+          double diff = points[i * D + d] - centroids[k * D + d];
+          d2 += diff * diff;
+        }
+        if (d2 < best) {
+          best = d2;
+          bi = k;
+        }
+      }
+      assign[i] = bi;
+    }
+    // update phase: recompute centroids
+    for (int k = 0; k < K; k++) {
+      counts[k] = 0;
+      for (int d = 0; d < D; d++) {
+        sums[k * D + d] = 0.0;
+      }
+    }
+    for (int i = 0; i < N; i++) {
+      counts[assign[i]] += 1;
+      for (int d = 0; d < D; d++) {
+        sums[assign[i] * D + d] += points[i * D + d];
+      }
+    }
+    for (int k = 0; k < K; k++) {
+      if (counts[k] > 0) {
+        for (int d = 0; d < D; d++) {
+          centroids[k * D + d] = sums[k * D + d] / (double)counts[k];
+        }
+      }
+    }
+  }
+  int spread = 0;
+  for (int i = 0; i < N; i++) {
+    spread += assign[i];
+  }
+  print_int(spread);
+  return 0;
+}
+|}
+
+let app =
+  {
+    App.app_name = "K-Means Classification";
+    app_slug = "kmeans";
+    app_descr = "Lloyd's K-means over random points";
+    app_source = source;
+    app_eval_overrides = [ ("N", 8192); ("ITERS", 2) ];
+    app_test_overrides = [ ("N", 512); ("ITERS", 2) ];
+    app_outer_scale = 32;
+  }

@@ -1,0 +1,9 @@
+(** K-Means Classification benchmark.
+
+    Lloyd iterations over [N] points in [D] dimensions with [K] clusters.
+    The hotspot is the assignment phase — embarrassingly parallel but
+    memory-bound (it streams the points with only a few flops per byte), so
+    the informed PSA keeps it on the multi-thread CPU, matching the paper's
+    result that OpenMP is the best K-Means target. *)
+
+val app : App.t

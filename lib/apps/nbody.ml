@@ -1,0 +1,73 @@
+let source =
+  {|
+// N-Body simulation: all-pairs gravitational interaction.
+const int N = 512;
+const int STEPS = 2;
+
+int main() {
+  double xs[N];
+  double ys[N];
+  double zs[N];
+  double ms[N];
+  double vx[N];
+  double vy[N];
+  double vz[N];
+  double ax[N];
+  double ay[N];
+  double az[N];
+  for (int i = 0; i < N; i++) {
+    xs[i] = rand01() * 10.0;
+    ys[i] = rand01() * 10.0;
+    zs[i] = rand01() * 10.0;
+    ms[i] = 0.5 + rand01();
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+    vz[i] = 0.0;
+  }
+  double dt = 0.01;
+  for (int s = 0; s < STEPS; s++) {
+    for (int i = 0; i < N; i++) {
+      ax[i] = 0.0;
+      ay[i] = 0.0;
+      az[i] = 0.0;
+      for (int j = 0; j < N; j++) {
+        double dx = xs[j] - xs[i];
+        double dy = ys[j] - ys[i];
+        double dz = zs[j] - zs[i];
+        double d2 = dx * dx + dy * dy + dz * dz + 0.000001;
+        double inv = 1.0 / sqrt(d2);
+        double inv3 = inv * inv * inv;
+        double sc = ms[j] * inv3;
+        ax[i] += sc * dx;
+        ay[i] += sc * dy;
+        az[i] += sc * dz;
+      }
+      vx[i] += dt * ax[i];
+      vy[i] += dt * ay[i];
+      vz[i] += dt * az[i];
+    }
+    for (int i = 0; i < N; i++) {
+      xs[i] += dt * vx[i];
+      ys[i] += dt * vy[i];
+      zs[i] += dt * vz[i];
+    }
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < N; i++) {
+    checksum += xs[i] + ys[i] + zs[i];
+  }
+  print_float(checksum);
+  return 0;
+}
+|}
+
+let app =
+  {
+    App.app_name = "N-Body Simulation";
+    app_slug = "nbody";
+    app_descr = "All-pairs gravitational N-body integration";
+    app_source = source;
+    app_eval_overrides = [ ("N", 1024); ("STEPS", 1) ];
+    app_test_overrides = [ ("N", 96); ("STEPS", 1) ];
+    app_outer_scale = 64;
+  }

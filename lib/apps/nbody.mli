@@ -1,0 +1,9 @@
+(** N-Body Simulation benchmark.
+
+    All-pairs gravitational forces over [N] bodies for [STEPS] steps.  The
+    hotspot is the parallel force loop; its inner loop carries
+    floating-point force accumulations with a dynamic bound, so the
+    informed PSA maps it to the GPU (compute-bound, parallel outer loop,
+    inner dependence loop not fully unrollable). *)
+
+val app : App.t

@@ -1,0 +1,107 @@
+(* Ten Hodgkin-Huxley-style gates; constants vary per gate so the source is
+   genuine straight-line code rather than a loop the tools could collapse. *)
+let gates =
+  [
+    (0, 0.32, 0.085, 47.1, 0.055, 0.080, 11.0, 0.14, -55.0);
+    (1, 0.135, 0.070, 80.0, 0.048, 0.310, 9.5, 0.09, -72.0);
+    (2, 0.095, 0.062, 67.0, 0.042, 0.120, 12.5, 0.11, 40.0);
+    (3, 0.074, 0.058, 44.0, 0.051, 0.095, 10.0, 0.07, -61.0);
+    (4, 0.205, 0.078, 71.0, 0.046, 0.160, 8.5, 0.05, -23.0);
+    (5, 0.112, 0.066, 52.0, 0.044, 0.210, 13.0, 0.12, 10.0);
+    (6, 0.088, 0.054, 63.0, 0.050, 0.105, 9.0, 0.08, -84.0);
+    (7, 0.150, 0.073, 58.0, 0.047, 0.260, 11.5, 0.06, 30.0);
+    (8, 0.066, 0.049, 75.0, 0.053, 0.140, 10.5, 0.10, -47.0);
+    (9, 0.178, 0.081, 49.0, 0.045, 0.185, 12.0, 0.13, -15.0);
+  ]
+
+let gate_decl_arrays =
+  gates
+  |> List.map (fun (i, _, _, _, _, _, _, _, _) -> Printf.sprintf "  double g%d[CELLS];" i)
+  |> String.concat "\n"
+
+let gate_inits =
+  gates
+  |> List.map (fun (i, _, _, _, _, _, _, _, _) ->
+         Printf.sprintf "    g%d[c] = 0.1 + rand01() * 0.2;" i)
+  |> String.concat "\n"
+
+let gate_loads =
+  gates
+  |> List.map (fun (i, _, _, _, _, _, _, _, _) -> Printf.sprintf "    double y%d = g%d[c];" i i)
+  |> String.concat "\n"
+
+let gate_stores =
+  gates
+  |> List.map (fun (i, _, _, _, _, _, _, _, _) -> Printf.sprintf "    g%d[c] = y%d;" i i)
+  |> String.concat "\n"
+
+(* Rush-Larsen update of one gate: alpha with a saturating denominator
+   (2 exps), beta (1 exp), exponential integration step (1 exp). *)
+let gate_update (i, c1, c2, vh, c3, c4, c5, _g, _e) =
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "      double a%d = %g * exp(%g * (v + %g)) / (1.0 + exp(%g * (v + %g)));" i c1
+        c2 vh c3 vh;
+      Printf.sprintf "      double b%d = %g * exp(0.0 - (v + 40.0) / %g);" i c4 c5;
+      Printf.sprintf "      double tau%d = 1.0 / (a%d + b%d);" i i i;
+      Printf.sprintf "      double inf%d = a%d * tau%d;" i i i;
+      Printf.sprintf "      y%d = inf%d + (y%d - inf%d) * exp(0.0 - dt / tau%d);" i i i i i;
+    ]
+
+let gate_updates = gates |> List.map gate_update |> String.concat "\n"
+
+let ionic_terms =
+  gates
+  |> List.map (fun (i, _, _, _, _, _, _, g, e) ->
+         Printf.sprintf "      ionic = ionic + %g * y%d * y%d * (v - %g);" g i i e)
+  |> String.concat "\n"
+
+let source =
+  Printf.sprintf
+    {|
+// Rush-Larsen exponential integrator over independent membrane cells.
+const int CELLS = 1024;
+const int STEPS = 16;
+
+int main() {
+  double vm[CELLS];
+%s
+  for (int c = 0; c < CELLS; c++) {
+    vm[c] = -80.0 + rand01() * 20.0;
+%s
+  }
+  double dt = 0.02;
+  // hotspot: every cell integrates its stiff gate system independently
+  for (int c = 0; c < CELLS; c++) {
+    double v = vm[c];
+%s
+    for (int s = 0; s < STEPS; s++) {
+%s
+      double ionic = 0.0;
+%s
+      v = v + dt * (2.0 - ionic);
+    }
+    vm[c] = v;
+%s
+  }
+  double checksum = 0.0;
+  for (int c = 0; c < CELLS; c++) {
+    checksum += vm[c];
+  }
+  print_float(checksum);
+  return 0;
+}
+|}
+    gate_decl_arrays gate_inits gate_loads gate_updates ionic_terms gate_stores
+
+let app =
+  {
+    App.app_name = "Rush Larsen ODE Solver";
+    app_slug = "rush_larsen";
+    app_descr = "Rush-Larsen exponential integration of 10-gate membrane cells";
+    app_source = source;
+    app_eval_overrides = [ ("CELLS", 2048); ("STEPS", 16) ];
+    app_test_overrides = [ ("CELLS", 768); ("STEPS", 4) ];
+    app_outer_scale = 32;
+  }

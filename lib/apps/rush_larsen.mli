@@ -1,0 +1,16 @@
+(** Rush-Larsen ODE solver benchmark (cardiac membrane model).
+
+    Each cell integrates an independent stiff gating-variable system with
+    the Rush-Larsen exponential integrator: 10 gates, each needing several
+    [exp] evaluations per step — ~40 transcendentals per cell per step.
+    The hotspot is the parallel cell loop; the time loop is sequential and
+    lives inside each cell's body ("a single outer loop").
+
+    The huge straight-line body gives the GPU kernel its 255-register
+    footprint (saturating the GTX 1080 but not the RTX 2080) and makes the
+    FPGA designs overmap both devices at unroll 1 — the paper's
+    unsynthesisable Rush Larsen oneAPI designs.  The integration is
+    precision-sensitive, so the SP-demotion guard keeps this kernel in
+    double precision. *)
+
+val app : App.t

@@ -1,0 +1,9 @@
+let all =
+  [ Nbody.app; Kmeans.app; Adpredictor.app; Rush_larsen.app; Bezier.app ]
+
+let find slug = List.find_opt (fun (a : App.t) -> a.app_slug = slug) all
+
+let sp_rel_tolerance (a : App.t) =
+  (* the Rush-Larsen solver ships with a bit-reproducibility regression
+     criterion: any precision change is rejected *)
+  if a.app_slug = "rush_larsen" then 0.0 else 1e-3

@@ -1,0 +1,16 @@
+(** The benchmark suite: the paper's five applications (Section IV-A). *)
+
+val all : App.t list
+(** N-Body, K-Means, AdPredictor, Rush Larsen, Bezier — evaluation order
+    of Fig. 5. *)
+
+val find : string -> App.t option
+(** Look up by slug ("nbody", "kmeans", "adpredictor", "rush_larsen",
+    "bezier"). *)
+
+val sp_rel_tolerance : App.t -> float
+(** Application-specific validation tolerance for the single-precision
+    demotion guard.  Most benchmarks accept ~1e-3 relative error; the Rush
+    Larsen solver ships a bit-reproducibility regression criterion
+    (tolerance 0), which keeps its accelerator kernels in double
+    precision. *)

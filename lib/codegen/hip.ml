@@ -1,0 +1,250 @@
+open Builder
+
+type result = {
+  hip_program : Ast.program;
+  hip_body_fn : string;
+  hip_launch_fn : string;
+  hip_manage_fn : string;
+  hip_written_arrays : string list;
+}
+
+let tid = "__tid"
+
+let dev_name arr = "d_" ^ arr
+
+let generate ?(blocksize = 256) (p : Ast.program) ~kernel =
+  match Ast.find_func p kernel with
+  | None -> Error (Printf.sprintf "kernel %s not found" kernel)
+  | Some fn ->
+    (match Query.outermost_loops fn with
+     | [] -> Error (Printf.sprintf "kernel %s has no loop" kernel)
+     | outer :: _ ->
+       let verdict = Dependence.analyse_loop p outer in
+       let scalar_reds =
+         List.filter (fun (r : Dependence.reduction) -> not r.Dependence.red_is_array)
+           verdict.Dependence.reductions
+       in
+       if not verdict.Dependence.parallel_with_reductions then
+         Error "outer loop carries a dependence; GPU mapping needs a parallel loop"
+       else if scalar_reds <> [] then
+         Error "outer loop reduces into a scalar; GPU mapping would need atomics"
+       else if not (match outer.lm_header.step.Ast.edesc with Ast.Int_lit 1 -> true | _ -> false)
+       then Error "GPU mapping requires a unit-stride outer loop"
+       else begin
+         let h = outer.lm_header in
+         let params = fn.Ast.fparams in
+         let ptr_params, scalar_params = Offload_common.split_params params in
+         match Offload_common.resolve_lengths p ~kernel ptr_params with
+         | None -> Error "could not resolve device buffer lengths for pointer arguments"
+         | Some lengths ->
+           let body_fn_name = kernel ^ "__hip_body" in
+           let launch_fn_name = kernel ^ "__hip_launch" in
+           (* ---- device body ---- *)
+           let index_decl =
+             decl Ast.Tint h.Ast.index (Ast.refresh_expr h.Ast.lo +: var tid)
+           in
+           let guard_cond =
+             match h.Ast.cmp with
+             | Ast.CLt -> var h.Ast.index <: Ast.refresh_expr h.Ast.hi
+             | Ast.CLe -> var h.Ast.index <=: Ast.refresh_expr h.Ast.hi
+           in
+           let body_params = param Ast.Tint tid :: params in
+           let body_fn =
+             Builder.func body_fn_name body_params
+               [ index_decl; if_ guard_cond (List.map Ast.refresh_stmt outer.lm_body) [] ]
+           in
+           (* ---- launch function ---- *)
+           let total = "__total" in
+           let launch_loop =
+             for_
+               ~pragmas:
+                 [ pragma "hip" [ "kernel_launch"; Printf.sprintf "blocksize(%d)" blocksize ] ]
+               tid ~lo:(ilit 0) ~hi:(var total)
+               [
+                 expr_stmt
+                   (call body_fn_name
+                      (var tid :: List.map (fun (q : Ast.param) -> var q.Ast.prm_name) params));
+               ]
+           in
+           let launch_fn =
+             Builder.func launch_fn_name (param Ast.Tint total :: params) [ launch_loop ]
+           in
+           (* ---- management function (same name as the kernel) ---- *)
+           let written = Query.writes_in_block outer.lm_body in
+           let written_ptrs =
+             List.filter (fun (q : Ast.param) -> List.mem q.Ast.prm_name written) ptr_params
+           in
+           let buffer_decls =
+             List.map
+               (fun (q : Ast.param) ->
+                 Offload_common.buffer_decl ~vendor:"hip" q
+                   ~len:(List.assoc q.Ast.prm_name lengths)
+                   ~dev_name)
+               ptr_params
+           in
+           let copy_in =
+             List.map
+               (fun (q : Ast.param) ->
+                 Offload_common.copy_loop ~vendor:"hip" ~tag:"memcpy_h2d"
+                   ~dst:(dev_name q.Ast.prm_name) ~src:q.Ast.prm_name
+                   ~len:(List.assoc q.Ast.prm_name lengths))
+               ptr_params
+           in
+           let copy_out =
+             List.map
+               (fun (q : Ast.param) ->
+                 Offload_common.copy_loop ~vendor:"hip" ~tag:"memcpy_d2h"
+                   ~dst:q.Ast.prm_name ~src:(dev_name q.Ast.prm_name)
+                   ~len:(List.assoc q.Ast.prm_name lengths))
+               written_ptrs
+           in
+           let total_expr =
+             match h.Ast.cmp with
+             | Ast.CLt -> Ast.refresh_expr h.Ast.hi -: Ast.refresh_expr h.Ast.lo
+             | Ast.CLe -> Ast.refresh_expr h.Ast.hi -: Ast.refresh_expr h.Ast.lo +: ilit 1
+           in
+           let launch_args =
+             var total
+             :: List.map (fun (q : Ast.param) -> var (dev_name q.Ast.prm_name)) ptr_params
+             @ List.map (fun (q : Ast.param) -> var q.Ast.prm_name) scalar_params
+           in
+           let manage_body =
+             buffer_decls @ copy_in
+             @ [
+                 decl Ast.Tint total total_expr;
+                 expr_stmt (call launch_fn_name launch_args);
+               ]
+             @ copy_out
+           in
+           let manage_fn = { fn with Ast.fbody = manage_body } in
+           (* launch/body parameter order: pointers then scalars, matching
+              launch_args; rebuild their params accordingly *)
+           let reordered = ptr_params @ scalar_params in
+           let body_fn = { body_fn with Ast.fparams = param Ast.Tint tid :: reordered } in
+           let launch_fn =
+             { launch_fn with Ast.fparams = param Ast.Tint total :: reordered }
+           in
+           let launch_fn =
+             {
+               launch_fn with
+               Ast.fbody =
+                 [
+                   for_
+                     ~pragmas:
+                       [
+                         pragma "hip"
+                           [ "kernel_launch"; Printf.sprintf "blocksize(%d)" blocksize ];
+                       ]
+                     tid ~lo:(ilit 0) ~hi:(var total)
+                     [
+                       expr_stmt
+                         (call body_fn_name
+                            (var tid
+                             :: List.map (fun (q : Ast.param) -> var q.Ast.prm_name) reordered));
+                     ];
+                 ];
+             }
+           in
+           (* splice: body + launch before the management function *)
+           let globals =
+             List.concat_map
+               (fun g ->
+                 match g with
+                 | Ast.Gfunc f when f.Ast.fname = kernel ->
+                   [ Ast.Gfunc body_fn; Ast.Gfunc launch_fn; Ast.Gfunc manage_fn ]
+                 | _ -> [ g ])
+               p.Ast.pglobals
+           in
+           let prog = { Ast.pglobals = globals } in
+           Ok
+             {
+               hip_program = prog;
+               hip_body_fn = body_fn_name;
+               hip_launch_fn = launch_fn_name;
+               hip_manage_fn = kernel;
+               hip_written_arrays =
+                 List.map (fun (q : Ast.param) -> q.Ast.prm_name) written_ptrs;
+             }
+       end)
+
+let launch_pragma_loop (p : Ast.program) ~launch_fn =
+  match Ast.find_func p launch_fn with
+  | None -> None
+  | Some fn ->
+    List.find_opt
+      (fun (lm : Query.loop_match) ->
+        List.exists
+          (fun (pr : Ast.pragma) ->
+            pr.Ast.pname = "hip" && List.mem "kernel_launch" pr.Ast.pargs)
+          lm.lm_stmt.Ast.pragmas)
+      (Query.loops_in_func fn)
+
+let set_blocksize p ~launch_fn n =
+  match launch_pragma_loop p ~launch_fn with
+  | None -> p
+  | Some lm ->
+    let pragmas =
+      List.map
+        (fun (pr : Ast.pragma) ->
+          if pr.Ast.pname <> "hip" || not (List.mem "kernel_launch" pr.Ast.pargs) then pr
+          else
+            {
+              pr with
+              Ast.pargs =
+                List.map
+                  (fun a ->
+                    if String.length a >= 10 && String.sub a 0 10 = "blocksize(" then
+                      Printf.sprintf "blocksize(%d)" n
+                    else a)
+                  pr.Ast.pargs;
+            })
+        lm.lm_stmt.Ast.pragmas
+    in
+    Rewrite.set_pragmas p ~sid:lm.lm_stmt.Ast.sid pragmas
+
+let blocksize p ~launch_fn =
+  match launch_pragma_loop p ~launch_fn with
+  | None -> None
+  | Some lm ->
+    List.find_map
+      (fun (pr : Ast.pragma) ->
+        if pr.Ast.pname <> "hip" then None
+        else
+          List.find_map
+            (fun a ->
+              if String.length a > 10 && String.sub a 0 10 = "blocksize(" then
+                int_of_string_opt (String.sub a 10 (String.length a - 11))
+              else None)
+            pr.Ast.pargs)
+      lm.lm_stmt.Ast.pragmas
+
+let employ_pinned p ~manage_fn =
+  match Ast.find_func p manage_fn with
+  | None -> p
+  | Some fn ->
+    let fbody =
+      List.map
+        (fun (s : Ast.stmt) ->
+          let is_buffer =
+            List.exists
+              (fun (pr : Ast.pragma) ->
+                pr.Ast.pname = "hip" && List.mem "device_buffer" pr.Ast.pargs)
+              s.Ast.pragmas
+          in
+          if is_buffer && not (List.exists (fun (pr : Ast.pragma) -> List.mem "pinned" pr.Ast.pargs) s.Ast.pragmas)
+          then { s with Ast.pragmas = s.Ast.pragmas @ [ pragma "hip" [ "pinned" ] ] }
+          else s)
+        fn.Ast.fbody
+    in
+    Ast.replace_func p { fn with Ast.fbody }
+
+let is_pinned p ~manage_fn =
+  match Ast.find_func p manage_fn with
+  | None -> false
+  | Some fn ->
+    List.exists
+      (fun (s : Ast.stmt) ->
+        List.exists
+          (fun (pr : Ast.pragma) -> pr.Ast.pname = "hip" && List.mem "pinned" pr.Ast.pargs)
+          s.Ast.pragmas)
+      fn.Ast.fbody

@@ -1,0 +1,40 @@
+(** "Generate HIP Design" (code-generation task, Fig. 4).
+
+    Restructures a program with an extracted kernel into a CPU+GPU design:
+
+    - the kernel's outer loop becomes a per-thread device body
+      [<kernel>__hip_body(int __tid, ...)] guarded against the loop bound;
+    - a launch function [<kernel>__hip_launch] iterates the grid (annotated
+      [#pragma hip kernel_launch blocksize(N)]) — under the interpreter it
+      executes every thread sequentially with identical semantics;
+    - the original kernel function becomes the management code: device
+      buffer declarations, host-to-device copy loops, the launch, and
+      device-to-host copy-back loops — the added lines Table I counts for
+      HIP designs.
+
+    The GPU-specific optimisations (SP transforms, pinned memory, shared
+    memory buffers, specialised math functions, blocksize DSE) then operate
+    on the generated design. *)
+
+type result = {
+  hip_program : Ast.program;
+  hip_body_fn : string;      (** device thread body *)
+  hip_launch_fn : string;    (** grid loop (profile this as the kernel region) *)
+  hip_manage_fn : string;    (** host management, keeps the kernel's original name *)
+  hip_written_arrays : string list;  (** copied back to the host *)
+}
+
+val generate :
+  ?blocksize:int -> Ast.program -> kernel:string -> (result, string) Stdlib.result
+(** Fails when the outer loop is not parallel (GPU threads cannot carry
+    scalar reductions without atomics), has a non-unit step, or when a
+    pointer argument's length cannot be resolved ({!Buffers}). *)
+
+val set_blocksize : Ast.program -> launch_fn:string -> int -> Ast.program
+
+val blocksize : Ast.program -> launch_fn:string -> int option
+
+val employ_pinned : Ast.program -> manage_fn:string -> Ast.program
+(** "Employ HIP Pinned Memory": annotate the device buffers. *)
+
+val is_pinned : Ast.program -> manage_fn:string -> bool

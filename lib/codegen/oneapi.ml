@@ -1,0 +1,130 @@
+open Builder
+
+type result = {
+  oneapi_program : Ast.program;
+  oneapi_kernel_fn : string;
+  oneapi_manage_fn : string;
+  oneapi_written_arrays : string list;
+}
+
+let dev_name arr = "d_" ^ arr
+
+let generate (p : Ast.program) ~kernel =
+  match Ast.find_func p kernel with
+  | None -> Error (Printf.sprintf "kernel %s not found" kernel)
+  | Some fn ->
+    (match Query.outermost_loops fn with
+     | [] -> Error (Printf.sprintf "kernel %s has no loop" kernel)
+     | outer :: _ ->
+       let ptr_params, scalar_params = Offload_common.split_params fn.Ast.fparams in
+       (match Offload_common.resolve_lengths p ~kernel ptr_params with
+        | None -> Error "could not resolve device buffer lengths for pointer arguments"
+        | Some lengths ->
+          let kernel_fn_name = kernel ^ "__fpga_kernel" in
+          (* device kernel: the loop nest, marked as a single_task pipeline *)
+          let pipeline_loop =
+            let s = Ast.refresh_stmt outer.lm_stmt in
+            {
+              s with
+              Ast.pragmas = s.Ast.pragmas @ [ pragma "oneapi" [ "single_task" ] ];
+            }
+          in
+          let kernel_fn =
+            Builder.func kernel_fn_name (ptr_params @ scalar_params) [ pipeline_loop ]
+          in
+          (* management *)
+          let written_ptrs =
+            let w = Query.writes_in_block outer.lm_body in
+            List.filter (fun (q : Ast.param) -> List.mem q.Ast.prm_name w) ptr_params
+          in
+          let buffer_decls =
+            List.map
+              (fun (q : Ast.param) ->
+                Offload_common.buffer_decl ~vendor:"oneapi" q
+                  ~len:(List.assoc q.Ast.prm_name lengths)
+                  ~dev_name)
+              ptr_params
+          in
+          let copy_in =
+            List.map
+              (fun (q : Ast.param) ->
+                Offload_common.copy_loop ~vendor:"oneapi" ~tag:"memcpy_h2d"
+                  ~dst:(dev_name q.Ast.prm_name) ~src:q.Ast.prm_name
+                  ~len:(List.assoc q.Ast.prm_name lengths))
+              ptr_params
+          in
+          let copy_out =
+            List.map
+              (fun (q : Ast.param) ->
+                Offload_common.copy_loop ~vendor:"oneapi" ~tag:"memcpy_d2h"
+                  ~dst:q.Ast.prm_name ~src:(dev_name q.Ast.prm_name)
+                  ~len:(List.assoc q.Ast.prm_name lengths))
+              written_ptrs
+          in
+          let kernel_args =
+            List.map (fun (q : Ast.param) -> var (dev_name q.Ast.prm_name)) ptr_params
+            @ List.map (fun (q : Ast.param) -> var q.Ast.prm_name) scalar_params
+          in
+          let manage_body =
+            buffer_decls @ copy_in
+            @ [ expr_stmt (call kernel_fn_name kernel_args) ]
+            @ copy_out
+          in
+          let manage_fn = { fn with Ast.fbody = manage_body } in
+          let globals =
+            List.concat_map
+              (fun g ->
+                match g with
+                | Ast.Gfunc f when f.Ast.fname = kernel ->
+                  [ Ast.Gfunc kernel_fn; Ast.Gfunc manage_fn ]
+                | _ -> [ g ])
+              p.Ast.pglobals
+          in
+          let prog = { Ast.pglobals = globals } in
+          Ok
+            {
+              oneapi_program = prog;
+              oneapi_kernel_fn = kernel_fn_name;
+              oneapi_manage_fn = kernel;
+              oneapi_written_arrays =
+                List.map (fun (q : Ast.param) -> q.Ast.prm_name) written_ptrs;
+            }))
+
+let employ_zero_copy (p : Ast.program) ~manage_fn ~kernel_fn =
+  match Ast.find_func p manage_fn, Ast.find_func p kernel_fn with
+  | Some mfn, Some kfn ->
+    (* call the kernel directly on host memory *)
+    let args = List.map (fun (q : Ast.param) -> var q.Ast.prm_name) mfn.Ast.fparams in
+    let direct_call =
+      Ast.mk_stmt
+        ~pragmas:[ pragma "oneapi" [ "zero_copy" ] ]
+        (Ast.Expr_stmt (call kernel_fn args))
+    in
+    let p = Ast.replace_func p { mfn with Ast.fbody = [ direct_call ] } in
+    (* kernel params must accept host (double) arrays again: un-demote
+       pointer parameter types while keeping the SP compute inside *)
+    let fparams =
+      List.map2
+        (fun (orig : Ast.param) (dev : Ast.param) -> { dev with Ast.prm_ty = orig.Ast.prm_ty })
+        mfn.Ast.fparams kfn.Ast.fparams
+    in
+    let kfn' = { kfn with Ast.fparams } in
+    let p = Ast.replace_func p kfn' in
+    (* annotate the pipeline loop *)
+    (match Query.outermost_loops kfn' with
+     | [] -> p
+     | outer :: _ ->
+       Rewrite.add_pragma p ~sid:outer.lm_stmt.Ast.sid (pragma "oneapi" [ "zero_copy" ]))
+  | _, _ -> p
+
+let is_zero_copy p ~kernel_fn =
+  match Ast.find_func p kernel_fn with
+  | None -> false
+  | Some fn ->
+    List.exists
+      (fun (lm : Query.loop_match) ->
+        List.exists
+          (fun (pr : Ast.pragma) ->
+            pr.Ast.pname = "oneapi" && List.mem "zero_copy" pr.Ast.pargs)
+          lm.lm_stmt.Ast.pragmas)
+      (Query.loops_in_func fn)

@@ -1,0 +1,32 @@
+(** "Generate oneAPI Design" (code-generation task, Fig. 4).
+
+    Restructures a program with an extracted kernel into a CPU+FPGA design:
+
+    - the kernel loop nest moves into a pipelined device kernel
+      [<kernel>__fpga_kernel] (annotated [#pragma oneapi single_task]);
+      the whole loop stays intact — the FPGA executes it as a pipeline;
+    - the original kernel function becomes management code: buffer
+      declarations, host-to-device copy loops, the kernel invocation, and
+      copy-back loops (oneAPI designs add the most LOC in Table I);
+    - FPGA-specific tasks then annotate the design: "Unroll Fixed Loops"
+      ([#pragma unroll] on static-bound inner loops), the per-device
+      "Unroll Until Overmap" DSE ([#pragma unroll N] on the outer loop),
+      SP transforms, and "Zero-Copy Data Transfer" on Stratix10
+      (buffers replaced by direct host access over USM). *)
+
+type result = {
+  oneapi_program : Ast.program;
+  oneapi_kernel_fn : string;   (** pipelined device kernel (profile region) *)
+  oneapi_manage_fn : string;   (** management, keeps the kernel's original name *)
+  oneapi_written_arrays : string list;
+}
+
+val generate : Ast.program -> kernel:string -> (result, string) Stdlib.result
+(** Fails when pointer-argument lengths cannot be resolved. *)
+
+val employ_zero_copy : Ast.program -> manage_fn:string -> kernel_fn:string -> Ast.program
+(** "Zero-Copy Data Transfer" (Stratix10): delete the buffers and copy
+    loops; the device kernel is called directly on host arrays (annotated
+    [#pragma oneapi zero_copy]). *)
+
+val is_zero_copy : Ast.program -> kernel_fn:string -> bool

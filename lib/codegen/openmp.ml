@@ -1,0 +1,90 @@
+type result = {
+  omp_program : Ast.program;
+  omp_loop_sid : int;
+  omp_reductions : string list;
+}
+
+let red_op_str = function
+  | Dependence.Radd -> "+"
+  | Dependence.Rmul -> "*"
+  | Dependence.Rmin -> "min"
+  | Dependence.Rmax -> "max"
+
+let generate (p : Ast.program) ~kernel =
+  match Ast.find_func p kernel with
+  | None -> Error (Printf.sprintf "kernel %s not found" kernel)
+  | Some fn ->
+    (match Query.outermost_loops fn with
+     | [] -> Error (Printf.sprintf "kernel %s has no loop" kernel)
+     | outer :: _ ->
+       let verdict = Dependence.analyse_loop p outer in
+       if not verdict.Dependence.parallel_with_reductions then
+         Error
+           (Printf.sprintf "outer loop of %s carries a dependence; cannot parallelise"
+              kernel)
+       else begin
+         let scalar_reds =
+           List.filter (fun (r : Dependence.reduction) -> not r.red_is_array)
+             verdict.Dependence.reductions
+         in
+         let clauses =
+           List.map
+             (fun (r : Dependence.reduction) ->
+               Printf.sprintf "%s:%s" (red_op_str r.red_op) r.red_target)
+             scalar_reds
+         in
+         let pragma_args =
+           [ "parallel"; "for" ]
+           @ List.map (fun c -> Printf.sprintf "reduction(%s)" c) clauses
+         in
+         let p =
+           Rewrite.set_pragmas p ~sid:outer.lm_stmt.sid
+             (outer.lm_stmt.Ast.pragmas @ [ { Ast.pname = "omp"; pargs = pragma_args } ])
+         in
+         Ok { omp_program = p; omp_loop_sid = outer.lm_stmt.sid; omp_reductions = clauses }
+       end)
+
+let find_parallel_loop p ~kernel =
+  match Ast.find_func p kernel with
+  | None -> None
+  | Some fn ->
+    List.find_opt
+      (fun (lm : Query.loop_match) ->
+        List.exists (fun (pr : Ast.pragma) -> pr.pname = "omp") lm.lm_stmt.Ast.pragmas)
+      (Query.loops_in_func fn)
+
+let set_num_threads p ~kernel ~threads =
+  match find_parallel_loop p ~kernel with
+  | None -> p
+  | Some lm ->
+    let pragmas =
+      List.map
+        (fun (pr : Ast.pragma) ->
+          if pr.pname <> "omp" then pr
+          else begin
+            let args =
+              List.filter
+                (fun a -> not (String.length a >= 12 && String.sub a 0 12 = "num_threads("))
+                pr.pargs
+            in
+            { pr with pargs = args @ [ Printf.sprintf "num_threads(%d)" threads ] }
+          end)
+        lm.lm_stmt.Ast.pragmas
+    in
+    Rewrite.set_pragmas p ~sid:lm.lm_stmt.sid pragmas
+
+let num_threads p ~kernel =
+  match find_parallel_loop p ~kernel with
+  | None -> None
+  | Some lm ->
+    List.find_map
+      (fun (pr : Ast.pragma) ->
+        if pr.pname <> "omp" then None
+        else
+          List.find_map
+            (fun a ->
+              if String.length a > 12 && String.sub a 0 12 = "num_threads(" then
+                int_of_string_opt (String.sub a 12 (String.length a - 13))
+              else None)
+            pr.pargs)
+      lm.lm_stmt.Ast.pragmas

@@ -1,0 +1,24 @@
+(** OpenMP design generation ("Multi-Thread Parallel Loops" +
+    "OMP Num Threads DSE", Fig. 4).
+
+    Annotates the kernel's outermost loop with
+    [#pragma omp parallel for] — including [reduction(...)] clauses derived
+    from the dependence verdict — and records the selected thread count as a
+    [num_threads(N)] clause.  The program text is otherwise unchanged,
+    which is why Table I reports only ~2 % added LOC for OpenMP designs. *)
+
+type result = {
+  omp_program : Ast.program;
+  omp_loop_sid : int;
+  omp_reductions : string list;  (** rendered clauses, e.g. ["+:acc"] *)
+}
+
+val generate :
+  Ast.program -> kernel:string -> (result, string) Stdlib.result
+(** Fails when the kernel's outer loop is not parallel (a carried
+    dependence other than a reduction). *)
+
+val set_num_threads : Ast.program -> kernel:string -> threads:int -> Ast.program
+(** Set/replace the [num_threads] clause on the kernel's parallel loop. *)
+
+val num_threads : Ast.program -> kernel:string -> int option

@@ -1,0 +1,165 @@
+open Builder
+
+type applied = {
+  sm_program : Ast.program;
+  sm_arrays : string list;
+  sm_loop_sid : int;
+  sm_tile : int;
+}
+
+(* arrays read as [a[j]] (exactly the loop index) inside the loop body *)
+let arrays_indexed_by (body : Ast.block) ~index : string list =
+  let found = ref [] in
+  let note name = if not (List.mem name !found) then found := name :: !found in
+  let rec expr_walk (e : Ast.expr) =
+    (match e.Ast.edesc with
+     | Ast.Index (base, sub) ->
+       (match base.Ast.edesc, sub.Ast.edesc with
+        | Ast.Var arr, Ast.Var v when v = index -> note arr
+        | _, _ -> ())
+     | _ -> ());
+    List.iter expr_walk (Ast.expr_children e)
+  in
+  let rec stmt_walk (s : Ast.stmt) =
+    List.iter expr_walk (Ast.stmt_exprs s);
+    List.iter (List.iter stmt_walk) (Ast.stmt_sub_blocks s)
+  in
+  List.iter stmt_walk body;
+  List.rev !found
+
+let candidate_arrays (p : Ast.program) ~body_fn =
+  match Ast.find_func p body_fn with
+  | None -> None
+  | Some fn ->
+    let read_only_ptrs =
+      List.filter_map
+        (fun (prm : Ast.param) ->
+          match prm.prm_ty with
+          | Ast.Tptr _ when prm.prm_const -> Some prm.prm_name
+          | _ -> None)
+        fn.fparams
+    in
+    let loops = Query.loops_in_func fn in
+    let viable =
+      List.filter_map
+        (fun (lm : Query.loop_match) ->
+          let arrays =
+            List.filter (fun a -> List.mem a read_only_ptrs)
+              (arrays_indexed_by lm.lm_body ~index:lm.lm_header.index)
+          in
+          (* the array must not be written in the loop *)
+          let writes = Query.writes_in_block lm.lm_body in
+          let arrays = List.filter (fun a -> not (List.mem a writes)) arrays in
+          if arrays = [] then None else Some (lm, arrays))
+        loops
+    in
+    (* prefer the deepest (innermost) viable loop *)
+    (match
+       List.sort
+         (fun (a, _) (b, _) ->
+           compare (Query.loop_depth b.Query.lm_ctx) (Query.loop_depth a.Query.lm_ctx))
+         viable
+     with
+     | [] -> None
+     | (lm, arrays) :: _ -> Some (lm.lm_stmt.Ast.sid, arrays))
+
+let tile_var = "__jj"
+let stage_var = "__t"
+
+let apply ?(tile = 256) (p : Ast.program) ~body_fn =
+  match candidate_arrays p ~body_fn with
+  | None -> Error (Printf.sprintf "no shared-memory candidate in %s" body_fn)
+  | Some (loop_sid, arrays) ->
+    (match Query.find_loop p loop_sid with
+     | None -> Error "candidate loop disappeared"
+     | Some lm ->
+       let h = lm.lm_header in
+       let j = h.index in
+       if not (match h.step.Ast.edesc with Ast.Int_lit 1 -> true | _ -> false) then
+         Error "shared-memory tiling requires a unit-stride loop"
+       else begin
+         let fn = lm.lm_ctx.Query.cx_func in
+         let tenv = Typecheck.env_for_func p fn in
+         let elem_ty arr =
+           match Typecheck.lookup_var tenv arr with
+           | Some (Ast.Tptr t) -> t
+           | Some t -> t
+           | None -> Ast.Tfloat
+         in
+         let tile_name arr = "__tile_" ^ arr in
+         (* redirect a[j] -> __tile_a[j - __jj] *)
+         let body' =
+           Rewrite.map_exprs_in_block
+             (fun e ->
+               match e.Ast.edesc with
+               | Ast.Index (base, sub) ->
+                 (match base.Ast.edesc, sub.Ast.edesc with
+                  | Ast.Var arr, Ast.Var v when v = j && List.mem arr arrays ->
+                    Some (idx2 (tile_name arr) (var j -: var tile_var))
+                  | _, _ -> None)
+               | _ -> None)
+             lm.lm_body
+         in
+         (* staging: for (__t = 0; __t < TILE; __t++) if (__jj+__t < hi) tile[t] = a[__jj+__t]; *)
+         let stage_stmts =
+           List.concat_map
+             (fun arr ->
+               let decl =
+                 Ast.mk_stmt
+                   ~pragmas:[ { Ast.pname = "hip"; pargs = [ "shared" ] } ]
+                   (Ast.Decl
+                      {
+                        Ast.dty = elem_ty arr;
+                        dname = tile_name arr;
+                        dinit = None;
+                        darray = Some (ilit tile);
+                        dconst = false;
+                      })
+               in
+               let copy =
+                 for_ stage_var ~lo:(ilit 0) ~hi:(ilit tile)
+                   [
+                     if_
+                       (var tile_var +: var stage_var <: (Ast.refresh_expr h.hi))
+                       [
+                         assign
+                           (idx2 (tile_name arr) (var stage_var))
+                           (idx2 arr (var tile_var +: var stage_var));
+                       ]
+                       [];
+                   ]
+               in
+               [ decl; copy ])
+             arrays
+         in
+         let inner_loop =
+           Ast.mk_stmt
+             (Ast.For
+                ( {
+                    Ast.index = j;
+                    lo = var tile_var;
+                    cmp = Ast.CLt;
+                    hi = call "imin" [ var tile_var +: ilit tile;
+                                       (Ast.refresh_expr h.hi) ];
+                    step = ilit 1;
+                  },
+                  body' ))
+         in
+         let outer =
+           Ast.mk_stmt
+             ~pragmas:
+               (lm.lm_stmt.Ast.pragmas
+                @ [ { Ast.pname = "hip"; pargs = [ "shared_tiling" ] } ])
+             (Ast.For
+                ( {
+                    Ast.index = tile_var;
+                    lo = (Ast.refresh_expr h.lo);
+                    cmp = Ast.CLt;
+                    hi = (Ast.refresh_expr h.hi);
+                    step = ilit tile;
+                  },
+                  stage_stmts @ [ inner_loop ] ))
+         in
+         let p = Rewrite.replace_stmt p ~sid:loop_sid outer in
+         Ok { sm_program = p; sm_arrays = arrays; sm_loop_sid = outer.Ast.sid; sm_tile = tile }
+       end)

@@ -1,0 +1,25 @@
+(** "Introduce Shared Mem Buf" (GPU transform, Fig. 4).
+
+    Tiles an inner loop that streams read-only arrays indexed by the inner
+    index: the loop is blocked by the tile size, each tile is staged into a
+    local buffer (annotated [#pragma hip shared]), and the uses are
+    redirected into the buffer.  On a GPU the staging loop is the
+    cooperative block-wide load; under the interpreter it is a per-thread
+    copy with identical semantics.  The performance model credits the
+    block-wide reuse by dividing global traffic by the blocksize. *)
+
+type applied = {
+  sm_program : Ast.program;
+  sm_arrays : string list;   (** arrays staged through shared tiles *)
+  sm_loop_sid : int;         (** the tiled inner loop *)
+  sm_tile : int;
+}
+
+val candidate_arrays : Ast.program -> body_fn:string -> (int * string list) option
+(** For the kernel body function: the innermost streaming loop's id and the
+    read-only pointer parameters it indexes directly by the loop index. *)
+
+val apply :
+  ?tile:int -> Ast.program -> body_fn:string -> (applied, string) result
+(** Tile the streaming loop (default tile 256).  Fails when no candidate
+    loop/array pair exists. *)

@@ -1,0 +1,24 @@
+(** Single-precision transforms ("Employ SP Math Fns", "Employ SP Numeric
+    Literals", and kernel-data demotion), applied on the GPU and FPGA
+    branches of the PSA-flow.
+
+    GeForce GPUs run double-precision arithmetic at 1/32 of single-precision
+    rate and FPGA double-precision operator cores are several times larger,
+    so accelerator kernels are demoted to [float] end to end: math calls,
+    literals, and the kernel's data (parameters, locals, device buffers).
+    Host data stays double; the generated copy loops convert on transfer. *)
+
+val sp_math_fns : Ast.program -> fnames:string list -> Ast.program
+(** Replace double-precision math calls ([sqrt], [exp], ...) by their
+    single-precision counterparts ([sqrtf], [expf], ...) inside the listed
+    functions. *)
+
+val sp_literals : Ast.program -> fnames:string list -> Ast.program
+(** Give floating literals inside the listed functions the [f] suffix. *)
+
+val demote_types : Ast.program -> fnames:string list -> Ast.program
+(** Turn [double] parameters, locals and local arrays of the listed
+    functions into [float]. *)
+
+val apply_all : Ast.program -> fnames:string list -> Ast.program
+(** Math functions + literals + types, the full SP pipeline. *)

@@ -1,0 +1,10 @@
+(** "Employ Specialised Math Fns" (GPU transform, Fig. 4).
+
+    Rewrites patterns into the hardware-accelerated intrinsics GPUs provide:
+    [1.0 / sqrt(x)] becomes [rsqrt(x)] (and the [f]-suffixed variants
+    likewise), saving a full-precision divide on the SFU path. *)
+
+val apply : Ast.program -> fnames:string list -> Ast.program
+
+val rsqrt_sites : Ast.program -> fname:string -> int
+(** Number of rewritable [1/sqrt] sites in a function (diagnostics). *)

@@ -1,0 +1,50 @@
+let unroll_fixed_inner ?(threshold = 64) (p : Ast.program) ~kernel =
+  match Ast.find_func p kernel with
+  | None -> p
+  | Some fn ->
+    (match Query.outermost_loops fn with
+     | [] -> p
+     | outer :: _ ->
+       let consts = Consteval.of_program p in
+       let inner = Query.inner_loops outer in
+       List.fold_left
+         (fun p (lm : Query.loop_match) ->
+           if Dependence.fully_unrollable ~threshold consts lm then
+             Rewrite.set_pragmas p ~sid:lm.lm_stmt.sid
+               (lm.lm_stmt.Ast.pragmas @ [ { Ast.pname = "unroll"; pargs = [] } ])
+           else p)
+         p inner)
+
+let outer_loop_sid (p : Ast.program) ~kernel =
+  match Ast.find_func p kernel with
+  | None -> None
+  | Some fn ->
+    (match Query.outermost_loops fn with
+     | [] -> None
+     | outer :: _ -> Some outer.lm_stmt.sid)
+
+let set_outer_unroll p ~kernel ~factor =
+  match outer_loop_sid p ~kernel with
+  | None -> p
+  | Some sid ->
+    (match Query.find_stmt p sid with
+     | None -> p
+     | Some (_, s) ->
+       let without =
+         List.filter (fun (pr : Ast.pragma) -> pr.pname <> "unroll") s.Ast.pragmas
+       in
+       Rewrite.set_pragmas p ~sid
+         (without @ [ { Ast.pname = "unroll"; pargs = [ string_of_int factor ] } ]))
+
+let outer_unroll_factor p ~kernel =
+  match outer_loop_sid p ~kernel with
+  | None -> 1
+  | Some sid ->
+    (match Query.find_stmt p sid with
+     | None -> 1
+     | Some (_, s) ->
+       (match
+          List.find_opt (fun (pr : Ast.pragma) -> pr.pname = "unroll") s.Ast.pragmas
+        with
+        | Some { pargs = [ n ]; _ } -> (try int_of_string n with Failure _ -> 1)
+        | Some _ | None -> 1))

@@ -1,0 +1,19 @@
+(** Loop-unroll annotations for the FPGA path.
+
+    "Unroll Fixed Loops" marks every fully-unrollable inner loop of the
+    kernel with [#pragma unroll] (spatial replication in hardware); the
+    "Unroll Until Overmap" DSE sets a [#pragma unroll N] factor on the
+    kernel's outermost loop, with N chosen against the resource report
+    (Fig. 2). *)
+
+val unroll_fixed_inner :
+  ?threshold:int -> Ast.program -> kernel:string -> Ast.program
+(** Annotate inner loops with static trip counts at most [threshold]
+    (default 64) inside the kernel's outermost loop. *)
+
+val set_outer_unroll : Ast.program -> kernel:string -> factor:int -> Ast.program
+(** Set (replacing any previous) [#pragma unroll factor] on the kernel's
+    outermost loop. *)
+
+val outer_unroll_factor : Ast.program -> kernel:string -> int
+(** Factor currently annotated (1 when absent). *)

@@ -1,0 +1,34 @@
+(** CPU execution-time model (single-thread baseline and OpenMP scaling).
+
+    Single-thread time is a scalar-issue cost model over the interpreter's
+    event counters, with a DRAM roofline term when the working set exceeds
+    the last-level cache.  The OpenMP estimate divides compute across
+    threads at the spec's scaling efficiency, serialises on aggregate DRAM
+    bandwidth for cache-missing workloads, and charges a fork/join overhead
+    per parallel region. *)
+
+type estimate = {
+  ce_time_s : float;
+  ce_compute_s : float;
+  ce_memory_s : float;   (** DRAM-bound component (0 when cache-resident) *)
+  ce_threads : int;
+  ce_overhead_s : float; (** fork/join *)
+}
+
+val time_of_counters :
+  Device.cpu_spec ->
+  Counters.t ->
+  footprint_bytes:int ->
+  threads:int ->
+  parallel_regions:int ->
+  estimate
+(** Core model: [threads = 1] with [parallel_regions = 0] is the
+    single-thread baseline. *)
+
+val single_thread : Device.cpu_spec -> Kprofile.t -> estimate
+(** Baseline time of the kernel region — the denominator of every speedup
+    in Fig. 5. *)
+
+val openmp : Device.cpu_spec -> threads:int -> Kprofile.t -> estimate
+(** Multi-thread estimate of the kernel region.  Non-parallel kernels
+    (no [parallel_with_reductions] verdict) fall back to single-thread. *)

@@ -1,0 +1,177 @@
+type params = {
+  unroll : int;
+  zero_copy : bool;
+}
+
+let default_params = { unroll = 1; zero_copy = false }
+
+type resources = {
+  r_alms : int;
+  r_dsps : int;
+  r_m20ks : int;
+  r_alm_frac : float;
+  r_dsp_frac : float;
+  r_m20k_frac : float;
+}
+
+type estimate = {
+  fe_time_s : float;
+  fe_kernel_s : float;
+  fe_transfer_s : float;
+  fe_cycles : float;
+  fe_ii : float;
+  fe_resources : resources;
+  fe_overmapped : bool;
+  fe_memory_limited : bool;
+}
+
+let overmap_threshold = 0.9
+
+(* per-operator implementation costs (ALMs, DSPs, M20Ks) *)
+let op_cost = function
+  (* Arria10/Stratix10 hard floating-point DSP blocks implement SP
+     add/mul/FMA almost entirely inside the DSP *)
+  | `Sp_addsub -> (150, 0, 0)   (* adders fuse into the preceding DSP's FMA stage *)
+  | `Sp_mul -> (80, 1, 0)
+  | `Sp_div -> (3200, 2, 0)
+  | `Sp_sqrt -> (4200, 4, 2)
+  | `Sp_heavy -> (14500, 14, 8)   (* exp/log/pow/trig cores *)
+  | `Dp_addsub -> (1200, 4, 0)
+  | `Dp_mul -> (950, 8, 0)
+  | `Dp_div -> (9500, 8, 2)
+  | `Dp_sqrt -> (11000, 10, 4)
+  | `Dp_heavy -> (34000, 36, 16)
+  | `Int_op -> (25, 0, 0)
+  | `Mem_site -> (650, 0, 4)      (* load/store unit + burst buffers *)
+  | `Local_site -> (40, 0, 0)     (* register/BRAM port muxing *)
+
+let instance_cost (ops : Kstatic.op_counts) =
+  let acc = ref (0, 0, 0) in
+  let add n kind =
+    let a, d, m = op_cost kind in
+    let ca, cd, cm = !acc in
+    acc := (ca + (n * a), cd + (n * d), cm + (n * m))
+  in
+  add ops.sp_addsub `Sp_addsub;
+  add ops.sp_mul `Sp_mul;
+  add ops.sp_div `Sp_div;
+  add ops.sp_sqrt `Sp_sqrt;
+  add ops.sp_heavy `Sp_heavy;
+  add ops.dp_addsub `Dp_addsub;
+  add ops.dp_mul `Dp_mul;
+  add ops.dp_div `Dp_div;
+  add ops.dp_sqrt `Dp_sqrt;
+  add ops.dp_heavy `Dp_heavy;
+  add ops.int_ops `Int_op;
+  add ops.mem_sites `Mem_site;
+  add ops.local_sites `Local_site;
+  !acc
+
+let resources_of (spec : Device.fpga_spec) (ks : Kstatic.t) ~unroll =
+  let ia, id_, im = instance_cost ks.ks_ops in
+  let shell_alms = int_of_float (spec.shell_alm_frac *. float_of_int spec.alms) in
+  let shell_dsps = int_of_float (spec.shell_dsp_frac *. float_of_int spec.dsps) in
+  let local_m20ks = (ks.ks_local_array_bytes + 2559) / 2560 in
+  let alms = shell_alms + (unroll * ia) in
+  let dsps = shell_dsps + (unroll * id_) in
+  let m20ks = (unroll * (im + local_m20ks)) + 100 in
+  {
+    r_alms = alms;
+    r_dsps = dsps;
+    r_m20ks = m20ks;
+    r_alm_frac = float_of_int alms /. float_of_int spec.alms;
+    r_dsp_frac = float_of_int dsps /. float_of_int spec.dsps;
+    r_m20k_frac = float_of_int m20ks /. float_of_int spec.m20ks;
+  }
+
+let estimate (spec : Device.fpga_spec) (ks : Kstatic.t) (kp : Kprofile.t)
+    (params : params) =
+  let unroll = max 1 params.unroll in
+  let resources = resources_of spec ks ~unroll in
+  let overmapped =
+    resources.r_alm_frac > overmap_threshold || resources.r_dsp_frac > overmap_threshold
+  in
+  (* effective initiation interval of one outer iteration *)
+  let ii =
+    match ks.ks_has_serial_inner with
+    | Some inner ->
+      (* a serially pipelined inner nest: the outer loop initiates a new
+         iteration only when the nest drains, so the effective interval is
+         the nest's iterations per outer trip times the nest's own II *)
+      let inner_trips =
+        match
+          List.find_opt
+            (fun (il : Kprofile.inner_loop) -> il.il_sid = inner.is_sid)
+            kp.kp_inner
+        with
+        | Some il -> Float.max 1.0 il.il_iters_per_outer
+        | None -> 16.0
+      in
+      let inner_ii =
+        if inner.is_fp_reduction then float_of_int spec.fadd_latency else 1.0
+      in
+      inner_trips *. inner_ii
+    | None ->
+      (* single flat pipeline; scalarised reductions run at II=1 via the
+         shift-register transformation *)
+      if kp.kp_outer_verdict.Dependence.parallel_with_reductions then 1.0
+      else float_of_int spec.fadd_latency
+  in
+  (* heavily accessed local arrays live in M20Ks with limited ports (even
+     after replication): initiation stalls when one iteration makes
+     hundreds of accesses *)
+  let bram_ports_effective = 64.0 in
+  let ii =
+    if ks.ks_ops.Kstatic.local_sites > int_of_float bram_ports_effective then
+      Float.max ii (float_of_int ks.ks_ops.Kstatic.local_sites /. bram_ports_effective)
+    else ii
+  in
+  let outer_trips = float_of_int (max 1 kp.kp_outer_trips) in
+  let invocations = float_of_int (max 1 kp.kp_invocations) in
+  (* routing congestion: achieved clock degrades as the design fills up *)
+  let congestion =
+    Float.max 0.5 (1.0 -. (0.5 *. Float.max 0.0 (resources.r_alm_frac -. 0.2)))
+  in
+  let fmax = spec.fmax_mhz *. 1e6 *. congestion in
+  let cycles =
+    (outer_trips /. float_of_int unroll *. ii)
+    +. (invocations *. float_of_int spec.pipeline_depth)
+  in
+  let pipe_s = cycles /. fmax in
+  (* only accesses through load-store units reach DDR; local-array and
+     BRAM-cached accesses stay on chip.  Apportion the measured bytes by
+     the static site mix. *)
+  let ddr_fraction =
+    let sites = ks.ks_ops.Kstatic.mem_sites + ks.ks_ops.Kstatic.local_sites in
+    if sites = 0 then 1.0
+    else float_of_int ks.ks_ops.Kstatic.mem_sites /. float_of_int sites
+  in
+  let traffic_s =
+    float_of_int (Counters.bytes kp.kp_counters) *. ddr_fraction
+    /. (spec.ddr_bw_gbs *. 1e9)
+  in
+  let memory_limited = traffic_s > pipe_s in
+  let kernel_s = Float.max pipe_s traffic_s in
+  let zero_copy = params.zero_copy && spec.usm_zero_copy in
+  let transfer_raw_s =
+    (float_of_int (kp.kp_bytes_in + kp.kp_bytes_out) /. (spec.fpga_pcie_gbs *. 1e9))
+    +. invocations *. 2.0 *. spec.fpga_pcie_latency_us *. 1e-6
+       *. (if zero_copy then 0.1 else 1.0)
+    (* USM pointer dereferences need no DMA setup *)
+  in
+  let time_s, transfer_s =
+    if zero_copy then
+      (* streaming over USM overlaps transfer with compute *)
+      (Float.max kernel_s transfer_raw_s, Float.max 0.0 (transfer_raw_s -. kernel_s))
+    else (kernel_s +. transfer_raw_s, transfer_raw_s)
+  in
+  {
+    fe_time_s = (if overmapped then Float.infinity else time_s);
+    fe_kernel_s = kernel_s;
+    fe_transfer_s = transfer_s;
+    fe_cycles = cycles;
+    fe_ii = ii;
+    fe_resources = resources;
+    fe_overmapped = overmapped;
+    fe_memory_limited = memory_limited;
+  }

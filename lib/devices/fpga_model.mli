@@ -1,0 +1,51 @@
+(** FPGA execution-time and resource model (oneAPI HLS designs).
+
+    The kernel's outermost loop becomes a pipeline initiated every II
+    cycles; the unroll factor replicates the pipeline.  II comes from the
+    dependence structure: 1 for parallel bodies and scalarised reductions
+    (shift-register relaxation), the FP-adder latency for a serial inner
+    loop carrying a floating-point accumulation.  A non-unrollable inner
+    loop serialises the outer initiation to its whole duration (the
+    paper's N-Body effect).
+
+    Resources sum per-operator ALM/DSP/M20K cores over the pipeline body
+    (fully-unrolled inner loops multiply), plus the board shell; the
+    achieved clock degrades with utilisation (routing congestion).  The
+    "unroll until overmap" DSE (Fig. 2) reads the utilisation report this
+    model produces and stops above 90 % — Rush Larsen overmaps at
+    unroll 1, reproducing the paper's unsynthesisable designs. *)
+
+type params = {
+  unroll : int;
+  zero_copy : bool;    (** only effective on devices with USM support *)
+}
+
+val default_params : params
+(** unroll 1, no zero-copy. *)
+
+type resources = {
+  r_alms : int;
+  r_dsps : int;
+  r_m20ks : int;
+  r_alm_frac : float;  (** of the device, including shell *)
+  r_dsp_frac : float;
+  r_m20k_frac : float;
+}
+
+type estimate = {
+  fe_time_s : float;
+  fe_kernel_s : float;
+  fe_transfer_s : float;
+  fe_cycles : float;
+  fe_ii : float;              (** effective initiation interval of the outer loop *)
+  fe_resources : resources;
+  fe_overmapped : bool;       (** > 90 % ALMs or DSPs: design not synthesisable *)
+  fe_memory_limited : bool;   (** DDR bandwidth bound the pipeline *)
+}
+
+val overmap_threshold : float
+(** 0.9 — the DSE's stopping condition from Fig. 2. *)
+
+val resources_of : Device.fpga_spec -> Kstatic.t -> unroll:int -> resources
+
+val estimate : Device.fpga_spec -> Kstatic.t -> Kprofile.t -> params -> estimate

@@ -1,0 +1,43 @@
+(** GPU execution-time model (HIP designs).
+
+    Classic SM occupancy analysis — blocks per SM limited by the block
+    budget, the thread budget, the register file and shared memory — feeds
+    a throughput roofline: SP/DP/SFU pipelines and the memory system, each
+    derated by latency-hiding efficiency and by wave (tail) utilisation.
+    Uncoalesced gathers (subscripts that are not affine in any loop index)
+    pay a sector-fetch traffic penalty.  Transfers go over PCIe at the
+    pageable or pinned rate.
+
+    One thread executes one outer-loop iteration, the mapping the HIP code
+    generator produces. *)
+
+type params = {
+  blocksize : int;
+  pinned : bool;          (** "Employ HIP Pinned Memory" applied *)
+  shared_tiling : bool;   (** "Introduce Shared Mem Buf" applied: block-wide
+                              reuse divides global traffic by the blocksize *)
+}
+
+val default_params : params
+(** blocksize 256, no pinned memory, no shared tiling. *)
+
+type estimate = {
+  ge_time_s : float;
+  ge_kernel_s : float;
+  ge_transfer_s : float;
+  ge_compute_s : float;
+  ge_memory_s : float;
+  ge_occupancy : float;          (** active threads / max threads per SM *)
+  ge_blocks_per_sm : int;
+  ge_active_threads_per_sm : int;
+  ge_regs_per_thread : int;
+  ge_hiding_efficiency : float;  (** latency-hiding derate, 0..1 *)
+  ge_wave_efficiency : float;    (** grid/tail utilisation, 0..1 *)
+  ge_launchable : bool;          (** false when a block cannot fit on an SM *)
+}
+
+val occupancy :
+  Device.gpu_spec -> regs_per_thread:int -> blocksize:int -> shared_bytes:int -> int
+(** Blocks resident per SM (0 = unlaunchable). *)
+
+val estimate : Device.gpu_spec -> Kstatic.t -> Kprofile.t -> params -> estimate

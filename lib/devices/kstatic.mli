@@ -1,0 +1,65 @@
+(** Static kernel features: the operation mix, local-variable pressure and
+    memory-port count of a kernel's pipeline body.
+
+    The FPGA model instantiates hardware for every operation that appears in
+    the source (fully-unrolled inner loops multiply their body), so these
+    are *static* counts — unlike {!Kprofile} which counts executed events.
+    The GPU model derives its registers-per-thread estimate from the same
+    features. *)
+
+type op_counts = {
+  sp_addsub : int;
+  sp_mul : int;
+  sp_div : int;
+  sp_sqrt : int;        (** sqrt / rsqrt — cheaper cores than transcendentals *)
+  sp_heavy : int;       (** exp/log/pow/sin/... *)
+  dp_addsub : int;
+  dp_mul : int;
+  dp_div : int;
+  dp_sqrt : int;
+  dp_heavy : int;
+  int_ops : int;
+  mem_sites : int;      (** static load/store sites (LSUs on the FPGA) *)
+  local_sites : int;    (** accesses to kernel-local arrays (registers/BRAM) *)
+}
+
+type t = {
+  ks_fname : string;
+  ks_ops : op_counts;           (** per outer-iteration pipeline instance *)
+  ks_locals : int;              (** scalar locals declared in the body *)
+  ks_special_calls : int;       (** static transcendental/sqrt call sites *)
+  ks_regs_estimate : int;       (** GPU registers per thread (capped at 255) *)
+  ks_regs_raw : int;            (** uncapped estimate; the excess spills *)
+  ks_has_serial_inner : inner_summary option;
+      (** a nested loop that is not fully unrolled (pipelines separately) *)
+  ks_local_array_bytes : int;   (** bytes of fixed-size local arrays *)
+  ks_gather_sites : int;        (** memory sites whose subscript is not affine
+                                    in the parallel index (uncoalesced on GPU) *)
+}
+
+and inner_summary = {
+  is_sid : int;
+  is_fp_reduction : bool;       (** its recurrence is an FP accumulation *)
+}
+
+val zero_ops : op_counts
+
+val of_kernel :
+  ?consts:Consteval.env ->
+  ?unroll_threshold:int ->
+  ?require_unroll_pragma:bool ->
+  ?thread_index:string ->
+  Ast.program ->
+  fname:string ->
+  (t, string) result
+(** Analyse the kernel function's outermost loop body — or, when the
+    function has no loop (a GPU thread body whose outer loop became the
+    grid), its whole body; pass [thread_index] so gather classification
+    knows the parallel index in that case.  Inner loops with a static trip
+    count at most [unroll_threshold] (default 64) count as spatially
+    unrolled: their body multiplies by the trip count (when
+    [require_unroll_pragma] is set — the HLS view — only loops annotated
+    [#pragma unroll] qualify).  Deeper non-unrollable loops count once and
+    are reported in [ks_has_serial_inner]. *)
+
+val total_flop_sites : op_counts -> int

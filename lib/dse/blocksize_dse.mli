@@ -1,0 +1,22 @@
+(** Per-device "Blocksize DSE" (GPU optimisation task, Fig. 4).
+
+    Sweeps power-of-two blocksizes through the GPU occupancy/time model for
+    a specific device ("the launch parameters that maximise occupancy and
+    minimise latency ... are likely different for the same computation
+    executed on different GPUs") and sets the launch annotation. *)
+
+type result = {
+  bd_program : Ast.program;
+  bd_blocksize : int;
+  bd_estimate : Gpu_model.estimate;
+  bd_sweep : (int * float) list;  (** blocksize -> estimated seconds *)
+}
+
+val run :
+  Device.gpu_spec ->
+  Kstatic.t ->
+  Kprofile.t ->
+  base:Gpu_model.params ->
+  Ast.program ->
+  launch_fn:string ->
+  result

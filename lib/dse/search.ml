@@ -1,0 +1,29 @@
+type 'p evaluated = { point : 'p; score : float }
+
+let sweep_all points ~eval = List.map (fun point -> { point; score = eval point }) points
+
+let sweep points ~eval =
+  let best acc c =
+    if not (Float.is_finite c.score) then acc
+    else
+      match acc with
+      | None -> Some c
+      | Some b -> if c.score < b.score then Some c else acc
+  in
+  List.fold_left best None (sweep_all points ~eval)
+
+let doubling_until ~init ~max ~feasible =
+  if init <= 0 then invalid_arg "Search.doubling_until: init must be positive";
+  if not (feasible init) then None
+  else begin
+    let rec grow n =
+      let next = 2 * n in
+      if next > max then n else if feasible next then grow next else n
+    in
+    Some (grow init)
+  end
+
+let powers_of_two ~lo ~hi =
+  if lo <= 0 then invalid_arg "Search.powers_of_two: lo must be positive";
+  let rec collect n acc = if n > hi then List.rev acc else collect (2 * n) (n :: acc) in
+  collect lo []

@@ -1,0 +1,24 @@
+(** Generic design-space exploration strategies.
+
+    The paper's DSE tasks use two shapes: an exhaustive sweep over a small
+    discrete space (blocksize, thread counts) minimising estimated time,
+    and the doubling loop of Fig. 2 that grows a factor until a resource
+    report flags overmapping. *)
+
+type 'p evaluated = { point : 'p; score : float }
+
+val sweep : 'p list -> eval:('p -> float) -> 'p evaluated option
+(** Point with minimal finite score; [None] when the space is empty or no
+    point evaluates finite. *)
+
+val sweep_all : 'p list -> eval:('p -> float) -> 'p evaluated list
+(** Every point with its score, in input order (for reports). *)
+
+val doubling_until : init:int -> max:int -> feasible:(int -> bool) -> int option
+(** Largest power-of-two multiple of [init] (init, 2·init, 4·init, ...)
+    not exceeding [max] for which [feasible] holds — the Fig. 2 loop that
+    doubles the unroll factor until the design overmaps.  [None] when even
+    [init] is infeasible. *)
+
+val powers_of_two : lo:int -> hi:int -> int list
+(** [lo; 2lo; ...] up to [hi] inclusive (lo must be positive). *)

@@ -1,0 +1,14 @@
+(** "OMP Num. Threads DSE" (CPU optimisation task, Fig. 4).
+
+    Sweeps thread counts through the CPU model and annotates the parallel
+    loop with the best [num_threads] clause. *)
+
+type result = {
+  td_program : Ast.program;
+  td_threads : int;
+  td_estimate : Cpu_model.estimate;
+  td_sweep : (int * float) list;  (** thread count -> estimated seconds *)
+}
+
+val run :
+  Device.cpu_spec -> Kprofile.t -> Ast.program -> kernel:string -> result

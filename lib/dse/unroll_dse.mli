@@ -1,0 +1,24 @@
+(** Per-device "Unroll Until Overmap DSE" (FPGA optimisation task, Fig. 2
+    and Fig. 4).
+
+    Doubles the outer-loop unroll factor, querying the FPGA resource model
+    ("run a partial compile ... check the report for estimated LUT usage")
+    until utilisation would exceed 90 %, and annotates the kernel loop with
+    the final factor.  When even unroll 1 overmaps, the design is reported
+    unsynthesisable — the paper's Rush Larsen case. *)
+
+type result = {
+  ud_program : Ast.program;
+  ud_unroll : int option;          (** [None]: overmapped at unroll 1 *)
+  ud_estimate : Fpga_model.estimate;
+  ud_trace : (int * float) list;   (** factor -> ALM fraction examined by the DSE *)
+}
+
+val run :
+  Device.fpga_spec ->
+  Kstatic.t ->
+  Kprofile.t ->
+  zero_copy:bool ->
+  Ast.program ->
+  kernel_fn:string ->
+  result

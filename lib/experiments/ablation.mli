@@ -1,0 +1,27 @@
+(** Ablation study over the optimising transforms.
+
+    The paper's speedups come from stacked transforms (scalarisation, SP
+    demotion, shared-memory tiling, pinned memory, specialised math,
+    zero-copy, the DSE passes).  This harness re-runs a benchmark's branch
+    with one transform disabled at a time and reports the slowdown of the
+    resulting design relative to the full flow — evidence for which design
+    choices matter where. *)
+
+type row = {
+  ab_variant : string;        (** "full" or "without <task>" *)
+  ab_time_s : float option;   (** best design time under the variant *)
+  ab_slowdown : float option; (** time / full-flow time *)
+}
+
+val gpu : ?quick:bool -> App.t -> (row list, string) result
+(** GPU-branch ablations (evaluated on the RTX 2080 Ti): drop
+    "Remove Array += Dependency", the SP tasks, "Introduce Shared Mem
+    Buf", "Employ Specialised Math Fns", "Employ HIP Pinned Memory", and
+    the blocksize DSE (fixed 256) in turn. *)
+
+val fpga : ?quick:bool -> App.t -> (row list, string) result
+(** FPGA-branch ablations (evaluated on the Stratix10): drop "Unroll Fixed
+    Loops", the SP tasks, "Zero-Copy Data Transfer", and the unroll DSE
+    (fixed unroll 1) in turn. *)
+
+val render : title:string -> row list -> string

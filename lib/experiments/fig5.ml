@@ -1,0 +1,99 @@
+type row = {
+  f5_app : string;
+  f5_auto : (string * float) option;
+  f5_omp : float option;
+  f5_hip_1080 : float option;
+  f5_hip_2080 : float option;
+  f5_a10 : float option;
+  f5_s10 : float option;
+  f5_informed_is_best : bool;
+}
+
+let paper =
+  [
+    ("nbody", (Some 29., Some 337., Some 751., Some 1.1, Some 1.4));
+    ("kmeans", (Some 29., Some 19., Some 24., Some 7., Some 13.));
+    ("adpredictor", (Some 28., Some 10., Some 14., Some 10., Some 32.));
+    ("rush_larsen", (Some 28., Some 63., Some 98., None, None));
+    ("bezier", (Some 30., Some 63., Some 67., Some 23., Some 27.));
+  ]
+
+let speedup_of rep short =
+  match Engine.design_for rep ~short with
+  | Some d -> d.Design.d_speedup
+  | None -> None
+
+let of_reports reports =
+  List.map
+    (fun (rep : Engine.report) ->
+      let auto =
+        match Runs.auto_selected rep with
+        | Some d ->
+          (match d.Design.d_speedup with
+           | Some s -> Some (Target.short d.Design.d_target, s)
+           | None -> None)
+        | None -> None
+      in
+      let best = Engine.best_design rep in
+      let informed_is_best =
+        match auto, best with
+        | Some (_, sa), Some b ->
+          (match b.Design.d_speedup with
+           | Some sb -> sa >= 0.999 *. sb
+           | None -> true)
+        | _, _ -> false
+      in
+      {
+        f5_app = rep.Engine.rep_app.App.app_slug;
+        f5_auto = auto;
+        f5_omp = speedup_of rep "OMP";
+        f5_hip_1080 = speedup_of rep "HIP 1080Ti";
+        f5_hip_2080 = speedup_of rep "HIP 2080Ti";
+        f5_a10 = speedup_of rep "oneAPI A10";
+        f5_s10 = speedup_of rep "oneAPI S10";
+        f5_informed_is_best = informed_is_best;
+      })
+    reports
+
+let fmt_speedup = function
+  | Some s when Float.is_finite s -> Printf.sprintf "%.1fx" s
+  | Some _ | None -> "n/a"
+
+let fmt_pair measured paper =
+  Printf.sprintf "%s (%s)" (fmt_speedup measured)
+    (match paper with Some p -> Printf.sprintf "%.0fx" p | None -> "n/a")
+
+let render rows =
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "benchmark"; "auto-selected"; "OMP"; "HIP 1080Ti"; "HIP 2080Ti";
+          "oneAPI A10"; "oneAPI S10"; "informed=best" ]
+  in
+  Util.Table.set_aligns table
+    [ Util.Table.Left; Util.Table.Right; Util.Table.Right; Util.Table.Right;
+      Util.Table.Right; Util.Table.Right; Util.Table.Right; Util.Table.Center ];
+  List.iter
+    (fun r ->
+      let p =
+        match List.assoc_opt r.f5_app paper with
+        | Some p -> p
+        | None -> (None, None, None, None, None)
+      in
+      let pomp, p1080, p2080, pa10, ps10 = p in
+      Util.Table.add_row table
+        [
+          r.f5_app;
+          (match r.f5_auto with
+           | Some (t, s) -> Printf.sprintf "%.1fx [%s]" s t
+           | None -> "n/a");
+          fmt_pair r.f5_omp pomp;
+          fmt_pair r.f5_hip_1080 p1080;
+          fmt_pair r.f5_hip_2080 p2080;
+          fmt_pair r.f5_a10 pa10;
+          fmt_pair r.f5_s10 ps10;
+          (if r.f5_informed_is_best then "yes" else "NO");
+        ])
+    rows;
+  "Fig. 5 - hotspot speedups vs single-thread CPU; measured (paper)\n"
+  ^ Util.Table.render table

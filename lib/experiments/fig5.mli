@@ -1,0 +1,29 @@
+(** Fig. 5 — "Accelerated hotspot region speedups of the automatically
+    generated designs compared to the input, unoptimised reference executed
+    on a single CPU thread".
+
+    One row per benchmark with the Auto-Selected design (informed PSA at
+    branch point A) and the five uninformed designs.  The paper's reported
+    speedups are attached for shape comparison; overmapped FPGA designs
+    print "n/a" exactly as the missing Rush Larsen bars. *)
+
+type row = {
+  f5_app : string;
+  f5_auto : (string * float) option;   (** short target label, speedup *)
+  f5_omp : float option;
+  f5_hip_1080 : float option;
+  f5_hip_2080 : float option;
+  f5_a10 : float option;
+  f5_s10 : float option;
+  f5_informed_is_best : bool;          (** the headline claim, per app *)
+}
+
+val paper : (string * (float option * float option * float option * float option * float option)) list
+(** Paper speedups per app slug: (OMP, 1080, 2080, A10, S10); [None] for
+    the unsynthesisable Rush Larsen FPGA designs.  AdPredictor GPU/A10
+    bars are approximate (read off the figure). *)
+
+val of_reports : Engine.report list -> row list
+
+val render : row list -> string
+(** Table of measured values with the paper's numbers alongside. *)

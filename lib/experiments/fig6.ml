@@ -1,0 +1,54 @@
+type series = {
+  f6_app : string;
+  f6_fpga_s : float;
+  f6_gpu_s : float;
+  f6_points : (float * float) list;
+  f6_crossover : float;
+}
+
+let price_ratios = [ 0.25; 1. /. 3.; 0.5; 1.; 2.; 3.; 4. ]
+
+let of_reports reports =
+  List.filter_map
+    (fun (rep : Engine.report) ->
+      let time short =
+        match Engine.design_for rep ~short with
+        | Some (d : Design.t) -> d.Design.d_time_s
+        | None -> None
+      in
+      match time "oneAPI S10", time "HIP 2080Ti" with
+      | Some fpga_s, Some gpu_s ->
+        Some
+          {
+            f6_app = rep.Engine.rep_app.App.app_slug;
+            f6_fpga_s = fpga_s;
+            f6_gpu_s = gpu_s;
+            f6_points =
+              List.map
+                (fun r -> (r, Cost.relative_cost ~fpga_s ~gpu_s ~price_ratio:r))
+                price_ratios;
+            f6_crossover = Cost.crossover_ratio ~fpga_s ~gpu_s;
+          }
+      | _, _ -> None)
+    reports
+
+let render series =
+  let headers =
+    "benchmark"
+    :: List.map (fun r -> Printf.sprintf "r=%.2g" r) price_ratios
+    @ [ "crossover" ]
+  in
+  let table = Util.Table.create ~headers in
+  Util.Table.set_aligns table
+    (Util.Table.Left :: List.map (fun _ -> Util.Table.Right) (List.tl headers));
+  List.iter
+    (fun s ->
+      Util.Table.add_row table
+        (s.f6_app
+         :: List.map (fun (_, c) -> Printf.sprintf "%.2f" c) s.f6_points
+         @ [ Printf.sprintf "%.2f" s.f6_crossover ]))
+    series;
+  "Fig. 6 - cost of Stratix10 execution relative to RTX 2080 Ti execution\n"
+  ^ "(price ratio r = FPGA price / GPU price; values < 1 mean the FPGA is cheaper;\n"
+  ^ " crossover = ratio at which both cost the same; paper: AdPredictor ~3.2, Bezier ~0.4)\n"
+  ^ Util.Table.render table

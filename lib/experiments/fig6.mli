@@ -1,0 +1,23 @@
+(** Fig. 6 — "Relative costs of FPGA vs. GPU execution for varying resource
+    prices".
+
+    For the three benchmarks with both oneAPI Stratix10 and HIP 2080 Ti
+    designs (AdPredictor, Bezier, N-Body in the paper), sweeps the FPGA/GPU
+    price ratio and reports the relative cost and the crossover ratio at
+    which FPGA and GPU executions cost the same. *)
+
+type series = {
+  f6_app : string;
+  f6_fpga_s : float;            (** Stratix10 design time *)
+  f6_gpu_s : float;             (** RTX 2080 Ti design time *)
+  f6_points : (float * float) list;  (** price ratio -> relative cost (FPGA/GPU) *)
+  f6_crossover : float;         (** ratio where costs are equal *)
+}
+
+val price_ratios : float list
+(** The figure's x axis: 1/4, 1/3, 1/2, 1, 2, 3, 4. *)
+
+val of_reports : Engine.report list -> series list
+(** Skips benchmarks lacking either design (e.g. Rush Larsen). *)
+
+val render : series list -> string

@@ -1,0 +1,33 @@
+let collect ?(quick = false) () =
+  List.map
+    (fun (app : App.t) ->
+      let workload =
+        if quick then app.App.app_test_overrides else app.App.app_eval_overrides
+      in
+      Engine.run ~workload ~mode:Pipeline.Uninformed app)
+    Suite.all
+
+let ok_reports results =
+  List.filter_map
+    (function
+      | Ok r -> Some r
+      | Error msg ->
+        Printf.eprintf "warning: flow failed: %s\n%!" msg;
+        None)
+    results
+
+let branch_of_target = function
+  | Target.Omp _ -> "cpu"
+  | Target.Gpu _ -> "gpu"
+  | Target.Fpga _ -> "fpga"
+
+let auto_selected (rep : Engine.report) =
+  let branch = rep.Engine.rep_decision.Psa.dec_path in
+  rep.Engine.rep_designs
+  |> List.filter (fun (d : Design.t) ->
+         branch_of_target d.Design.d_target = branch
+         && d.Design.d_feasible && d.Design.d_speedup <> None)
+  |> List.sort Design.compare_speedup
+  |> function
+  | [] -> None
+  | d :: _ -> Some d

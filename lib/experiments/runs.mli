@@ -1,0 +1,18 @@
+(** Shared evaluation runs.
+
+    Every experiment (Fig. 5, Table I, Fig. 6) derives from the same five
+    uninformed flow executions — one per benchmark — which generate all
+    designs and record the informed decision alongside. *)
+
+val collect : ?quick:bool -> unit -> (Engine.report, string) result list
+(** Run the uninformed PSA-flow on every benchmark.  [quick] uses the test
+    workloads (for smoke tests); the default uses the evaluation
+    workloads. *)
+
+val ok_reports : (Engine.report, string) result list -> Engine.report list
+(** Drop failures (printing a warning for each). *)
+
+val auto_selected : Engine.report -> Design.t option
+(** The design the *informed* strategy would have produced: the fastest
+    feasible design on the branch the recorded decision names (the paper's
+    "Auto-Selected" bar). *)

@@ -1,0 +1,103 @@
+type row = {
+  t1_app : string;
+  t1_omp : float option;
+  t1_hip_1080 : float option;
+  t1_hip_2080 : float option;
+  t1_a10 : float option;
+  t1_s10 : float option;
+  t1_total : float option;
+}
+
+let paper =
+  [
+    ("rush_larsen", (Some 0.4, Some 6., Some 6., None, None, None));
+    ("nbody", (Some 2., Some 37., Some 37., Some 52., Some 69., Some 197.));
+    ("bezier", (Some 2., Some 26., Some 26., Some 34., Some 42., Some 130.));
+    ("adpredictor", (Some 2., Some 31., Some 31., Some 42., Some 63., Some 169.));
+    ("kmeans", (Some 4., Some 81., Some 81., Some 101., Some 147., Some 414.));
+  ]
+
+let loc_of rep short =
+  match Engine.design_for rep ~short with
+  | Some (d : Design.t) when d.Design.d_feasible -> Some d.Design.d_loc_added_pct
+  | Some _ | None -> None
+
+let of_reports reports =
+  List.map
+    (fun (rep : Engine.report) ->
+      let omp = loc_of rep "OMP" in
+      let h1 = loc_of rep "HIP 1080Ti" in
+      let h2 = loc_of rep "HIP 2080Ti" in
+      let a10 = loc_of rep "oneAPI A10" in
+      let s10 = loc_of rep "oneAPI S10" in
+      let total =
+        match omp, h1, h2, a10, s10 with
+        | Some a, Some b, Some c, Some d, Some e -> Some (a +. b +. c +. d +. e)
+        | _, _, _, _, _ -> None
+      in
+      {
+        t1_app = rep.Engine.rep_app.App.app_slug;
+        t1_omp = omp;
+        t1_hip_1080 = h1;
+        t1_hip_2080 = h2;
+        t1_a10 = a10;
+        t1_s10 = s10;
+        t1_total = total;
+      })
+    reports
+
+let avg_opt values =
+  let defined = List.filter_map Fun.id values in
+  if defined = [] then None
+  else Some (List.fold_left ( +. ) 0.0 defined /. float_of_int (List.length defined))
+
+let average rows =
+  {
+    t1_app = "Average";
+    t1_omp = avg_opt (List.map (fun r -> r.t1_omp) rows);
+    t1_hip_1080 = avg_opt (List.map (fun r -> r.t1_hip_1080) rows);
+    t1_hip_2080 = avg_opt (List.map (fun r -> r.t1_hip_2080) rows);
+    t1_a10 = avg_opt (List.map (fun r -> r.t1_a10) rows);
+    t1_s10 = avg_opt (List.map (fun r -> r.t1_s10) rows);
+    t1_total = avg_opt (List.map (fun r -> r.t1_total) rows);
+  }
+
+let fmt v paper =
+  Printf.sprintf "%s (%s)"
+    (match v with Some x -> Printf.sprintf "%+.0f%%" x | None -> "n/a")
+    (match paper with Some p -> Printf.sprintf "%+.0f%%" p | None -> "n/a")
+
+let render rows =
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "application"; "OMP"; "HIP 1080"; "HIP 2080"; "oneAPI A10"; "oneAPI S10";
+          "total (5 designs)" ]
+  in
+  Util.Table.set_aligns table
+    [ Util.Table.Left; Util.Table.Right; Util.Table.Right; Util.Table.Right;
+      Util.Table.Right; Util.Table.Right; Util.Table.Right ];
+  let all = rows @ [ average rows ] in
+  List.iter
+    (fun r ->
+      let pomp, p1, p2, pa, ps, pt =
+        match List.assoc_opt r.t1_app paper with
+        | Some p -> p
+        | None ->
+          if r.t1_app = "Average" then
+            (Some 2., Some 36., Some 36., Some 57., Some 81., Some 212.)
+          else (None, None, None, None, None, None)
+      in
+      Util.Table.add_row table
+        [
+          r.t1_app;
+          fmt r.t1_omp pomp;
+          fmt r.t1_hip_1080 p1;
+          fmt r.t1_hip_2080 p2;
+          fmt r.t1_a10 pa;
+          fmt r.t1_s10 ps;
+          fmt r.t1_total pt;
+        ])
+    all;
+  "Table I - added LOC per generated design vs reference; measured (paper)\n"
+  ^ Util.Table.render table

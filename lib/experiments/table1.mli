@@ -1,0 +1,27 @@
+(** Table I — "Added lines of code (LOC) for each generated design compared
+    to the reference unoptimised high-level source".
+
+    One row per benchmark: the LOC delta of each generated design and the
+    total over all five designs; the final row is the column average.
+    Following the paper, the unsynthesisable Rush Larsen FPGA designs are
+    excluded ("n/a"). *)
+
+type row = {
+  t1_app : string;
+  t1_omp : float option;
+  t1_hip_1080 : float option;
+  t1_hip_2080 : float option;
+  t1_a10 : float option;
+  t1_s10 : float option;
+  t1_total : float option;   (** sum over the five designs; None if any is n/a *)
+}
+
+val paper : (string * (float option * float option * float option * float option * float option * float option)) list
+(** The paper's percentages: (OMP, HIP 1080, HIP 2080, A10, S10, total). *)
+
+val of_reports : Engine.report list -> row list
+
+val average : row list -> row
+(** Column-wise average over the defined entries. *)
+
+val render : row list -> string

@@ -1,0 +1,55 @@
+(** The design artifact threaded through a PSA-flow.
+
+    An artifact carries the evolving program, the workload, every fact the
+    analysis tasks have accrued, and (once a branch has specialised it) the
+    state of the target-specific design.  Tasks are pure functions from
+    artifact to artifact; branch-point strategies read the facts. *)
+
+(** Target-specific design state, filled in along a branch. *)
+type design_state = {
+  ds_target : Target.t;
+  ds_manage_fn : string;           (** host-side function (original kernel name) *)
+  ds_compute_fn : string;          (** function profiled as the device kernel region *)
+  ds_body_fn : string option;      (** GPU per-thread body *)
+  ds_thread_index : string option; (** loop index the GPU grid replaced *)
+  ds_sp : bool;                    (** single-precision transforms applied *)
+  ds_kprofile : Kprofile.t option; (** profile of the generated design *)
+  ds_kstatic : Kstatic.t option;
+  ds_estimate_s : float option;    (** modelled kernel+transfer time *)
+  ds_feasible : bool;              (** false: overmapped FPGA design *)
+  ds_output : string list option;  (** functional output of the design *)
+}
+
+type t = {
+  art_app : App.t;
+  art_workload : (string * int) list;
+  art_program : Ast.program;
+  art_kernel : string option;        (** extracted hotspot kernel name *)
+  art_hotspot_sid : int option;
+  art_hotspots : Hotspot.hotspot list option;
+  art_kprofile : Kprofile.t option;  (** reference kernel profile *)
+  art_alias_free : bool option;
+  art_intensity : Intensity.measure option;
+  art_t_cpu_single : float option;   (** baseline hotspot time, seconds *)
+  art_t_transfer : float option;     (** estimated accelerator transfer time *)
+  art_reference_output : string list option;
+  art_design : design_state option;
+  art_log : string list;             (** chronological task log *)
+}
+
+val create : App.t -> workload:(string * int) list -> t
+
+val machine_config : t -> Machine.config
+(** Default interpreter configuration with the artifact's workload. *)
+
+val log : t -> string -> t
+(** Append a line to the task log. *)
+
+val logf : t -> ('a, unit, string, t) format4 -> 'a
+
+val kernel_exn : t -> string
+(** @raise Failure when no kernel has been extracted yet. *)
+
+val kprofile_exn : t -> Kprofile.t
+
+val design_exn : t -> design_state

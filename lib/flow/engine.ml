@@ -1,0 +1,177 @@
+let ( let* ) = Result.bind
+
+type report = {
+  rep_app : App.t;
+  rep_mode : Pipeline.mode;
+  rep_workload : (string * int) list;
+  rep_analysed : Artifact.t;
+  rep_decision : Psa.decision;
+  rep_baseline_s : float;
+  rep_designs : Design.t list;
+}
+
+let run ?psa_config ?workload ~mode app =
+  let workload = Option.value workload ~default:app.App.app_eval_overrides in
+  let art0 = Artifact.create app ~workload in
+  let* analysed_outcomes = Graph.run Pipeline.target_independent art0 in
+  let* analysed =
+    match analysed_outcomes with
+    | [ oc ] -> Ok oc.Graph.oc_artifact
+    | _ -> Error "target-independent pipeline must produce exactly one artifact"
+  in
+  let* decision = Psa.decide ?config:psa_config analysed in
+  let* baseline_s =
+    match analysed.Artifact.art_t_cpu_single with
+    | Some t -> Ok t
+    | None -> Error "analysis did not produce a CPU baseline"
+  in
+  let* reference_output =
+    match analysed.Artifact.art_reference_output with
+    | Some o -> Ok o
+    | None -> Error "analysis did not capture the reference output"
+  in
+  let* outcomes = Graph.run (Pipeline.branch_a ?psa_config mode) analysed in
+  let reference_program = App.program app in
+  let* designs =
+    List.fold_left
+      (fun acc oc ->
+        let* acc = acc in
+        let* d =
+          Design.of_outcome ~app ~reference_program ~baseline_s ~reference_output oc
+        in
+        Ok (acc @ [ d ]))
+      (Ok []) outcomes
+  in
+  Ok
+    {
+      rep_app = app;
+      rep_mode = mode;
+      rep_workload = workload;
+      rep_analysed = analysed;
+      rep_decision = decision;
+      rep_baseline_s = baseline_s;
+      rep_designs = designs;
+    }
+
+let best_design report =
+  report.rep_designs
+  |> List.filter (fun (d : Design.t) -> d.Design.d_feasible && d.Design.d_speedup <> None)
+  |> List.sort Design.compare_speedup
+  |> function
+  | [] -> None
+  | d :: _ -> Some d
+
+let design_for report ~short =
+  List.find_opt
+    (fun (d : Design.t) -> Target.short d.Design.d_target = short)
+    report.rep_designs
+
+(* ---- budget feedback (Fig. 3's cost evaluation) ---- *)
+
+type attempt = {
+  at_branch : string;
+  at_design : Design.t option;
+  at_cost : float option;
+  at_within : bool;
+}
+
+type budget_report = {
+  br_app : App.t;
+  br_budget : float;
+  br_pricing : Cost.pricing;
+  br_attempts : attempt list;
+  br_accepted : attempt option;
+  br_within_budget : bool;
+  br_baseline_s : float;
+}
+
+let run_budgeted ?psa_config ?workload ?(pricing = Cost.default_pricing) ~budget app =
+  let workload = Option.value workload ~default:app.App.app_eval_overrides in
+  let art0 = Artifact.create app ~workload in
+  let* analysed_outcomes = Graph.run Pipeline.target_independent art0 in
+  let* analysed =
+    match analysed_outcomes with
+    | [ oc ] -> Ok oc.Graph.oc_artifact
+    | _ -> Error "target-independent pipeline must produce exactly one artifact"
+  in
+  let* decision = Psa.decide ?config:psa_config analysed in
+  let* baseline_s =
+    match analysed.Artifact.art_t_cpu_single with
+    | Some t -> Ok t
+    | None -> Error "analysis did not produce a CPU baseline"
+  in
+  let* reference_output =
+    match analysed.Artifact.art_reference_output with
+    | Some o -> Ok o
+    | None -> Error "analysis did not capture the reference output"
+  in
+  let reference_program = App.program app in
+  let try_branch branch =
+    let select _ = Ok [ branch ] in
+    let node = Graph.with_select (Pipeline.branch_a Pipeline.Informed) ~branch:"A" select in
+    match Graph.run node analysed with
+    | Error _ -> { at_branch = branch; at_design = None; at_cost = None; at_within = false }
+    | Ok outcomes ->
+      let designs =
+        List.filter_map
+          (fun oc ->
+            match
+              Design.of_outcome ~app ~reference_program ~baseline_s ~reference_output oc
+            with
+            | Ok d when d.Design.d_feasible && d.Design.d_time_s <> None -> Some d
+            | Ok _ | Error _ -> None)
+          outcomes
+      in
+      (match List.sort Design.compare_speedup designs with
+       | [] -> { at_branch = branch; at_design = None; at_cost = None; at_within = false }
+       | best :: _ ->
+         let time_s = Option.get best.Design.d_time_s in
+         let cost = Cost.monetary_cost pricing best.Design.d_target ~time_s in
+         {
+           at_branch = branch;
+           at_design = Some best;
+           at_cost = Some cost;
+           at_within = cost <= budget;
+         })
+  in
+  (* the informed path first, then the feedback loop revises through the
+     remaining branches *)
+  let order =
+    decision.Psa.dec_path
+    :: List.filter (fun b -> b <> decision.Psa.dec_path) Psa.path_names
+  in
+  let order = List.filter (fun b -> b <> "none") order in
+  let rec search tried = function
+    | [] -> (List.rev tried, None)
+    | branch :: rest ->
+      let a = try_branch branch in
+      if a.at_within then (List.rev (a :: tried), Some a)
+      else search (a :: tried) rest
+  in
+  let attempts, accepted = search [] order in
+  let accepted =
+    match accepted with
+    | Some _ as a -> a
+    | None ->
+      (* nothing fits: report the cheapest thing the flow could produce *)
+      List.fold_left
+        (fun acc a ->
+          match a.at_cost, acc with
+          | None, _ -> acc
+          | Some _, None -> Some a
+          | Some c, Some best ->
+            (match best.at_cost with
+             | Some cb when cb <= c -> acc
+             | _ -> Some a))
+        None attempts
+  in
+  Ok
+    {
+      br_app = app;
+      br_budget = budget;
+      br_pricing = pricing;
+      br_attempts = attempts;
+      br_accepted = accepted;
+      br_within_budget = (match accepted with Some a -> a.at_within | None -> false);
+      br_baseline_s = baseline_s;
+    }

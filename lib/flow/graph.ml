@@ -1,0 +1,140 @@
+type node =
+  | Task of Task.t
+  | Seq of node list
+  | Branch of branch_point
+
+and branch_point = {
+  bp_name : string;
+  bp_select : Artifact.t -> (string list, string) result;
+  bp_paths : (string * node) list;
+}
+
+type outcome = {
+  oc_path : (string * string) list;
+  oc_artifact : Artifact.t;
+}
+
+let ( let* ) = Result.bind
+
+(* recognised physically by [run_node]: take every path of the branch *)
+let select_all _art = Ok ([] : string list)
+
+let rec run_node node (oc : outcome) : (outcome list, string) result =
+  match node with
+  | Task t ->
+    let* art = Task.apply t oc.oc_artifact in
+    Ok [ { oc with oc_artifact = art } ]
+  | Seq nodes ->
+    let step acc node =
+      let* outcomes = acc in
+      let* fanned =
+        List.fold_left
+          (fun acc oc ->
+            let* acc = acc in
+            let* outs = run_node node oc in
+            Ok (acc @ outs))
+          (Ok []) outcomes
+      in
+      Ok fanned
+    in
+    List.fold_left step (Ok [ oc ]) nodes
+  | Branch bp ->
+    let* chosen =
+      if bp.bp_select == select_all then Ok (List.map fst bp.bp_paths)
+      else bp.bp_select oc.oc_artifact
+    in
+    let* available =
+      let missing = List.filter (fun c -> not (List.mem_assoc c bp.bp_paths)) chosen in
+      if missing = [] then Ok chosen
+      else
+        Error
+          (Printf.sprintf "branch %s: strategy chose unknown path(s) %s" bp.bp_name
+             (String.concat ", " missing))
+    in
+    List.fold_left
+      (fun acc path_name ->
+        let* acc = acc in
+        let node = List.assoc path_name bp.bp_paths in
+        let tagged =
+          {
+            oc_path = oc.oc_path @ [ (bp.bp_name, path_name) ];
+            oc_artifact =
+              Artifact.logf oc.oc_artifact "<branch %s -> %s>" bp.bp_name path_name;
+          }
+        in
+        let* outs = run_node node tagged in
+        Ok (acc @ outs))
+      (Ok []) available
+
+let run node art = run_node node { oc_path = []; oc_artifact = art }
+
+let rec with_select node ~branch select =
+  match node with
+  | Task _ -> node
+  | Seq nodes -> Seq (List.map (fun n -> with_select n ~branch select) nodes)
+  | Branch bp ->
+    let bp_paths =
+      List.map (fun (name, n) -> (name, with_select n ~branch select)) bp.bp_paths
+    in
+    if bp.bp_name = branch then Branch { bp with bp_select = select; bp_paths }
+    else Branch { bp with bp_paths }
+
+let rec tasks = function
+  | Task t -> [ t ]
+  | Seq nodes -> List.concat_map tasks nodes
+  | Branch bp -> List.concat_map (fun (_, n) -> tasks n) bp.bp_paths
+
+let to_dot ?(name = "psaflow") node =
+  let buf = Buffer.create 1024 in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "n%d" !counter
+  in
+  let escape s = String.concat "\\\"" (String.split_on_char '\"' s) in
+  (* returns (entry node id, exit node ids) of the subgraph *)
+  let rec emit = function
+    | Task t ->
+      let id = fresh () in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=box,label=\"%s\\n[%s%s]\"];\n" id
+           (escape t.Task.name) (Task.kind_letter t.Task.kind)
+           (if t.Task.dynamic then ", dyn" else ""));
+      (id, [ id ])
+    | Seq [] ->
+      let id = fresh () in
+      Buffer.add_string buf (Printf.sprintf "  %s [shape=point];\n" id);
+      (id, [ id ])
+    | Seq (first :: rest) ->
+      let entry, exits = emit first in
+      let final_exits =
+        List.fold_left
+          (fun exits node ->
+            let entry', exits' = emit node in
+            List.iter
+              (fun e -> Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" e entry'))
+              exits;
+            exits')
+          exits rest
+      in
+      (entry, final_exits)
+    | Branch bp ->
+      let id = fresh () in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=diamond,label=\"branch %s\"];\n" id
+           (escape bp.bp_name));
+      let exits =
+        List.concat_map
+          (fun (path, node) ->
+            let entry', exits' = emit node in
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" id entry' (escape path));
+            exits')
+          bp.bp_paths
+      in
+      (id, exits)
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" name);
+  ignore (emit node);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

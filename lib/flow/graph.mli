@@ -1,0 +1,49 @@
+(** PSA-flow graphs: sequences of codified tasks with branch points.
+
+    A branch point holds named paths and a Path Selection Automation
+    strategy that reads the artifact's accrued facts and decides which
+    path(s) to take — one for an informed strategy, several (or all) for an
+    uninformed one.  Running a flow therefore yields a *list* of outcomes,
+    one per reached leaf, each tagged with the branch decisions on its
+    path (Fig. 1). *)
+
+type node =
+  | Task of Task.t
+  | Seq of node list
+  | Branch of branch_point
+
+and branch_point = {
+  bp_name : string;                        (** e.g. "A", "B", "C" *)
+  bp_select : Artifact.t -> (string list, string) result;
+      (** PSA strategy: names of paths to take, in preference order *)
+  bp_paths : (string * node) list;
+}
+
+type outcome = {
+  oc_path : (string * string) list;  (** (branch point, chosen path) pairs *)
+  oc_artifact : Artifact.t;
+}
+
+val run : node -> Artifact.t -> (outcome list, string) result
+(** Execute the flow.  A sequence threads each outcome through the
+    remaining nodes; a branch fans out.  The first task error aborts the
+    whole run (analysis/codegen failures are flow bugs); a branch strategy
+    may select zero paths, pruning that artifact. *)
+
+val select_all : Artifact.t -> (string list, string) result
+(** Distinguished strategy recognised by {!run}: take every path of the
+    branch (the paper's "uninformed" mode, and the implementation's
+    default at device-level branch points B and C, which "automatically
+    select both paths"). *)
+
+val with_select : node -> branch:string -> (Artifact.t -> (string list, string) result) -> node
+(** Replace the strategy of the named branch point (how the evaluation
+    swaps informed/uninformed at branch point A). *)
+
+val tasks : node -> Task.t list
+(** All tasks reachable in the graph, in definition order. *)
+
+val to_dot : ?name:string -> node -> string
+(** Graphviz rendering of the flow: tasks as boxes (labelled with their
+    Fig. 4 classification), branch points as diamonds with one edge per
+    path — the Fig. 1/Fig. 4 pictures, generated from the live graph. *)

@@ -1,0 +1,80 @@
+type mode = Informed | Uninformed
+
+let mode_name = function Informed -> "informed" | Uninformed -> "uninformed"
+
+let target_independent =
+  Graph.Seq (List.map (fun t -> Graph.Task t) Tasks.target_independent)
+
+let cpu_path =
+  Graph.Seq
+    [ Graph.Task Tasks.multi_thread_parallel_loops; Graph.Task Tasks.omp_num_threads_dse ]
+
+let gpu_path =
+  Graph.Seq
+    [
+      Graph.Task Tasks.generate_hip_design;
+      Graph.Task Tasks.gpu_sp_math_fns;
+      Graph.Task Tasks.gpu_sp_numeric_literals;
+      Graph.Task Tasks.introduce_shared_mem_buf;
+      Graph.Task Tasks.employ_specialised_math_fns;
+      Graph.Task Tasks.employ_hip_pinned_memory;
+      Graph.Task Tasks.profile_gpu_design;
+      Graph.Branch
+        {
+          Graph.bp_name = "C";
+          bp_select = Graph.select_all;
+          bp_paths =
+            [
+              ("1080", Graph.Task (Tasks.gpu_blocksize_dse Device.gtx_1080_ti));
+              ("2080", Graph.Task (Tasks.gpu_blocksize_dse Device.rtx_2080_ti));
+            ];
+        };
+    ]
+
+let fpga_path =
+  Graph.Seq
+    [
+      Graph.Task Tasks.generate_oneapi_design;
+      Graph.Task Tasks.unroll_fixed_loops;
+      Graph.Task Tasks.fpga_sp_math_fns;
+      Graph.Task Tasks.fpga_sp_numeric_literals;
+      Graph.Branch
+        {
+          Graph.bp_name = "B";
+          bp_select = Graph.select_all;
+          bp_paths =
+            [
+              ( "A10",
+                Graph.Seq
+                  [
+                    Graph.Task Tasks.profile_fpga_design;
+                    Graph.Task (Tasks.fpga_unroll_until_overmap_dse Device.pac_arria10);
+                  ] );
+              ( "S10",
+                Graph.Seq
+                  [
+                    Graph.Task Tasks.zero_copy_data_transfer;
+                    Graph.Task Tasks.profile_fpga_design;
+                    Graph.Task (Tasks.fpga_unroll_until_overmap_dse Device.pac_stratix10);
+                  ] );
+            ];
+        };
+    ]
+
+let branch_a ?psa_config mode =
+  let select =
+    match mode with
+    | Informed -> Psa.informed ?config:psa_config
+    | Uninformed -> Graph.select_all
+  in
+  Graph.Branch
+    {
+      Graph.bp_name = "A";
+      bp_select = select;
+      bp_paths = [ ("cpu", cpu_path); ("gpu", gpu_path); ("fpga", fpga_path) ];
+    }
+
+let full_flow ?psa_config mode =
+  Graph.Seq [ target_independent; branch_a ?psa_config mode ]
+
+let repository = Graph.tasks (full_flow Uninformed)

@@ -1,0 +1,23 @@
+(** The implemented PSA-flow (Fig. 4): target-independent tasks, branch
+    point A selecting CPU / GPU / FPGA, and device-level branch points B
+    (FPGA: Arria10 / Stratix10) and C (GPU: GTX 1080 Ti / RTX 2080 Ti),
+    which "automatically select both paths, generating two CPU+GPU designs
+    or two CPU+FPGA designs". *)
+
+type mode = Informed | Uninformed
+
+val mode_name : mode -> string
+
+val target_independent : Graph.node
+(** The eight T-INDEP tasks as a sequence. *)
+
+val branch_a : ?psa_config:Psa.config -> mode -> Graph.node
+(** Branch point A with the informed strategy of Fig. 3, or taking all
+    paths in uninformed mode. *)
+
+val full_flow : ?psa_config:Psa.config -> mode -> Graph.node
+(** [target_independent] followed by [branch_a]. *)
+
+val repository : Task.t list
+(** Every codified task of Fig. 4 (for the documentation table and the
+    registry tests). *)

@@ -1,0 +1,90 @@
+type config = {
+  x_threshold : float;
+  unroll_threshold : int;
+}
+
+let default_config = { x_threshold = 5.0; unroll_threshold = 4 }
+
+type decision = {
+  dec_path : string;
+  dec_reasons : string list;
+}
+
+let path_names = [ "cpu"; "gpu"; "fpga" ]
+
+let decide ?(config = default_config) (art : Artifact.t) =
+  match
+    ( art.Artifact.art_kprofile,
+      art.Artifact.art_intensity,
+      art.Artifact.art_t_cpu_single,
+      art.Artifact.art_t_transfer )
+  with
+  | Some kp, Some ai, Some t_cpu, Some t_transfer ->
+    let reasons = ref [] in
+    let note fmt = Printf.ksprintf (fun s -> reasons := s :: !reasons) fmt in
+    let parallel = kp.Kprofile.kp_outer_parallel in
+    let compute_bound = ai.Intensity.ai_value > config.x_threshold in
+    let transfer_ok = t_transfer < t_cpu in
+    note "T_data_transfer %.3g s %s T_cpu %.3g s" t_transfer
+      (if transfer_ok then "<" else ">=")
+      t_cpu;
+    note "FLOPs/B = %.2f %s X = %.2f (%s)" ai.Intensity.ai_value
+      (if compute_bound then ">" else "<=")
+      config.x_threshold
+      (if compute_bound then "compute-bound" else "memory-bound");
+    let path =
+      if not (transfer_ok && compute_bound) then begin
+        if parallel then begin
+          note "no benefit from offloading; outer loop is parallel -> multi-thread CPU";
+          "cpu"
+        end
+        else begin
+          note "no benefit from offloading and outer loop not parallel -> keep reference";
+          "none"
+        end
+      end
+      else if parallel then begin
+        let unrollable_dep_inner =
+          List.filter
+            (fun (il : Kprofile.inner_loop) ->
+              (not il.Kprofile.il_parallel)
+              &&
+              match il.Kprofile.il_static_trips with
+              | Some n -> n <= config.unroll_threshold
+              | None -> false)
+            kp.Kprofile.kp_inner
+        in
+        let dep_inner =
+          List.exists (fun (il : Kprofile.inner_loop) -> not il.Kprofile.il_parallel)
+            kp.Kprofile.kp_inner
+        in
+        if not dep_inner then begin
+          note "parallel outer loop with independent inner structure -> GPU";
+          "gpu"
+        end
+        else if unrollable_dep_inner <> [] then begin
+          note
+            "inner dependence loop(s) with fixed bounds <= %d are fully unrollable -> \
+             FPGA pipelining"
+            config.unroll_threshold;
+          "fpga"
+        end
+        else begin
+          note "inner dependence loops are not fully unrollable -> GPU";
+          "gpu"
+        end
+      end
+      else begin
+        note "outer loop not parallel -> FPGA pipelining";
+        "fpga"
+      end
+    in
+    Ok { dec_path = path; dec_reasons = List.rev !reasons }
+  | _, _, _, _ ->
+    Error "informed PSA needs the target-independent analyses to have run"
+
+let informed ?config art =
+  match decide ?config art with
+  | Error _ as e -> e
+  | Ok { dec_path = "none"; _ } -> Ok []
+  | Ok d -> Ok [ d.dec_path ]

@@ -1,0 +1,41 @@
+(** Path Selection Automation strategies (Fig. 3).
+
+    A strategy reads the artifact's accrued analysis facts and names the
+    branch paths to take.  The informed strategy implements the decision
+    tree of Fig. 3:
+
+    - offloading pays only if the estimated transfer time is below the
+      single-thread CPU time *and* the arithmetic intensity exceeds the
+      tunable threshold X; otherwise take the multi-thread CPU path when
+      the outer loop is parallel (or stop);
+    - for an offloadable parallel outer loop: inner loops that carry
+      dependences *and* are fully unrollable (fixed bounds at most the
+      threshold) favour the FPGA's pipelined execution; otherwise the GPU;
+    - a non-parallel outer loop maps to the FPGA.
+
+    [explain] returns the decision with the chain of reasons, used by the
+    CLI's [--explain] mode and the tests. *)
+
+type config = {
+  x_threshold : float;       (** FLOPs/byte compute-bound threshold (X) *)
+  unroll_threshold : int;    (** "fully unrollable" fixed-bound threshold *)
+}
+
+val default_config : config
+(** X = 5.0, unroll threshold 4. *)
+
+type decision = {
+  dec_path : string;         (** "cpu" | "gpu" | "fpga" | "none" *)
+  dec_reasons : string list; (** decision trail, in evaluation order *)
+}
+
+val decide : ?config:config -> Artifact.t -> (decision, string) result
+(** The informed strategy.  Fails when required facts are missing (the
+    target-independent tasks must have run). *)
+
+val informed : ?config:config -> Artifact.t -> (string list, string) result
+(** {!decide} wrapped as a branch-point selector (empty selection for
+    "none": the flow "terminates without modifying the input"). *)
+
+val path_names : string list
+(** ["cpu"; "gpu"; "fpga"] — branch point A's paths. *)

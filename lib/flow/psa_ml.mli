@@ -1,0 +1,52 @@
+(** Learned Path Selection Automation.
+
+    The paper closes with "developing sophisticated ML-based PSA
+    strategies" as future work; this module provides the machinery: a
+    feature vector extracted from the artifact's analysis facts, a training
+    set built by labelling flow runs with their fastest branch, a
+    lightweight nearest-neighbour classifier over standardised features,
+    and a {!Graph}-compatible strategy backed by the learned model.
+
+    The hand-written Fig. 3 tree remains the default; the learned strategy
+    is evaluated against it in the test suite (leave-one-out over the
+    benchmark suite). *)
+
+type features = {
+  ft_log_intensity : float;     (** log10 of FLOPs per footprint byte *)
+  ft_log_transfer_ratio : float;(** log10 of T_cpu / T_transfer *)
+  ft_outer_parallel : float;    (** 0/1 *)
+  ft_dep_inner : float;         (** 0/1: some inner loop carries a dependence *)
+  ft_unrollable_dep_inner : float; (** 0/1: such a loop is fully unrollable *)
+  ft_log_outer_trips : float;
+  ft_special_fraction : float;  (** transcendental share of the flop mix *)
+}
+
+val features_of : ?psa_config:Psa.config -> Artifact.t -> (features, string) result
+(** Extract features from an analysed artifact (the same facts Fig. 3
+    reads). *)
+
+val to_vector : features -> float array
+
+type example = { ex_features : features; ex_label : string }
+(** A labelled training point; labels are branch names ("cpu" | "gpu" |
+    "fpga"). *)
+
+val label_of_report : Engine.report -> example option
+(** Label an uninformed flow run with the branch of its fastest feasible
+    design. *)
+
+type model
+
+val train : example list -> (model, string) result
+(** Fit the feature standardisation and store the examples (k-NN with
+    k = 1 over standardised Euclidean distance; ties broken by order).
+    Fails on an empty training set. *)
+
+val predict : model -> features -> string
+
+val strategy : model -> Artifact.t -> (string list, string) result
+(** The learned selector, pluggable at branch point A via
+    {!Graph.with_select} or {!Pipeline.branch_a}. *)
+
+val labels : model -> string list
+(** Distinct labels seen at training time. *)

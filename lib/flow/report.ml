@@ -1,0 +1,45 @@
+let design_table (rep : Engine.report) =
+  let table =
+    Util.Table.create
+      ~headers:[ "target"; "device"; "time (s)"; "speedup"; "LOC +%"; "prec"; "valid" ]
+  in
+  Util.Table.set_aligns table
+    [ Util.Table.Left; Util.Table.Left; Util.Table.Right; Util.Table.Right;
+      Util.Table.Right; Util.Table.Center; Util.Table.Center ];
+  List.iter
+    (fun (d : Design.t) ->
+      Util.Table.add_row table
+        [
+          Target.short d.Design.d_target;
+          Target.device_name d.Design.d_target;
+          (match d.Design.d_time_s with
+           | Some t -> Printf.sprintf "%.3g" t
+           | None -> "n/a");
+          (match d.Design.d_speedup with
+           | Some s -> Printf.sprintf "%.1fx" s
+           | None -> "n/a");
+          Printf.sprintf "%+.0f%%" d.Design.d_loc_added_pct;
+          (if d.Design.d_sp then "SP" else "DP");
+          (if d.Design.d_valid then "yes" else "NO");
+        ])
+    rep.Engine.rep_designs;
+  Util.Table.render table
+
+let decision_text (rep : Engine.report) =
+  let d = rep.Engine.rep_decision in
+  Printf.sprintf "branch A decision: %s\n%s\n" d.Psa.dec_path
+    (String.concat "\n" (List.map (fun r -> "  - " ^ r) d.Psa.dec_reasons))
+
+let log_text (rep : Engine.report) =
+  String.concat "\n" rep.Engine.rep_analysed.Artifact.art_log ^ "\n"
+
+let summary_line (rep : Engine.report) =
+  let best = Engine.best_design rep in
+  Printf.sprintf "%-28s mode=%-10s branch=%-5s best=%s" rep.Engine.rep_app.App.app_name
+    (Pipeline.mode_name rep.Engine.rep_mode)
+    rep.Engine.rep_decision.Psa.dec_path
+    (match best with
+     | Some d ->
+       Printf.sprintf "%s (%.1fx)" (Target.short d.Design.d_target)
+         (Option.value d.Design.d_speedup ~default:Float.nan)
+     | None -> "none")

@@ -1,0 +1,14 @@
+(** Text rendering of flow reports. *)
+
+val design_table : Engine.report -> string
+(** One row per generated design: target, estimated time, speedup over the
+    single-thread baseline, added LOC, precision, validity. *)
+
+val decision_text : Engine.report -> string
+(** The informed PSA decision with its reasoning trail. *)
+
+val log_text : Engine.report -> string
+(** The analysed artifact's task log. *)
+
+val summary_line : Engine.report -> string
+(** One line: app, chosen branch, best design and speedup. *)

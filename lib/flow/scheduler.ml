@@ -1,0 +1,134 @@
+type alternative = {
+  alt_target : Target.t;
+  alt_time_s : float;
+}
+
+let alternatives_of_report (rep : Engine.report) =
+  List.filter_map
+    (fun (d : Design.t) ->
+      match d.Design.d_time_s with
+      | Some t when d.Design.d_feasible -> Some { alt_target = d.Design.d_target; alt_time_s = t }
+      | _ -> None)
+    rep.Engine.rep_designs
+
+type resource_class = Rcpu | Rgpu | Rfpga
+
+let class_of_target = function
+  | Target.Omp _ -> Rcpu
+  | Target.Gpu _ -> Rgpu
+  | Target.Fpga _ -> Rfpga
+
+type pool = {
+  cpu_instances : int;
+  gpu_instances : int;
+  fpga_instances : int;
+}
+
+type job = {
+  job_id : int;
+  job_scale : float;
+}
+
+type policy = Min_cost | Min_makespan
+
+type assignment = {
+  as_job : job;
+  as_target : Target.t;
+  as_instance : int;
+  as_start_s : float;
+  as_finish_s : float;
+  as_cost : float;
+}
+
+type schedule = {
+  sc_assignments : assignment list;
+  sc_makespan_s : float;
+  sc_total_cost : float;
+}
+
+let instances_of pool = function
+  | Rcpu -> pool.cpu_instances
+  | Rgpu -> pool.gpu_instances
+  | Rfpga -> pool.fpga_instances
+
+let run ?(pricing = Cost.default_pricing) ~policy ~pool ~alternatives jobs =
+  let capacity =
+    pool.cpu_instances + pool.gpu_instances + pool.fpga_instances
+  in
+  if capacity = 0 then Error "empty resource pool"
+  else if alternatives = [] then Error "no feasible designs to schedule"
+  else begin
+    (* free time per (class, instance index) *)
+    let free : (resource_class * int, float) Hashtbl.t = Hashtbl.create 16 in
+    let free_at cls idx = Option.value (Hashtbl.find_opt free (cls, idx)) ~default:0.0 in
+    let usable =
+      List.filter
+        (fun alt -> instances_of pool (class_of_target alt.alt_target) > 0)
+        alternatives
+    in
+    if usable = [] then Error "pool has no instances for any design's target"
+    else begin
+      let place job =
+        (* candidate (alt, instance) pairs with their finish time and cost *)
+        let candidates =
+          List.concat_map
+            (fun alt ->
+              let cls = class_of_target alt.alt_target in
+              let time_s = alt.alt_time_s *. job.job_scale in
+              let cost = Cost.monetary_cost pricing alt.alt_target ~time_s in
+              List.init (instances_of pool cls) (fun idx ->
+                  let start = free_at cls idx in
+                  (alt, cls, idx, start, start +. time_s, cost)))
+            usable
+        in
+        let better (_, _, _, _, f1, c1) (_, _, _, _, f2, c2) =
+          match policy with
+          | Min_makespan -> if f1 = f2 then compare c1 c2 else compare f1 f2
+          | Min_cost -> if c1 = c2 then compare f1 f2 else compare c1 c2
+        in
+        match List.sort better candidates with
+        | [] -> assert false (* usable <> [] and instance counts > 0 *)
+        | (alt, cls, idx, start, finish, cost) :: _ ->
+          Hashtbl.replace free (cls, idx) finish;
+          {
+            as_job = job;
+            as_target = alt.alt_target;
+            as_instance = idx;
+            as_start_s = start;
+            as_finish_s = finish;
+            as_cost = cost;
+          }
+      in
+      let assignments = List.map place jobs in
+      Ok
+        {
+          sc_assignments = assignments;
+          sc_makespan_s =
+            List.fold_left (fun m a -> Float.max m a.as_finish_s) 0.0 assignments;
+          sc_total_cost = List.fold_left (fun c a -> c +. a.as_cost) 0.0 assignments;
+        }
+    end
+  end
+
+let render sc =
+  let table =
+    Util.Table.create
+      ~headers:[ "job"; "target"; "instance"; "start (s)"; "finish (s)"; "cost ($)" ]
+  in
+  Util.Table.set_aligns table
+    [ Util.Table.Right; Util.Table.Left; Util.Table.Right; Util.Table.Right;
+      Util.Table.Right; Util.Table.Right ];
+  List.iter
+    (fun a ->
+      Util.Table.add_row table
+        [
+          string_of_int a.as_job.job_id;
+          Target.short a.as_target;
+          string_of_int a.as_instance;
+          Printf.sprintf "%.3g" a.as_start_s;
+          Printf.sprintf "%.3g" a.as_finish_s;
+          Printf.sprintf "%.3g" a.as_cost;
+        ])
+    sc.sc_assignments;
+  Util.Table.render table
+  ^ Printf.sprintf "makespan %.3g s, total cost $%.3g\n" sc.sc_makespan_s sc.sc_total_cost

@@ -1,0 +1,69 @@
+(** Runtime mapping of jobs over a pool of diverse designs (Section IV-D).
+
+    With the uninformed flow's design set in hand, "computations can be
+    mapped at runtime to minimise cost" on priced cloud resources.  This
+    module implements that runtime layer: a resource pool with per-class
+    instance counts and prices, a job stream, and two greedy mapping
+    policies — minimise money or minimise completion time — using the
+    designs' modelled execution times.
+
+    Times scale linearly with the job's relative workload size, matching
+    the models' behaviour on these kernels. *)
+
+(** One execution alternative for the application: a generated design and
+    its modelled time at the reference workload. *)
+type alternative = {
+  alt_target : Target.t;
+  alt_time_s : float;
+}
+
+val alternatives_of_report : Engine.report -> alternative list
+(** Feasible designs of an (uninformed) flow run. *)
+
+type resource_class = Rcpu | Rgpu | Rfpga
+
+val class_of_target : Target.t -> resource_class
+
+(** A pool of provisioned instances. *)
+type pool = {
+  cpu_instances : int;
+  gpu_instances : int;
+  fpga_instances : int;
+}
+
+type job = {
+  job_id : int;
+  job_scale : float;   (** workload relative to the evaluated one *)
+}
+
+type policy = Min_cost | Min_makespan
+
+type assignment = {
+  as_job : job;
+  as_target : Target.t;
+  as_instance : int;    (** index within the class *)
+  as_start_s : float;
+  as_finish_s : float;
+  as_cost : float;      (** USD *)
+}
+
+type schedule = {
+  sc_assignments : assignment list;  (** in completion order of the greedy pass *)
+  sc_makespan_s : float;
+  sc_total_cost : float;
+}
+
+val run :
+  ?pricing:Cost.pricing ->
+  policy:policy ->
+  pool:pool ->
+  alternatives:alternative list ->
+  job list ->
+  (schedule, string) result
+(** Greedy list scheduling: jobs are taken in order; each is placed on the
+    instance/design combination minimising the policy objective (earliest
+    finish for [Min_makespan], cheapest execution with earliest finish as
+    tie-break for [Min_cost]).  Fails when the pool is empty or no
+    alternative exists. *)
+
+val render : schedule -> string

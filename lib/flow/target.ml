@@ -1,0 +1,25 @@
+type t =
+  | Omp of { threads : int }
+  | Gpu of { spec : Device.gpu_spec; params : Gpu_model.params }
+  | Fpga of { spec : Device.fpga_spec; params : Fpga_model.params }
+
+let device_name = function
+  | Omp _ -> Device.epyc_7543.Device.cpu_name
+  | Gpu { spec; _ } -> spec.Device.gpu_name
+  | Fpga { spec; _ } -> spec.Device.fpga_name
+
+let label = function
+  | Omp { threads } -> Printf.sprintf "OpenMP CPU (%d threads)" threads
+  | Gpu { spec; params } ->
+    Printf.sprintf "HIP (%s, blocksize %d)" spec.Device.gpu_name params.Gpu_model.blocksize
+  | Fpga { spec; params } ->
+    Printf.sprintf "oneAPI (%s, unroll %d)" spec.Device.fpga_name params.Fpga_model.unroll
+
+let short = function
+  | Omp _ -> "OMP"
+  | Gpu { spec; _ } ->
+    if spec.Device.gpu_name = Device.gtx_1080_ti.Device.gpu_name then "HIP 1080Ti"
+    else "HIP 2080Ti"
+  | Fpga { spec; _ } ->
+    if spec.Device.fpga_name = Device.pac_arria10.Device.fpga_name then "oneAPI A10"
+    else "oneAPI S10"

@@ -1,0 +1,14 @@
+(** Concrete optimisation targets of the implemented PSA-flow (Fig. 4). *)
+
+type t =
+  | Omp of { threads : int }
+  | Gpu of { spec : Device.gpu_spec; params : Gpu_model.params }
+  | Fpga of { spec : Device.fpga_spec; params : Fpga_model.params }
+
+val label : t -> string
+(** e.g. ["OpenMP CPU (32 threads)"], ["HIP (NVIDIA GeForce RTX 2080 Ti)"]. *)
+
+val short : t -> string
+(** Column label: ["OMP"], ["HIP 1080Ti"], ["oneAPI S10"], ... *)
+
+val device_name : t -> string

@@ -1,0 +1,39 @@
+type kind = Analysis | Transform | Codegen | Optimisation
+
+type scope =
+  | Target_independent
+  | Fpga_scope
+  | Fpga_device of string
+  | Gpu_scope
+  | Gpu_device of string
+  | Cpu_omp
+
+type t = {
+  name : string;
+  kind : kind;
+  scope : scope;
+  dynamic : bool;
+  run : Artifact.t -> (Artifact.t, string) result;
+}
+
+let make ~name ~kind ~scope ?(dynamic = false) run =
+  { name; kind; scope; dynamic; run }
+
+let apply t art =
+  match t.run art with
+  | Ok art' -> Ok (Artifact.logf art' "[%s]" t.name)
+  | Error msg -> Error (Printf.sprintf "%s: %s" t.name msg)
+
+let kind_letter = function
+  | Analysis -> "A"
+  | Transform -> "T"
+  | Codegen -> "CG"
+  | Optimisation -> "O"
+
+let scope_label = function
+  | Target_independent -> "T-INDEP"
+  | Fpga_scope -> "FPGA"
+  | Fpga_device d -> "FPGA-" ^ d
+  | Gpu_scope -> "GPU"
+  | Gpu_device d -> "GPU-" ^ d
+  | Cpu_omp -> "CPU-OMP"

@@ -1,0 +1,38 @@
+(** Codified design-flow tasks.
+
+    A task is a named, classified, self-contained unit of work over an
+    artifact — the paper's meta-program unit (Fig. 2/Fig. 4).  Tasks are
+    composed into flows by {!Graph}; the classifications (Analysis,
+    Transform, Code-Generation, Optimisation) and the dynamic flag mirror
+    the repository table of Fig. 4. *)
+
+type kind = Analysis | Transform | Codegen | Optimisation
+
+type scope =
+  | Target_independent
+  | Fpga_scope
+  | Fpga_device of string   (** e.g. "A10" *)
+  | Gpu_scope
+  | Gpu_device of string
+  | Cpu_omp
+
+type t = {
+  name : string;
+  kind : kind;
+  scope : scope;
+  dynamic : bool;  (** requires program execution (the paper's clock marker) *)
+  run : Artifact.t -> (Artifact.t, string) result;
+}
+
+val make :
+  name:string -> kind:kind -> scope:scope -> ?dynamic:bool ->
+  (Artifact.t -> (Artifact.t, string) result) -> t
+
+val apply : t -> Artifact.t -> (Artifact.t, string) result
+(** Run the task, appending its name to the artifact log on success and
+    prefixing it to the error on failure. *)
+
+val kind_letter : kind -> string
+(** "A" / "T" / "CG" / "O", the Fig. 4 classification letters. *)
+
+val scope_label : scope -> string

@@ -1,0 +1,70 @@
+(** The interpreter: executes mini-C++ programs while accumulating the event
+    counters and profiles that the paper's dynamic analyses need.
+
+    This is the stand-in for "run the instrumented application natively":
+    hotspot detection reads {!loop_stats}, trip-count analysis reads
+    iteration counts, data-movement analysis reads per-region array traffic,
+    and pointer-alias analysis reads the per-function alias record. *)
+
+exception Runtime_error of Loc.t * string
+
+exception Step_limit_exceeded
+
+(** A profiled code region: a whole function body, or a single statement. *)
+type region = Rfunc of string | Rstmt of int
+
+type config = {
+  seed : int;                          (** seed for the in-language [rand01()] *)
+  overrides : (string * Value.t) list; (** global constants to override, e.g. workload size [N] *)
+  profile_loops : bool;                (** per-loop inclusive cost and trip counts *)
+  regions : region list;               (** regions to profile for counters + data in/out *)
+  trace_aliases : bool;                (** record pointer-argument aliasing per function *)
+  max_steps : int;                     (** statement budget; exceeding raises {!Step_limit_exceeded} *)
+  entry : string;                      (** entry function, default ["main"] *)
+}
+
+val default_config : config
+(** seed 42, no overrides, all profiling off, 400M-step budget, entry [main]. *)
+
+(** Inclusive statistics of one loop statement (identified by stmt id). *)
+type loop_stats = {
+  ls_entries : int;      (** times the loop was entered *)
+  ls_iterations : int;   (** total iterations across entries *)
+  ls_work : float;       (** inclusive abstract CPU cycles ({!Counters.work}) *)
+  ls_counters : Counters.t; (** inclusive event counts *)
+}
+
+(** Per-array traffic observed inside a region (summed over invocations). *)
+type array_traffic = {
+  at_name : string;
+  at_elem_bytes : int;
+  at_read_elems : int;    (** distinct elements read before first write *)
+  at_written_elems : int; (** distinct elements written *)
+}
+
+type region_stats = {
+  rs_invocations : int;
+  rs_counters : Counters.t;
+  rs_traffic : array_traffic list;
+  rs_bytes_in : int;   (** bytes that must reach an accelerator running the region *)
+  rs_bytes_out : int;  (** bytes it must send back *)
+}
+
+type result = {
+  ret : Value.t option;
+  output : string list;                       (** lines from [print_int]/[print_float] *)
+  counters : Counters.t;                      (** whole-program events *)
+  loop_stats : (int * loop_stats) list;       (** by loop stmt id, present when [profile_loops] *)
+  region_stats : (region * region_stats) list;
+  aliased_funcs : (string * bool) list;       (** function -> two pointer args shared a base in some call *)
+  memory : Memory.t;                          (** final memory, for inspecting results *)
+}
+
+val run : ?config:config -> Ast.program -> result
+(** Execute the program from its entry function.
+    @raise Runtime_error on dynamic errors (bounds, division by zero, ...)
+    @raise Step_limit_exceeded when [max_steps] is exhausted. *)
+
+val find_loop_stats : result -> int -> loop_stats option
+
+val find_region_stats : result -> region -> region_stats option

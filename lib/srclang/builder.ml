@@ -1,0 +1,54 @@
+open Ast
+
+let ilit n = mk_expr (Int_lit n)
+let flit f = mk_expr (Float_lit (f, false))
+let flit32 f = mk_expr (Float_lit (f, true))
+let blit b = mk_expr (Bool_lit b)
+let var v = mk_expr (Var v)
+let neg e = mk_expr (Unary (Neg, e))
+let bin op a b = mk_expr (Binary (op, a, b))
+let ( +: ) a b = bin Add a b
+let ( -: ) a b = bin Sub a b
+let ( *: ) a b = bin Mul a b
+let ( /: ) a b = bin Div a b
+let ( %: ) a b = bin Mod a b
+let ( <: ) a b = bin Lt a b
+let ( <=: ) a b = bin Le a b
+let ( >=: ) a b = bin Ge a b
+let ( ==: ) a b = bin Eq a b
+let and_ a b = bin And a b
+let or_ a b = bin Or a b
+let call name args = mk_expr (Call (name, args))
+let idx a i = mk_expr (Index (a, i))
+let idx2 name i = idx (var name) i
+let cast t e = mk_expr (Cast (t, e))
+let cond c a b = mk_expr (Cond (c, a, b))
+
+let decl ?(const = false) ty name init =
+  mk_stmt (Decl { dty = ty; dname = name; dinit = Some init; darray = None; dconst = const })
+
+let decl_array ty name size =
+  mk_stmt (Decl { dty = ty; dname = name; dinit = None; darray = Some size; dconst = false })
+
+let decl_uninit ty name =
+  mk_stmt (Decl { dty = ty; dname = name; dinit = None; darray = None; dconst = false })
+
+let assign lhs rhs = mk_stmt (Assign (lhs, Set, rhs))
+let add_assign lhs rhs = mk_stmt (Assign (lhs, AddEq, rhs))
+let expr_stmt e = mk_stmt (Expr_stmt e)
+let if_ c b1 b2 = mk_stmt (If (c, b1, b2))
+
+let for_ ?(pragmas = []) index ~lo ~hi ?(step = ilit 1) body =
+  mk_stmt ~pragmas (For ({ index; lo; cmp = CLt; hi; step }, body))
+
+let while_ c body = mk_stmt (While (c, body))
+let return_ e = mk_stmt (Return e)
+let scope b = mk_stmt (Scope b)
+
+let func ?(ret = Tvoid) name params body =
+  { fname = name; fret = ret; fparams = params; fbody = body; floc = Loc.dummy }
+
+let param ?(restrict_ = false) ?(const = false) ty name =
+  { prm_name = name; prm_ty = ty; prm_restrict = restrict_; prm_const = const }
+
+let pragma name args = { pname = name; pargs = args }

@@ -1,0 +1,59 @@
+(** Combinators for synthesising AST fragments.
+
+    Code generators (HIP/oneAPI/OpenMP management code) build host and
+    kernel functions programmatically; these helpers keep that code close to
+    the shape of the C++ they emit. *)
+
+open Ast
+
+val ilit : int -> expr
+
+val flit : float -> expr
+(** Double literal. *)
+
+val flit32 : float -> expr
+(** Single-precision literal (with [f] suffix). *)
+
+val blit : bool -> expr
+val var : string -> expr
+val neg : expr -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( ==: ) : expr -> expr -> expr
+val and_ : expr -> expr -> expr
+val or_ : expr -> expr -> expr
+val call : string -> expr list -> expr
+
+val idx : expr -> expr -> expr
+(** [idx a i] is [a\[i\]]. *)
+
+val idx2 : string -> expr -> expr
+(** [idx2 "a" i] is [a\[i\]]. *)
+
+val cast : ty -> expr -> expr
+val cond : expr -> expr -> expr -> expr
+
+val decl : ?const:bool -> ty -> string -> expr -> stmt
+val decl_array : ty -> string -> expr -> stmt
+val decl_uninit : ty -> string -> stmt
+val assign : expr -> expr -> stmt
+val add_assign : expr -> expr -> stmt
+val expr_stmt : expr -> stmt
+val if_ : expr -> block -> block -> stmt
+val for_ : ?pragmas:pragma list -> string -> lo:expr -> hi:expr -> ?step:expr -> block -> stmt
+(** Canonical [for (int i = lo; i < hi; i += step)]; default step 1. *)
+
+val while_ : expr -> block -> stmt
+val return_ : expr option -> stmt
+val scope : block -> stmt
+
+val func : ?ret:ty -> string -> param list -> block -> func
+val param : ?restrict_:bool -> ?const:bool -> ty -> string -> param
+
+val pragma : string -> string list -> pragma

@@ -1,0 +1,186 @@
+exception Error of Loc.t * string
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let loc_of st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+let keyword_of = function
+  | "void" -> Some Token.KW_VOID
+  | "bool" -> Some Token.KW_BOOL
+  | "int" -> Some Token.KW_INT
+  | "float" -> Some Token.KW_FLOAT
+  | "double" -> Some Token.KW_DOUBLE
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "for" -> Some Token.KW_FOR
+  | "while" -> Some Token.KW_WHILE
+  | "return" -> Some Token.KW_RETURN
+  | "const" -> Some Token.KW_CONST
+  | "true" -> Some Token.KW_TRUE
+  | "false" -> Some Token.KW_FALSE
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | "restrict" | "__restrict__" | "__restrict" -> Some Token.KW_RESTRICT
+  | _ -> None
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do advance st done;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = loc_of st in
+    advance st;
+    advance st;
+    let rec close () =
+      match peek st with
+      | None -> raise (Error (start, "unterminated block comment"))
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        close ()
+    in
+    close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let startloc = loc_of st in
+  while (match peek st with Some c -> is_digit c | None -> false) do advance st done;
+  let is_float = ref false in
+  (match peek st, peek2 st with
+   | Some '.', Some c when is_digit c ->
+     is_float := true;
+     advance st;
+     while (match peek st with Some c -> is_digit c | None -> false) do advance st done
+   | Some '.', (Some _ | None) when not (peek2 st = Some '.') ->
+     (* trailing dot as in "1." *)
+     is_float := true;
+     advance st
+   | _ -> ());
+  (match peek st with
+   | Some ('e' | 'E') ->
+     is_float := true;
+     advance st;
+     (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+     while (match peek st with Some c -> is_digit c | None -> false) do advance st done
+   | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  let single =
+    match peek st with
+    | Some ('f' | 'F') ->
+      advance st;
+      true
+    | _ -> false
+  in
+  if !is_float || single then
+    match float_of_string_opt text with
+    | Some f -> Token.FLOAT_LIT (f, single)
+    | None -> raise (Error (startloc, "malformed float literal: " ^ text))
+  else
+    match int_of_string_opt text with
+    | Some n -> Token.INT_LIT n
+    | None -> raise (Error (startloc, "malformed int literal: " ^ text))
+
+let lex_pragma st =
+  (* at '#': expect "pragma", capture rest of line *)
+  let startloc = loc_of st in
+  advance st;
+  let start = st.pos in
+  while (match peek st with Some c -> is_alpha c | None -> false) do advance st done;
+  let word = String.sub st.src start (st.pos - start) in
+  if word <> "pragma" then raise (Error (startloc, "expected #pragma, got #" ^ word));
+  let rest_start = st.pos in
+  while peek st <> None && peek st <> Some '\n' do advance st done;
+  let text = String.trim (String.sub st.src rest_start (st.pos - rest_start)) in
+  Token.PRAGMA text
+
+let next_token st =
+  skip_trivia st;
+  let loc = loc_of st in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_alpha c ->
+      let start = st.pos in
+      while (match peek st with Some c -> is_alnum c | None -> false) do advance st done;
+      let word = String.sub st.src start (st.pos - start) in
+      (match keyword_of word with Some kw -> kw | None -> Token.IDENT word)
+    | Some '#' -> lex_pragma st
+    | Some c ->
+      let two tok = advance st; advance st; tok in
+      let one tok = advance st; tok in
+      (match c, peek2 st with
+       | '&', Some '&' -> two Token.AMPAMP
+       | '|', Some '|' -> two Token.BARBAR
+       | '<', Some '=' -> two Token.LE
+       | '>', Some '=' -> two Token.GE
+       | '=', Some '=' -> two Token.EQEQ
+       | '!', Some '=' -> two Token.NE
+       | '+', Some '=' -> two Token.PLUSEQ
+       | '-', Some '=' -> two Token.MINUSEQ
+       | '*', Some '=' -> two Token.STAREQ
+       | '/', Some '=' -> two Token.SLASHEQ
+       | '+', Some '+' -> two Token.PLUSPLUS
+       | '-', Some '-' -> two Token.MINUSMINUS
+       | '(', _ -> one Token.LPAREN
+       | ')', _ -> one Token.RPAREN
+       | '{', _ -> one Token.LBRACE
+       | '}', _ -> one Token.RBRACE
+       | '[', _ -> one Token.LBRACKET
+       | ']', _ -> one Token.RBRACKET
+       | ';', _ -> one Token.SEMI
+       | ',', _ -> one Token.COMMA
+       | '?', _ -> one Token.QUESTION
+       | ':', _ -> one Token.COLON
+       | '+', _ -> one Token.PLUS
+       | '-', _ -> one Token.MINUS
+       | '*', _ -> one Token.STAR
+       | '/', _ -> one Token.SLASH
+       | '%', _ -> one Token.PERCENT
+       | '<', _ -> one Token.LT
+       | '>', _ -> one Token.GT
+       | '=', _ -> one Token.ASSIGN
+       | '!', _ -> one Token.BANG
+       | '&', _ -> one Token.AMP
+       | _ -> raise (Error (loc, Printf.sprintf "unexpected character %C" c)))
+  in
+  (tok, loc)
+
+let tokenize ?(file = "<string>") src =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let rec loop acc =
+    let (tok, _) as t = next_token st in
+    if tok = Token.EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

@@ -1,0 +1,11 @@
+(** Hand-written lexer for the mini-C++ subset.
+
+    Handles line ([//]) and block ([/* */]) comments, integer and floating
+    literals (with the [f] single-precision suffix), identifiers, keywords,
+    C operators, and [#pragma] lines (captured verbatim as a single token). *)
+
+exception Error of Loc.t * string
+(** Raised on an unexpected character or malformed literal. *)
+
+val tokenize : ?file:string -> string -> (Token.t * Loc.t) list
+(** [tokenize ~file source] lexes the whole input, ending with [EOF]. *)

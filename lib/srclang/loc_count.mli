@@ -1,0 +1,14 @@
+(** Lines-of-code accounting for Table I ("added lines of code for each
+    generated design compared to the reference source"). *)
+
+val count_text : string -> int
+(** Non-blank, non-comment-only lines in a source string. *)
+
+val program_loc : Ast.program -> int
+(** LOC of the pretty-printed program. *)
+
+val added_loc : reference:Ast.program -> design:Ast.program -> int
+(** [design] LOC minus [reference] LOC (may be negative). *)
+
+val added_pct : reference:Ast.program -> design:Ast.program -> float
+(** Added LOC as a percentage of the reference LOC, the unit Table I uses. *)

@@ -1,0 +1,532 @@
+exception Error of Loc.t * string
+
+type state = { toks : (Token.t * Loc.t) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let peek_loc st = snd st.toks.(st.pos)
+
+let peek_ahead st n =
+  let i = min (st.pos + n) (Array.length st.toks - 1) in
+  fst st.toks.(i)
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st msg = raise (Error (peek_loc st, msg))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | t -> fail st ("expected identifier but found " ^ Token.to_string t)
+
+let pragma_of_text text : Ast.pragma =
+  match String.split_on_char ' ' text |> List.filter (fun s -> s <> "") with
+  | [] -> { pname = ""; pargs = [] }
+  | name :: args -> { pname = name; pargs = args }
+
+(* ---- types ---- *)
+
+let base_ty st : Ast.ty option =
+  match peek st with
+  | Token.KW_VOID -> advance st; Some Ast.Tvoid
+  | Token.KW_BOOL -> advance st; Some Ast.Tbool
+  | Token.KW_INT -> advance st; Some Ast.Tint
+  | Token.KW_FLOAT -> advance st; Some Ast.Tfloat
+  | Token.KW_DOUBLE -> advance st; Some Ast.Tdouble
+  | _ -> None
+
+let rec pointer_suffix st ty =
+  if peek st = Token.STAR then begin
+    advance st;
+    pointer_suffix st (Ast.Tptr ty)
+  end
+  else ty
+
+let is_type_start = function
+  | Token.KW_VOID | Token.KW_BOOL | Token.KW_INT | Token.KW_FLOAT | Token.KW_DOUBLE ->
+    true
+  | _ -> false
+
+(* ---- expressions (precedence climbing) ---- *)
+
+let rec parse_expression st = parse_cond st
+
+and parse_cond st =
+  let c = parse_or st in
+  if peek st = Token.QUESTION then begin
+    let loc = peek_loc st in
+    advance st;
+    let a = parse_expression st in
+    expect st Token.COLON;
+    let b = parse_cond st in
+    Ast.mk_expr ~loc (Ast.Cond (c, a, b))
+  end
+  else c
+
+and parse_or st =
+  let rec loop lhs =
+    if peek st = Token.BARBAR then begin
+      let loc = peek_loc st in
+      advance st;
+      let rhs = parse_and st in
+      loop (Ast.mk_expr ~loc (Ast.Binary (Ast.Or, lhs, rhs)))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    if peek st = Token.AMPAMP then begin
+      let loc = peek_loc st in
+      advance st;
+      let rhs = parse_equality st in
+      loop (Ast.mk_expr ~loc (Ast.Binary (Ast.And, lhs, rhs)))
+    end
+    else lhs
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop lhs =
+    match peek st with
+    | Token.EQEQ | Token.NE ->
+      let op = if peek st = Token.EQEQ then Ast.Eq else Ast.Ne in
+      let loc = peek_loc st in
+      advance st;
+      let rhs = parse_relational st in
+      loop (Ast.mk_expr ~loc (Ast.Binary (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | Token.LT -> Some Ast.Lt
+      | Token.LE -> Some Ast.Le
+      | Token.GT -> Some Ast.Gt
+      | Token.GE -> Some Ast.Ge
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let loc = peek_loc st in
+      advance st;
+      let rhs = parse_additive st in
+      loop (Ast.mk_expr ~loc (Ast.Binary (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | Token.PLUS -> Some Ast.Add
+      | Token.MINUS -> Some Ast.Sub
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let loc = peek_loc st in
+      advance st;
+      let rhs = parse_multiplicative st in
+      loop (Ast.mk_expr ~loc (Ast.Binary (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | Token.STAR -> Some Ast.Mul
+      | Token.SLASH -> Some Ast.Div
+      | Token.PERCENT -> Some Ast.Mod
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let loc = peek_loc st in
+      advance st;
+      let rhs = parse_unary st in
+      loop (Ast.mk_expr ~loc (Ast.Binary (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Unary (Ast.Neg, parse_unary st))
+  | Token.BANG ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Unary (Ast.Not, parse_unary st))
+  | Token.PLUS ->
+    advance st;
+    parse_unary st
+  | Token.LPAREN when is_type_start (peek_ahead st 1) ->
+    (* cast: '(' type ')' unary *)
+    advance st;
+    let base =
+      match base_ty st with
+      | Some t -> t
+      | None -> fail st "expected type in cast"
+    in
+    let ty = pointer_suffix st base in
+    expect st Token.RPAREN;
+    Ast.mk_expr ~loc (Ast.Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    match peek st with
+    | Token.LBRACKET ->
+      let loc = peek_loc st in
+      advance st;
+      let idx = parse_expression st in
+      expect st Token.RBRACKET;
+      loop (Ast.mk_expr ~loc (Ast.Index (e, idx)))
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.INT_LIT n ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Int_lit n)
+  | Token.FLOAT_LIT (f, single) ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Float_lit (f, single))
+  | Token.KW_TRUE ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Bool_lit true)
+  | Token.KW_FALSE ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Bool_lit false)
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args =
+        if peek st = Token.RPAREN then []
+        else begin
+          let rec more acc =
+            if peek st = Token.COMMA then begin
+              advance st;
+              more (parse_expression st :: acc)
+            end
+            else List.rev acc
+          in
+          more [ parse_expression st ]
+        end
+      in
+      expect st Token.RPAREN;
+      Ast.mk_expr ~loc (Ast.Call (name, args))
+    end
+    else Ast.mk_expr ~loc (Ast.Var name)
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expression st in
+    expect st Token.RPAREN;
+    e
+  | t -> fail st ("unexpected token in expression: " ^ Token.to_string t)
+
+(* ---- declarations ---- *)
+
+let parse_decl_after_type st ~const ~ty : Ast.decl =
+  let name = expect_ident st in
+  let darray =
+    if peek st = Token.LBRACKET then begin
+      advance st;
+      let n = parse_expression st in
+      expect st Token.RBRACKET;
+      Some n
+    end
+    else None
+  in
+  let dinit =
+    if peek st = Token.ASSIGN then begin
+      advance st;
+      Some (parse_expression st)
+    end
+    else None
+  in
+  { Ast.dty = ty; dname = name; dinit; darray; dconst = const }
+
+(* ---- statements ---- *)
+
+let one_lit n = Ast.mk_expr (Ast.Int_lit n)
+
+let rec parse_stmt_internal st : Ast.stmt =
+  let pragmas = collect_pragmas st in
+  let loc = peek_loc st in
+  let stmt = parse_unannotated st in
+  { stmt with Ast.pragmas = pragmas @ stmt.Ast.pragmas; sloc = loc }
+
+and collect_pragmas st =
+  match peek st with
+  | Token.PRAGMA text ->
+    advance st;
+    pragma_of_text text :: collect_pragmas st
+  | _ -> []
+
+and parse_unannotated st : Ast.stmt =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.KW_CONST ->
+    advance st;
+    let base =
+      match base_ty st with Some t -> t | None -> fail st "expected type after const"
+    in
+    let ty = pointer_suffix st base in
+    let d = parse_decl_after_type st ~const:true ~ty in
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc (Ast.Decl d)
+  | t when is_type_start t ->
+    let base = match base_ty st with Some t -> t | None -> assert false in
+    let ty = pointer_suffix st base in
+    let d = parse_decl_after_type st ~const:false ~ty in
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc (Ast.Decl d)
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expression st in
+    expect st Token.RPAREN;
+    let then_blk = parse_block_or_stmt st in
+    let else_blk =
+      if peek st = Token.KW_ELSE then begin
+        advance st;
+        parse_block_or_stmt st
+      end
+      else []
+    in
+    Ast.mk_stmt ~loc (Ast.If (cond, then_blk, else_blk))
+  | Token.KW_FOR -> parse_for st loc
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expression st in
+    expect st Token.RPAREN;
+    let body = parse_block_or_stmt st in
+    Ast.mk_stmt ~loc (Ast.While (cond, body))
+  | Token.KW_RETURN ->
+    advance st;
+    let e = if peek st = Token.SEMI then None else Some (parse_expression st) in
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc (Ast.Return e)
+  | Token.KW_BREAK ->
+    advance st;
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc Ast.Break
+  | Token.KW_CONTINUE ->
+    advance st;
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc Ast.Continue
+  | Token.LBRACE -> Ast.mk_stmt ~loc (Ast.Scope (parse_block st))
+  | _ ->
+    (* assignment or expression statement *)
+    let lhs = parse_expression st in
+    let assign op =
+      advance st;
+      let rhs = parse_expression st in
+      expect st Token.SEMI;
+      Ast.mk_stmt ~loc (Ast.Assign (lhs, op, rhs))
+    in
+    (match peek st with
+     | Token.ASSIGN -> assign Ast.Set
+     | Token.PLUSEQ -> assign Ast.AddEq
+     | Token.MINUSEQ -> assign Ast.SubEq
+     | Token.STAREQ -> assign Ast.MulEq
+     | Token.SLASHEQ -> assign Ast.DivEq
+     | Token.PLUSPLUS ->
+       advance st;
+       expect st Token.SEMI;
+       Ast.mk_stmt ~loc (Ast.Assign (lhs, Ast.AddEq, one_lit 1))
+     | Token.MINUSMINUS ->
+       advance st;
+       expect st Token.SEMI;
+       Ast.mk_stmt ~loc (Ast.Assign (lhs, Ast.SubEq, one_lit 1))
+     | Token.SEMI ->
+       advance st;
+       Ast.mk_stmt ~loc (Ast.Expr_stmt lhs)
+     | t -> fail st ("unexpected token after expression: " ^ Token.to_string t))
+
+and parse_for st loc : Ast.stmt =
+  expect st Token.KW_FOR;
+  expect st Token.LPAREN;
+  expect st Token.KW_INT;
+  let index = expect_ident st in
+  expect st Token.ASSIGN;
+  let lo = parse_expression st in
+  expect st Token.SEMI;
+  let cond_var = expect_ident st in
+  if cond_var <> index then
+    fail st
+      (Printf.sprintf "for-loop condition must test the index %s, found %s" index
+         cond_var);
+  let cmp =
+    match peek st with
+    | Token.LT -> advance st; Ast.CLt
+    | Token.LE -> advance st; Ast.CLe
+    | t -> fail st ("for-loop comparison must be < or <=, found " ^ Token.to_string t)
+  in
+  let hi = parse_expression st in
+  expect st Token.SEMI;
+  let upd_var = expect_ident st in
+  if upd_var <> index then
+    fail st
+      (Printf.sprintf "for-loop update must modify the index %s, found %s" index
+         upd_var);
+  let step =
+    match peek st with
+    | Token.PLUSPLUS ->
+      advance st;
+      one_lit 1
+    | Token.PLUSEQ ->
+      advance st;
+      parse_expression st
+    | Token.ASSIGN ->
+      (* i = i + step *)
+      advance st;
+      let v = expect_ident st in
+      if v <> index then fail st "for-loop update must be of the form i = i + step";
+      expect st Token.PLUS;
+      parse_expression st
+    | t -> fail st ("unsupported for-loop update: " ^ Token.to_string t)
+  in
+  expect st Token.RPAREN;
+  let body = parse_block_or_stmt st in
+  Ast.mk_stmt ~loc (Ast.For ({ Ast.index; lo; cmp; hi; step }, body))
+
+and parse_block_or_stmt st : Ast.block =
+  if peek st = Token.LBRACE then parse_block st else [ parse_stmt_internal st ]
+
+and parse_block st : Ast.block =
+  expect st Token.LBRACE;
+  let rec loop acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else if peek st = Token.EOF then fail st "unexpected end of input inside block"
+    else loop (parse_stmt_internal st :: acc)
+  in
+  loop []
+
+(* ---- top level ---- *)
+
+let parse_param st : Ast.param =
+  let const1 =
+    if peek st = Token.KW_CONST then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let base =
+    match base_ty st with Some t -> t | None -> fail st "expected parameter type"
+  in
+  let ty = pointer_suffix st base in
+  let restrict_ =
+    if peek st = Token.KW_RESTRICT then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let name = expect_ident st in
+  { Ast.prm_name = name; prm_ty = ty; prm_restrict = restrict_; prm_const = const1 }
+
+let parse_global st : Ast.global =
+  let const1 =
+    if peek st = Token.KW_CONST then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let base =
+    match base_ty st with Some t -> t | None -> fail st "expected type at top level"
+  in
+  let ty = pointer_suffix st base in
+  let loc = peek_loc st in
+  let name = expect_ident st in
+  if peek st = Token.LPAREN then begin
+    if const1 then fail st "functions cannot be declared const";
+    advance st;
+    let params =
+      if peek st = Token.RPAREN then []
+      else begin
+        let rec more acc =
+          if peek st = Token.COMMA then begin
+            advance st;
+            more (parse_param st :: acc)
+          end
+          else List.rev acc
+        in
+        more [ parse_param st ]
+      end
+    in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    Ast.Gfunc { Ast.fname = name; fret = ty; fparams = params; fbody = body; floc = loc }
+  end
+  else begin
+    let darray =
+      if peek st = Token.LBRACKET then begin
+        advance st;
+        let n = parse_expression st in
+        expect st Token.RBRACKET;
+        Some n
+      end
+      else None
+    in
+    let dinit =
+      if peek st = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expression st)
+      end
+      else None
+    in
+    expect st Token.SEMI;
+    Ast.Gdecl { Ast.dty = ty; dname = name; dinit; darray; dconst = const1 }
+  end
+
+let make_state ?file src =
+  let toks = Array.of_list (Lexer.tokenize ?file src) in
+  { toks; pos = 0 }
+
+let parse_program ?file src =
+  let st = make_state ?file src in
+  let rec loop acc =
+    if peek st = Token.EOF then List.rev acc else loop (parse_global st :: acc)
+  in
+  { Ast.pglobals = loop [] }
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expression st in
+  if peek st <> Token.EOF then fail st "trailing tokens after expression";
+  e
+
+let parse_stmt src =
+  let st = make_state src in
+  let s = parse_stmt_internal st in
+  if peek st <> Token.EOF then fail st "trailing tokens after statement";
+  s

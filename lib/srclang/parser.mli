@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the mini-C++ subset.
+
+    The accepted grammar is a C/C++ subset sufficient for the paper's five
+    benchmarks: global constant declarations, function definitions over
+    [void]/[bool]/[int]/[float]/[double] and pointers to them, canonical
+    counted [for] loops, [while], [if]/[else], compound assignment,
+    [break]/[continue]/[return], calls, array indexing, casts, the ternary
+    operator, and [#pragma] annotations attached to the following statement.
+
+    [for] loops are normalised at parse time into {!Ast.for_header}
+    ([for (int i = lo; i < hi; i += step)]); loops that do not fit this shape
+    are rejected, matching the canonical-loop requirement HLS flows place on
+    kernel code. *)
+
+exception Error of Loc.t * string
+
+val parse_program : ?file:string -> string -> Ast.program
+(** Parse a full translation unit. @raise Error on syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (testing helper). *)
+
+val parse_stmt : string -> Ast.stmt
+(** Parse a single statement (testing helper). *)
+
+val pragma_of_text : string -> Ast.pragma
+(** Split raw [#pragma] text into name and arguments. *)

@@ -1,0 +1,154 @@
+open Ast
+
+type ctx = { cx_func : func; cx_ancestors : stmt list }
+
+let is_loop_stmt s = match s.sdesc with For _ | While _ -> true | _ -> false
+
+let loop_depth ctx = List.length (List.filter is_loop_stmt ctx.cx_ancestors)
+
+let fold_stmts_in_func fn f acc0 =
+  let rec walk_block ancestors acc blk =
+    List.fold_left (walk_stmt ancestors) acc blk
+  and walk_stmt ancestors acc s =
+    let ctx = { cx_func = fn; cx_ancestors = List.rev ancestors } in
+    let acc = f acc ctx s in
+    List.fold_left (walk_block (s :: ancestors)) acc (stmt_sub_blocks s)
+  in
+  walk_block [] acc0 fn.fbody
+
+let select_stmts_in_func fn pred =
+  List.rev
+    (fold_stmts_in_func fn
+       (fun acc ctx s -> if pred ctx s then (ctx, s) :: acc else acc)
+       [])
+
+let select_stmts p pred = List.concat_map (fun fn -> select_stmts_in_func fn pred) (funcs p)
+
+type loop_match = {
+  lm_ctx : ctx;
+  lm_stmt : stmt;
+  lm_header : for_header;
+  lm_body : block;
+}
+
+let to_loop_match (ctx, s) =
+  match s.sdesc with
+  | For (h, body) -> { lm_ctx = ctx; lm_stmt = s; lm_header = h; lm_body = body }
+  | _ -> invalid_arg "to_loop_match: not a for loop"
+
+let is_for _ctx s = match s.sdesc with For _ -> true | _ -> false
+
+let loops_in_func fn = List.map to_loop_match (select_stmts_in_func fn is_for)
+
+let loops p = List.concat_map loops_in_func (funcs p)
+
+let outermost_loops fn =
+  List.filter (fun lm -> loop_depth lm.lm_ctx = 0) (loops_in_func fn)
+
+let rec stmt_contains s id =
+  s.sid = id
+  || List.exists (fun e -> expr_contains e id) (stmt_exprs s)
+  || List.exists (fun blk -> List.exists (fun s' -> stmt_contains s' id) blk)
+       (stmt_sub_blocks s)
+
+and expr_contains e id =
+  e.eid = id || List.exists (fun c -> expr_contains c id) (expr_children e)
+
+let inner_loops lm =
+  let fn = lm.lm_ctx.cx_func in
+  List.filter
+    (fun inner ->
+      inner.lm_stmt.sid <> lm.lm_stmt.sid
+      && List.exists (fun anc -> anc.sid = lm.lm_stmt.sid) inner.lm_ctx.cx_ancestors)
+    (loops_in_func fn)
+
+let find_stmt p id =
+  let matches = select_stmts p (fun _ s -> s.sid = id) in
+  match matches with [] -> None | m :: _ -> Some m
+
+let find_loop p id =
+  match find_stmt p id with
+  | Some ((_, s) as m) -> (match s.sdesc with For _ -> Some (to_loop_match m) | _ -> None)
+  | None -> None
+
+let rec calls_in_expr acc e =
+  let acc = match e.edesc with Call (name, _) -> name :: acc | _ -> acc in
+  List.fold_left calls_in_expr acc (expr_children e)
+
+let rec calls_in_stmt acc s =
+  let acc = List.fold_left calls_in_expr acc (stmt_exprs s) in
+  List.fold_left (List.fold_left calls_in_stmt) acc (stmt_sub_blocks s)
+
+let calls_in_block blk = List.rev (List.fold_left calls_in_stmt [] blk)
+
+let dedup l =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l)
+
+let calls_user_functions p blk =
+  dedup (List.filter (fun name -> find_func p name <> None) (calls_in_block blk))
+
+let exprs_in_stmt s =
+  let rec all_stmt acc s =
+    let acc =
+      List.fold_left (fun acc e -> fold_expr (fun acc e -> e :: acc) acc e) acc
+        (stmt_exprs s)
+    in
+    List.fold_left (List.fold_left all_stmt) acc (stmt_sub_blocks s)
+  in
+  List.rev (all_stmt [] s)
+
+let select_exprs p pred =
+  let all =
+    List.concat_map
+      (fun fn -> List.concat_map exprs_in_stmt fn.fbody)
+      (funcs p)
+  in
+  List.filter pred all
+
+let rec array_base_name e =
+  match e.edesc with
+  | Var v -> Some v
+  | Index (base, _) -> array_base_name base
+  | _ -> None
+
+let rec writes_in_stmt acc s =
+  let acc =
+    match s.sdesc with
+    | Decl d -> d.dname :: acc
+    | Assign (lhs, _, _) ->
+      (match array_base_name lhs with Some v -> v :: acc | None -> acc)
+    | _ -> acc
+  in
+  List.fold_left (List.fold_left writes_in_stmt) acc (stmt_sub_blocks s)
+
+let writes_in_block blk = dedup (List.rev (List.fold_left writes_in_stmt [] blk))
+
+let rec reads_in_expr ?(skip_lhs_base = false) acc e =
+  match e.edesc with
+  | Var v -> if skip_lhs_base then acc else v :: acc
+  | Index (base, idx) ->
+    let acc = reads_in_expr ~skip_lhs_base acc base in
+    reads_in_expr acc idx
+  | _ -> List.fold_left (fun acc c -> reads_in_expr acc c) acc (expr_children e)
+
+let rec reads_in_stmt acc s =
+  let acc =
+    match s.sdesc with
+    | Assign (lhs, op, rhs) ->
+      (* a plain write [x = e] does not read x, but [x += e] and [a[i] = e]
+         (the index) do *)
+      let acc =
+        match lhs.edesc, op with
+        | Var _, Set -> acc
+        | Var v, _ -> v :: acc
+        | Index _, Set -> reads_in_expr ~skip_lhs_base:true acc lhs
+        | Index _, _ -> reads_in_expr acc lhs
+        | _, _ -> reads_in_expr acc lhs
+      in
+      reads_in_expr acc rhs
+    | _ -> List.fold_left (fun acc e -> reads_in_expr acc e) acc (stmt_exprs s)
+  in
+  List.fold_left (List.fold_left reads_in_stmt) acc (stmt_sub_blocks s)
+
+let reads_in_block blk = dedup (List.rev (List.fold_left reads_in_stmt [] blk))

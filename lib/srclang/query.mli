@@ -1,0 +1,73 @@
+(** Artisan-style AST query engine.
+
+    Mirrors the paper's query mechanism (Fig. 2): design-flow tasks select
+    AST nodes by predicates over node kind and structural relations
+    ("loop.isForStmt ∧ fn.encloses(loop) ∧ loop.is_outermost"), then hand the
+    matches to the rewriter.  All functions are pure; matches carry enough
+    context (owning function, ancestor chain, nesting depth) for the
+    analyses to reason about placement. *)
+
+(** Context of a matched statement. *)
+type ctx = {
+  cx_func : Ast.func;           (** function the statement belongs to *)
+  cx_ancestors : Ast.stmt list; (** enclosing statements, outermost first *)
+}
+
+val loop_depth : ctx -> int
+(** Number of [For]/[While] statements in the ancestor chain. *)
+
+val select_stmts : Ast.program -> (ctx -> Ast.stmt -> bool) -> (ctx * Ast.stmt) list
+(** All statements satisfying the predicate, in source order. *)
+
+val select_stmts_in_func : Ast.func -> (ctx -> Ast.stmt -> bool) -> (ctx * Ast.stmt) list
+
+(** A matched canonical [for] loop. *)
+type loop_match = {
+  lm_ctx : ctx;
+  lm_stmt : Ast.stmt;
+  lm_header : Ast.for_header;
+  lm_body : Ast.block;
+}
+
+val loops : Ast.program -> loop_match list
+(** Every [For] statement in the program. *)
+
+val loops_in_func : Ast.func -> loop_match list
+
+val outermost_loops : Ast.func -> loop_match list
+(** [For] loops not nested inside any other loop of the same function —
+    the "loop.is_outermost" predicate of Fig. 2. *)
+
+val inner_loops : loop_match -> loop_match list
+(** [For] loops strictly inside the given loop (any depth). *)
+
+val stmt_contains : Ast.stmt -> int -> bool
+(** [stmt_contains s id] — does the subtree rooted at [s] contain a
+    statement or expression with this id? (the "encloses" relation). *)
+
+val find_stmt : Ast.program -> int -> (ctx * Ast.stmt) option
+(** Locate a statement by id anywhere in the program. *)
+
+val find_loop : Ast.program -> int -> loop_match option
+
+val calls_in_block : Ast.block -> string list
+(** Names of functions called anywhere in the block (with duplicates). *)
+
+val calls_user_functions : Ast.program -> Ast.block -> string list
+(** Called names that resolve to user-defined functions (deduplicated). *)
+
+val select_exprs : Ast.program -> (Ast.expr -> bool) -> Ast.expr list
+(** All expressions (including sub-expressions) satisfying the predicate. *)
+
+val exprs_in_stmt : Ast.stmt -> Ast.expr list
+(** Every expression in the statement subtree, including sub-expressions. *)
+
+val writes_in_block : Ast.block -> string list
+(** Names of variables written (assigned or declared) in the block,
+    deduplicated; for [a\[i\] = ...] the base array name counts. *)
+
+val reads_in_block : Ast.block -> string list
+(** Names of variables read in the block, deduplicated. *)
+
+val array_base_name : Ast.expr -> string option
+(** For nested [Index] chains, the root variable name. *)

@@ -1,0 +1,177 @@
+open Ast
+
+(* ---- generic statement map (top-down) ---- *)
+
+let rec map_stmt_td f s =
+  match f s with
+  | Some s' -> [ s' ]
+  | None ->
+    let sdesc =
+      match s.sdesc with
+      | If (c, b1, b2) -> If (c, map_block_td f b1, map_block_td f b2)
+      | For (h, b) -> For (h, map_block_td f b)
+      | While (c, b) -> While (c, map_block_td f b)
+      | Scope b -> Scope (map_block_td f b)
+      | (Decl _ | Assign _ | Expr_stmt _ | Return _ | Break | Continue) as d -> d
+    in
+    [ { s with sdesc } ]
+
+and map_block_td f blk = List.concat_map (map_stmt_td f) blk
+
+let map_stmts_in_func f fn = { fn with fbody = map_block_td f fn.fbody }
+
+let map_stmts f p =
+  {
+    pglobals =
+      List.map
+        (function Gfunc fn -> Gfunc (map_stmts_in_func f fn) | Gdecl _ as g -> g)
+        p.pglobals;
+  }
+
+(* A variant whose rewriting function may return several statements,
+   used internally by insert/delete/splice. *)
+let rec splice_stmt f s =
+  match f s with
+  | Some ss -> ss
+  | None ->
+    let sdesc =
+      match s.sdesc with
+      | If (c, b1, b2) -> If (c, splice_block f b1, splice_block f b2)
+      | For (h, b) -> For (h, splice_block f b)
+      | While (c, b) -> While (c, splice_block f b)
+      | Scope b -> Scope (splice_block f b)
+      | (Decl _ | Assign _ | Expr_stmt _ | Return _ | Break | Continue) as d -> d
+    in
+    [ { s with sdesc } ]
+
+and splice_block f blk = List.concat_map (splice_stmt f) blk
+
+let splice f p =
+  {
+    pglobals =
+      List.map
+        (function
+          | Gfunc fn -> Gfunc { fn with fbody = splice_block f fn.fbody }
+          | Gdecl _ as g -> g)
+        p.pglobals;
+  }
+
+(* ---- generic expression map (bottom-up) ---- *)
+
+let rec map_expr_bu f e =
+  let rebuilt =
+    let r = map_expr_bu f in
+    match e.edesc with
+    | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> e
+    | Unary (op, a) -> { e with edesc = Unary (op, r a) }
+    | Binary (op, a, b) -> { e with edesc = Binary (op, r a, r b) }
+    | Call (name, args) -> { e with edesc = Call (name, List.map r args) }
+    | Index (a, b) -> { e with edesc = Index (r a, r b) }
+    | Cast (t, a) -> { e with edesc = Cast (t, r a) }
+    | Cond (a, b, c) -> { e with edesc = Cond (r a, r b, r c) }
+  in
+  match f rebuilt with Some e' -> e' | None -> rebuilt
+
+let rec map_exprs_in_stmt f s =
+  let r = map_expr_bu f in
+  let sdesc =
+    match s.sdesc with
+    | Decl d ->
+      Decl { d with dinit = Option.map r d.dinit; darray = Option.map r d.darray }
+    | Assign (lhs, op, rhs) -> Assign (r lhs, op, r rhs)
+    | Expr_stmt e -> Expr_stmt (r e)
+    | If (c, b1, b2) -> If (r c, map_exprs_in_block f b1, map_exprs_in_block f b2)
+    | For (h, b) ->
+      For ({ h with lo = r h.lo; hi = r h.hi; step = r h.step }, map_exprs_in_block f b)
+    | While (c, b) -> While (r c, map_exprs_in_block f b)
+    | Return e -> Return (Option.map r e)
+    | (Break | Continue) as d -> d
+    | Scope b -> Scope (map_exprs_in_block f b)
+  in
+  { s with sdesc }
+
+and map_exprs_in_block f blk = List.map (map_exprs_in_stmt f) blk
+
+let map_exprs f p =
+  {
+    pglobals =
+      List.map
+        (function
+          | Gfunc fn -> Gfunc { fn with fbody = map_exprs_in_block f fn.fbody }
+          | Gdecl d ->
+            Gdecl
+              {
+                d with
+                dinit = Option.map (map_expr_bu f) d.dinit;
+                darray = Option.map (map_expr_bu f) d.darray;
+              })
+        p.pglobals;
+  }
+
+(* ---- id-addressed edits ---- *)
+
+let add_pragma p ~sid pragma =
+  map_stmts
+    (fun s -> if s.sid = sid then Some { s with pragmas = s.pragmas @ [ pragma ] } else None)
+    p
+
+let set_pragmas p ~sid pragmas =
+  map_stmts (fun s -> if s.sid = sid then Some { s with pragmas } else None) p
+
+let replace_stmt p ~sid stmt =
+  map_stmts (fun s -> if s.sid = sid then Some stmt else None) p
+
+let replace_stmt_with_block p ~sid stmts =
+  splice (fun s -> if s.sid = sid then Some stmts else None) p
+
+let insert_before p ~sid stmts =
+  splice (fun s -> if s.sid = sid then Some (stmts @ [ s ]) else None) p
+
+let insert_after p ~sid stmts =
+  splice (fun s -> if s.sid = sid then Some (s :: stmts) else None) p
+
+let delete_stmt p ~sid = splice (fun s -> if s.sid = sid then Some [] else None) p
+
+let replace_expr p ~eid expr =
+  map_exprs (fun e -> if e.eid = eid then Some expr else None) p
+
+(* ---- variable substitution ---- *)
+
+let subst_var_expr x replacement e =
+  map_expr_bu
+    (fun e ->
+      match e.edesc with
+      | Var v when v = x -> Some (refresh_expr replacement)
+      | _ -> None)
+    e
+
+let subst_var x replacement blk =
+  map_exprs_in_block
+    (fun e ->
+      match e.edesc with
+      | Var v when v = x -> Some (refresh_expr replacement)
+      | _ -> None)
+    blk
+
+let rename_var ~from ~to_ blk =
+  let rename_expr e =
+    match e.edesc with
+    | Var v when v = from -> Some { e with edesc = Var to_ }
+    | _ -> None
+  in
+  let rec fix_stmt s =
+    let s = map_exprs_in_stmt rename_expr s in
+    let sdesc =
+      match s.sdesc with
+      | Decl d when d.dname = from -> Decl { d with dname = to_ }
+      | For (h, b) when h.index = from ->
+        For ({ h with index = to_ }, List.map fix_stmt b)
+      | For (h, b) -> For (h, List.map fix_stmt b)
+      | If (c, b1, b2) -> If (c, List.map fix_stmt b1, List.map fix_stmt b2)
+      | While (c, b) -> While (c, List.map fix_stmt b)
+      | Scope b -> Scope (List.map fix_stmt b)
+      | d -> d
+    in
+    { s with sdesc }
+  in
+  List.map fix_stmt blk

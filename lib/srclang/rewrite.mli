@@ -1,0 +1,56 @@
+(** AST instrumentation and rewriting.
+
+    The paper's meta-programs "directly modify" source through instrument
+    operations (Fig. 2: [instrument(before, loop, #pragma unroll $n)]).  This
+    module provides those mechanisms: pragma insertion, statement
+    replacement/insertion/deletion addressed by node id, and generic
+    bottom-up statement/expression maps used by the optimising transforms.
+
+    All operations return a new program; the input is never mutated.
+    Addressing a non-existent id leaves the program unchanged (check with
+    {!Query.find_stmt} first when that matters). *)
+
+val map_stmts : (Ast.stmt -> Ast.stmt option) -> Ast.program -> Ast.program
+(** Top-down statement rewriting.  For each statement, if the function
+    returns [Some s'] the statement is replaced and the rewriter does not
+    descend into the replacement; on [None] it recurses into sub-blocks. *)
+
+val map_stmts_in_func : (Ast.stmt -> Ast.stmt option) -> Ast.func -> Ast.func
+
+val map_exprs : (Ast.expr -> Ast.expr option) -> Ast.program -> Ast.program
+(** Bottom-up expression rewriting over every expression in the program
+    (children first, then the rewritten node is offered to the function). *)
+
+val map_exprs_in_block : (Ast.expr -> Ast.expr option) -> Ast.block -> Ast.block
+
+val map_exprs_in_stmt : (Ast.expr -> Ast.expr option) -> Ast.stmt -> Ast.stmt
+
+val add_pragma : Ast.program -> sid:int -> Ast.pragma -> Ast.program
+(** Attach a pragma to the statement with id [sid] (appended after existing
+    pragmas) — the "instrument before" operation for directives. *)
+
+val set_pragmas : Ast.program -> sid:int -> Ast.pragma list -> Ast.program
+(** Replace the pragma list of a statement (used by DSE loops that re-try
+    different directive parameters). *)
+
+val replace_stmt : Ast.program -> sid:int -> Ast.stmt -> Ast.program
+
+val replace_stmt_with_block : Ast.program -> sid:int -> Ast.stmt list -> Ast.program
+(** Replace one statement by several (spliced without an extra scope). *)
+
+val insert_before : Ast.program -> sid:int -> Ast.stmt list -> Ast.program
+
+val insert_after : Ast.program -> sid:int -> Ast.stmt list -> Ast.program
+
+val delete_stmt : Ast.program -> sid:int -> Ast.program
+
+val replace_expr : Ast.program -> eid:int -> Ast.expr -> Ast.program
+
+val rename_var : from:string -> to_:string -> Ast.block -> Ast.block
+(** Capture-naive variable renaming inside a block (used when outlining
+    hotspots whose free variables clash with parameter names). *)
+
+val subst_var : string -> Ast.expr -> Ast.block -> Ast.block
+(** [subst_var x e blk] replaces every read of variable [x] by [e]. *)
+
+val subst_var_expr : string -> Ast.expr -> Ast.expr -> Ast.expr

@@ -1,0 +1,71 @@
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float * bool
+  | IDENT of string
+  | KW_VOID | KW_BOOL | KW_INT | KW_FLOAT | KW_DOUBLE
+  | KW_IF | KW_ELSE | KW_FOR | KW_WHILE | KW_RETURN
+  | KW_CONST | KW_TRUE | KW_FALSE | KW_RESTRICT | KW_BREAK | KW_CONTINUE
+  | PRAGMA of string
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMPAMP | BARBAR | BANG | AMP
+  | LT | LE | GT | GE | EQEQ | NE
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | FLOAT_LIT (f, single) -> string_of_float f ^ (if single then "f" else "")
+  | IDENT s -> s
+  | KW_VOID -> "void"
+  | KW_BOOL -> "bool"
+  | KW_INT -> "int"
+  | KW_FLOAT -> "float"
+  | KW_DOUBLE -> "double"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_FOR -> "for"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_CONST -> "const"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_RESTRICT -> "__restrict__"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | PRAGMA s -> "#pragma " ^ s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | BANG -> "!"
+  | AMP -> "&"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | ASSIGN -> "="
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | EOF -> "<eof>"

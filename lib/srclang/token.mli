@@ -1,0 +1,21 @@
+(** Tokens produced by the mini-C++ lexer. *)
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float * bool  (** value, [true] when suffixed with [f] (single precision) *)
+  | IDENT of string
+  | KW_VOID | KW_BOOL | KW_INT | KW_FLOAT | KW_DOUBLE
+  | KW_IF | KW_ELSE | KW_FOR | KW_WHILE | KW_RETURN
+  | KW_CONST | KW_TRUE | KW_FALSE | KW_RESTRICT | KW_BREAK | KW_CONTINUE
+  | PRAGMA of string  (** full pragma text after [#pragma], up to end of line *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMPAMP | BARBAR | BANG | AMP
+  | LT | LE | GT | GE | EQEQ | NE
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+val to_string : t -> string
+(** Human-readable rendering used in parse-error messages. *)

@@ -1,0 +1,153 @@
+(* Tests for the benchmark applications: every app parses, typechecks,
+   runs deterministically on both workloads, and exposes the loop
+   structure its paper-mandated classification depends on. *)
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_all_parse_and_typecheck () =
+  List.iter
+    (fun (app : App.t) ->
+      let p = App.program app in
+      check (app.app_slug ^ " typechecks") true (Typecheck.check_program p = Ok ()))
+    Suite.all
+
+let test_all_run_and_print () =
+  List.iter
+    (fun (app : App.t) ->
+      let r = App.run app in
+      check (app.app_slug ^ " prints a finite result") true
+        (match r.Machine.output with
+         | [ s ] ->
+           (match float_of_string_opt s with
+            | Some f -> Float.is_finite f
+            | None -> false)
+         | _ -> false))
+    Suite.all
+
+let test_all_deterministic () =
+  List.iter
+    (fun (app : App.t) ->
+      let a = (App.run app).Machine.output in
+      let b = (App.run app).Machine.output in
+      Alcotest.(check (list string)) (app.app_slug ^ " deterministic") a b)
+    Suite.all
+
+let test_workload_overrides_change_behaviour () =
+  let small = (App.run ~overrides:[ ("N", 64); ("STEPS", 1) ] Nbody.app).Machine.output in
+  let big = (App.run ~overrides:[ ("N", 96); ("STEPS", 1) ] Nbody.app).Machine.output in
+  check "different workloads differ" true (small <> big)
+
+let test_slugs_unique () =
+  let slugs = List.map (fun (a : App.t) -> a.app_slug) Suite.all in
+  checki "five apps" 5 (List.length slugs);
+  checki "unique" 5 (List.length (List.sort_uniq compare slugs))
+
+let test_find () =
+  check "find nbody" true (Suite.find "nbody" <> None);
+  check "find unknown" true (Suite.find "nope" = None)
+
+let test_sp_tolerance () =
+  check "rush larsen strict" true
+    (Suite.sp_rel_tolerance Rush_larsen.app < Suite.sp_rel_tolerance Nbody.app)
+
+let hotspot_loop (app : App.t) =
+  let p = App.program app in
+  let config =
+    { Machine.default_config with
+      overrides = App.machine_overrides app.app_test_overrides }
+  in
+  let hs = Hotspot.detect ~config p in
+  (p, hs)
+
+let test_nbody_structure () =
+  (* hotspot: parallel outer loop, inner j loop carries FP reductions with a
+     dynamic bound (the PSA's GPU case) *)
+  let p = App.program Nbody.app in
+  let fn = Option.get (Ast.find_func p "main") in
+  let loops = Query.loops_in_func fn in
+  check "has a depth-2 nest" true
+    (List.exists (fun (lm : Query.loop_match) -> Query.loop_depth lm.lm_ctx = 2) loops)
+
+let test_kmeans_memory_bound_shape () =
+  (* the assignment loop streams D doubles per point per candidate check,
+     keeping FLOPs/byte low: verified end-to-end in the flow tests; here we
+     check the structural precondition (flattened 2D accesses) *)
+  let p = App.program Kmeans.app in
+  let consts = Consteval.of_program p in
+  check "D is a small constant" true
+    (match Consteval.lookup consts "D" with Some d -> d <= 8 | None -> false)
+
+let test_adpredictor_unrollable_inner () =
+  let p = App.program Adpredictor.app in
+  let consts = Consteval.of_program p in
+  (match Consteval.lookup consts "F" with
+   | Some f -> check "F within PSA unroll threshold" true (f <= Psa.default_config.Psa.unroll_threshold)
+   | None -> Alcotest.fail "F missing")
+
+let test_rush_larsen_many_transcendentals () =
+  (* the kernel body must be big enough to overmap both FPGAs: ~4 exps per
+     gate across 10 gates *)
+  let p = App.program Rush_larsen.app in
+  let exp_calls =
+    Query.select_exprs p (fun e ->
+        match e.Ast.edesc with Ast.Call ("exp", _) -> true | _ -> false)
+  in
+  check "at least 40 exp sites" true (List.length exp_calls >= 40)
+
+let test_bezier_inner_bounds_above_threshold () =
+  let p = App.program Bezier.app in
+  let consts = Consteval.of_program p in
+  match Consteval.lookup consts "CP" with
+  | Some cp ->
+    check "CP-1 above PSA threshold" true
+      (cp - 1 > Psa.default_config.Psa.unroll_threshold)
+  | None -> Alcotest.fail "CP missing"
+
+let test_override_keys_are_globals () =
+  (* a typo in a workload key would silently do nothing: forbid *)
+  List.iter
+    (fun (app : App.t) ->
+      let p = App.program app in
+      let globals = List.map (fun (d : Ast.decl) -> d.dname) (Ast.globals_decls p) in
+      List.iter
+        (fun (key, _) ->
+          check
+            (Printf.sprintf "%s override %s is a global" app.app_slug key)
+            true (List.mem key globals))
+        (app.app_eval_overrides @ app.app_test_overrides))
+    Suite.all
+
+let test_outer_scale_positive () =
+  List.iter
+    (fun (app : App.t) ->
+      check (app.app_slug ^ " scale positive") true (app.app_outer_scale >= 1))
+    Suite.all
+
+let test_hotspots_cover_runs () =
+  List.iter
+    (fun (app : App.t) ->
+      let _, hs = hotspot_loop app in
+      match hs with
+      | h :: _ -> check (app.app_slug ^ " has a dominant loop") true (h.Hotspot.hs_share > 0.5)
+      | [] -> Alcotest.fail "no loops")
+    Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "all parse+typecheck" `Quick test_all_parse_and_typecheck;
+    Alcotest.test_case "all run" `Quick test_all_run_and_print;
+    Alcotest.test_case "all deterministic" `Quick test_all_deterministic;
+    Alcotest.test_case "workload overrides" `Quick test_workload_overrides_change_behaviour;
+    Alcotest.test_case "slugs unique" `Quick test_slugs_unique;
+    Alcotest.test_case "suite find" `Quick test_find;
+    Alcotest.test_case "sp tolerance" `Quick test_sp_tolerance;
+    Alcotest.test_case "nbody structure" `Quick test_nbody_structure;
+    Alcotest.test_case "kmeans shape" `Quick test_kmeans_memory_bound_shape;
+    Alcotest.test_case "adpredictor inner unrollable" `Quick test_adpredictor_unrollable_inner;
+    Alcotest.test_case "rush larsen transcendentals" `Quick test_rush_larsen_many_transcendentals;
+    Alcotest.test_case "bezier inner bounds" `Quick test_bezier_inner_bounds_above_threshold;
+    Alcotest.test_case "override keys are globals" `Quick test_override_keys_are_globals;
+    Alcotest.test_case "outer scale positive" `Quick test_outer_scale_positive;
+    Alcotest.test_case "hotspots cover runs" `Quick test_hotspots_cover_runs;
+  ]

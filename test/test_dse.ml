@@ -1,0 +1,147 @@
+(* Tests for the DSE framework and the three DSE tasks. *)
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- generic search ---- *)
+
+let test_sweep_minimises () =
+  match Search.sweep [ 1; 2; 3; 4 ] ~eval:(fun x -> Float.abs (float_of_int x -. 2.9)) with
+  | Some best -> checki "closest to 2.9" 3 best.Search.point
+  | None -> Alcotest.fail "no result"
+
+let test_sweep_skips_infinite () =
+  match
+    Search.sweep [ 1; 2; 3 ] ~eval:(fun x -> if x < 3 then Float.infinity else 1.0)
+  with
+  | Some best -> checki "only finite point" 3 best.Search.point
+  | None -> Alcotest.fail "should find the finite point"
+
+let test_sweep_empty () =
+  check "empty space" true (Search.sweep [] ~eval:(fun _ -> 0.0) = None)
+
+let test_sweep_all_infinite () =
+  check "all infinite" true
+    (Search.sweep [ 1; 2 ] ~eval:(fun _ -> Float.infinity) = None)
+
+let test_doubling_until () =
+  (* feasible up to 16 *)
+  check "grows to 16" true
+    (Search.doubling_until ~init:1 ~max:1024 ~feasible:(fun n -> n <= 16) = Some 16);
+  check "capped by max" true
+    (Search.doubling_until ~init:1 ~max:8 ~feasible:(fun _ -> true) = Some 8);
+  check "infeasible at init" true
+    (Search.doubling_until ~init:1 ~max:8 ~feasible:(fun _ -> false) = None)
+
+let test_powers_of_two () =
+  Alcotest.(check (list int)) "powers" [ 32; 64; 128; 256; 512; 1024 ]
+    (Search.powers_of_two ~lo:32 ~hi:1024)
+
+let qcheck_doubling_is_power_times_init =
+  QCheck.Test.make ~name:"doubling result is init times a power of two" ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 1 512))
+    (fun (init, cap) ->
+      match Search.doubling_until ~init ~max:2048 ~feasible:(fun n -> n <= cap) with
+      | None -> cap < init
+      | Some r ->
+        let rec pow2 x = x = 1 || (x mod 2 = 0 && pow2 (x / 2)) in
+        r mod init = 0 && pow2 (r / init) && r <= cap && (2 * r > cap || 2 * r > 2048))
+
+(* ---- task-level DSE on a real kernel ---- *)
+
+let prepared =
+  lazy
+    (let src =
+       "const int N = 48;\n\
+        void knl(const double* xs, double* out, int n) {\n\
+        for (int i = 0; i < n; i++) { out[i] = sqrt(xs[i] + 1.0); }\n\
+        }\n\
+        int main() { double xs[N]; double out[N]; for (int i = 0; i < N; i++) { xs[i] = rand01(); } knl(xs, out, N); print_float(out[0]); return 0; }"
+     in
+     let p = Parser.parse_program src in
+     let kp = Result.get_ok (Kprofile.collect p ~kernel:"knl") in
+     (p, Kprofile.scale kp 4096))
+
+let test_threads_dse () =
+  let p, kp = Lazy.force prepared in
+  let omp = Result.get_ok (Openmp.generate p ~kernel:"knl") in
+  let r = Threads_dse.run Device.epyc_7543 kp omp.Openmp.omp_program ~kernel:"knl" in
+  checki "selects all cores" 32 r.Threads_dse.td_threads;
+  check "annotated" true
+    (Openmp.num_threads r.Threads_dse.td_program ~kernel:"knl" = Some 32);
+  check "sweep covers 1..32" true (List.mem_assoc 1 r.Threads_dse.td_sweep)
+
+let test_blocksize_dse () =
+  let p, kp = Lazy.force prepared in
+  let hip = Result.get_ok (Hip.generate p ~kernel:"knl") in
+  let ks =
+    Result.get_ok
+      (Kstatic.of_kernel hip.Hip.hip_program ~fname:hip.Hip.hip_body_fn ~thread_index:"i")
+  in
+  let r =
+    Blocksize_dse.run Device.rtx_2080_ti ks kp ~base:Gpu_model.default_params
+      hip.Hip.hip_program ~launch_fn:hip.Hip.hip_launch_fn
+  in
+  check "power of two" true (List.mem r.Blocksize_dse.bd_blocksize [ 32; 64; 128; 256; 512; 1024 ]);
+  check "annotation updated" true
+    (Hip.blocksize r.Blocksize_dse.bd_program ~launch_fn:hip.Hip.hip_launch_fn
+     = Some r.Blocksize_dse.bd_blocksize);
+  check "chosen is best in sweep" true
+    (List.for_all
+       (fun (_, t) -> t >= r.Blocksize_dse.bd_estimate.Gpu_model.ge_time_s -. 1e-12)
+       r.Blocksize_dse.bd_sweep)
+
+let test_unroll_dse_fits () =
+  let p, kp = Lazy.force prepared in
+  let one = Result.get_ok (Oneapi.generate p ~kernel:"knl") in
+  let ks = Result.get_ok (Kstatic.of_kernel one.Oneapi.oneapi_program ~fname:one.Oneapi.oneapi_kernel_fn) in
+  let r =
+    Unroll_dse.run Device.pac_stratix10 ks kp ~zero_copy:false one.Oneapi.oneapi_program
+      ~kernel_fn:one.Oneapi.oneapi_kernel_fn
+  in
+  (match r.Unroll_dse.ud_unroll with
+   | Some u ->
+     check "unroll > 1 for tiny kernel" true (u > 1);
+     checki "annotated" u
+       (Unroll.outer_unroll_factor r.Unroll_dse.ud_program ~kernel:one.Oneapi.oneapi_kernel_fn)
+   | None -> Alcotest.fail "tiny kernel must fit");
+  check "trace visits increasing factors" true
+    (let factors = List.map fst r.Unroll_dse.ud_trace in
+     factors = List.sort_uniq compare factors)
+
+let test_unroll_dse_overmap () =
+  (* a kernel with hundreds of transcendental sites overmaps at unroll 1 *)
+  let body =
+    String.concat "\n"
+      (List.init 60 (fun k ->
+           Printf.sprintf "out[i] = out[i] + exp(xs[i] * %d.0);" (k + 1)))
+  in
+  let src =
+    Printf.sprintf
+      "const int N = 4;\n\
+       void knl(const double* xs, double* out, int n) {\n\
+       for (int i = 0; i < n; i++) { out[i] = 0.0;\n%s\n } }\n\
+       int main() { double xs[N]; double out[N]; for (int i = 0; i < N; i++) { xs[i] = rand01() * 0.01; } knl(xs, out, N); print_float(out[0]); return 0; }"
+      body
+  in
+  let p = Parser.parse_program src in
+  let kp = Result.get_ok (Kprofile.collect p ~kernel:"knl") in
+  let ks = Result.get_ok (Kstatic.of_kernel p ~fname:"knl") in
+  let r = Unroll_dse.run Device.pac_arria10 ks kp ~zero_copy:false p ~kernel_fn:"knl" in
+  check "overmapped at unroll 1" true (r.Unroll_dse.ud_unroll = None);
+  check "estimate marks infeasible" true r.Unroll_dse.ud_estimate.Fpga_model.fe_overmapped
+
+let suite =
+  [
+    Alcotest.test_case "sweep minimises" `Quick test_sweep_minimises;
+    Alcotest.test_case "sweep skips infinite" `Quick test_sweep_skips_infinite;
+    Alcotest.test_case "sweep empty" `Quick test_sweep_empty;
+    Alcotest.test_case "sweep all infinite" `Quick test_sweep_all_infinite;
+    Alcotest.test_case "doubling until" `Quick test_doubling_until;
+    Alcotest.test_case "powers of two" `Quick test_powers_of_two;
+    QCheck_alcotest.to_alcotest qcheck_doubling_is_power_times_init;
+    Alcotest.test_case "threads DSE" `Quick test_threads_dse;
+    Alcotest.test_case "blocksize DSE" `Quick test_blocksize_dse;
+    Alcotest.test_case "unroll DSE fits" `Quick test_unroll_dse_fits;
+    Alcotest.test_case "unroll DSE overmap" `Quick test_unroll_dse_overmap;
+  ]

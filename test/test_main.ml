@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("util", Test_util.suite);
+      ("srclang", Test_srclang.suite);
+      ("interp", Test_interp.suite);
+      ("analysis", Test_analysis.suite);
+      ("devices", Test_devices.suite);
+      ("codegen", Test_codegen.suite);
+      ("dse", Test_dse.suite);
+      ("apps", Test_apps.suite);
+      ("flow", Test_flow.suite);
+      ("properties", Test_props.suite);
+    ]

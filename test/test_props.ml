@@ -1,0 +1,229 @@
+(* Differential property tests: randomly generated (well-typed, total)
+   kernels are pushed through the frontend, rewriter and interpreter, and
+   through complete flow transforms, checking semantic preservation and
+   classification invariants. *)
+
+let check = Alcotest.(check bool)
+
+(* ---- a generator of safe straight-line loop kernels ----
+
+   Programs have the shape
+
+     const int N = 16;
+     int main() {
+       double x[N]; double y[N];
+       <init loop>
+       for (int i = 0; i < N; i++) { <random statements> }
+       <checksum print>
+     }
+
+   Expressions are double-valued, built from x[i], i, literals and locals;
+   square roots and divisions are guarded so evaluation is total. *)
+
+module Gen = struct
+  open QCheck.Gen
+
+  let leaf locals =
+    oneof
+      ([
+         map (fun n -> Printf.sprintf "%.2f" (float_of_int n /. 4.0)) (1 -- 40);
+         return "x[i]";
+         return "(double)i";
+       ]
+      @ List.map return locals)
+
+  let rec expr locals depth =
+    if depth = 0 then leaf locals
+    else
+      frequency
+        [
+          (3, leaf locals);
+          ( 4,
+            map3
+              (fun op a b -> Printf.sprintf "(%s %s %s)" a op b)
+              (oneofl [ "+"; "-"; "*" ])
+              (expr locals (depth - 1))
+              (expr locals (depth - 1)) );
+          (1, map (fun a -> Printf.sprintf "sqrt(fabs(%s) + 1.0)" a) (expr locals (depth - 1)));
+          ( 1,
+            map2
+              (fun a b -> Printf.sprintf "(%s / (fabs(%s) + 1.0))" a b)
+              (expr locals (depth - 1))
+              (expr locals (depth - 1)) );
+        ]
+
+  let stmt idx locals =
+    let e = expr locals 3 in
+    oneof
+      [
+        map (fun e -> (Printf.sprintf "double t%d = %s;" idx e, Some (Printf.sprintf "t%d" idx))) e;
+        map (fun e -> (Printf.sprintf "y[i] = %s;" e, None)) e;
+        map (fun e -> (Printf.sprintf "y[i] += %s;" e, None)) e;
+      ]
+
+  let body =
+    let rec build idx locals n acc =
+      if n = 0 then return (List.rev acc)
+      else
+        stmt idx locals >>= fun (line, binds) ->
+        let locals = match binds with Some t -> t :: locals | None -> locals in
+        build (idx + 1) locals (n - 1) (line :: acc)
+    in
+    2 -- 6 >>= fun n -> build 0 [] n []
+
+  let program =
+    map
+      (fun lines ->
+        Printf.sprintf
+          "const int N = 16;\n\
+           int main() {\n\
+           double x[N];\n\
+           double y[N];\n\
+           for (int i = 0; i < N; i++) { x[i] = rand01() + 0.5; y[i] = 0.0; }\n\
+           for (int i = 0; i < N; i++) {\n%s\n}\n\
+           double checksum = 0.0;\n\
+           for (int i = 0; i < N; i++) { checksum += y[i]; }\n\
+           print_float(checksum);\n\
+           return 0; }"
+          (String.concat "\n" lines))
+      body
+end
+
+let arbitrary_program = QCheck.make Gen.program ~print:Fun.id
+
+let parse = Parser.parse_program
+
+let prop_roundtrip_stable =
+  QCheck.Test.make ~name:"generated kernels: print/parse round trip is stable"
+    ~count:120 arbitrary_program (fun src ->
+      let p = parse src in
+      let t1 = Pretty.program_to_string p in
+      let t2 = Pretty.program_to_string (parse t1) in
+      String.equal t1 t2)
+
+let prop_typechecks =
+  QCheck.Test.make ~name:"generated kernels typecheck" ~count:120 arbitrary_program
+    (fun src -> Typecheck.check_program (parse src) = Ok ())
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"interpretation is deterministic" ~count:60
+    arbitrary_program (fun src ->
+      let p = parse src in
+      (Machine.run p).Machine.output = (Machine.run p).Machine.output)
+
+let prop_renumber_preserves_semantics =
+  QCheck.Test.make ~name:"Ast.renumber preserves semantics" ~count:60
+    arbitrary_program (fun src ->
+      let p = parse src in
+      (Machine.run p).Machine.output = (Machine.run (Ast.renumber p)).Machine.output)
+
+let prop_identity_rewrite =
+  QCheck.Test.make ~name:"identity expression rewrite is the identity" ~count:60
+    arbitrary_program (fun src ->
+      let p = parse src in
+      let p' = Rewrite.map_exprs (fun _ -> None) p in
+      String.equal (Pretty.program_to_string p) (Pretty.program_to_string p'))
+
+let prop_output_finite =
+  QCheck.Test.make ~name:"guarded kernels produce finite checksums" ~count:60
+    arbitrary_program (fun src ->
+      match (Machine.run (parse src)).Machine.output with
+      | [ s ] -> (match float_of_string_opt s with Some f -> Float.is_finite f | None -> false)
+      | _ -> false)
+
+let prop_region_counters_bounded =
+  QCheck.Test.make ~name:"region counters never exceed whole-program counters"
+    ~count:40 arbitrary_program (fun src ->
+      (* outline the compute loop and profile it as a region *)
+      let p = parse src in
+      match Hotspot.detect p with
+      | [] -> true
+      | h :: _ ->
+        (match Hotspot.extract p ~sid:h.Hotspot.hs_sid ~kernel_name:"knl" with
+         | Error _ -> true (* extraction legitimately refuses some shapes *)
+         | Ok ex ->
+           let config =
+             { Machine.default_config with regions = [ Machine.Rfunc "knl" ] }
+           in
+           let r = Machine.run ~config ex.Hotspot.ex_program in
+           (match Machine.find_region_stats r (Machine.Rfunc "knl") with
+            | None -> true
+            | Some rs ->
+              Counters.flops rs.Machine.rs_counters <= Counters.flops r.Machine.counters
+              && Counters.bytes rs.Machine.rs_counters <= Counters.bytes r.Machine.counters)))
+
+let prop_extraction_preserves_semantics =
+  QCheck.Test.make ~name:"hotspot extraction preserves program output" ~count:40
+    arbitrary_program (fun src ->
+      let p = parse src in
+      match Hotspot.detect p with
+      | [] -> true
+      | h :: _ ->
+        (match Hotspot.extract p ~sid:h.Hotspot.hs_sid ~kernel_name:"knl" with
+         | Error _ -> true
+         | Ok ex ->
+           (Machine.run p).Machine.output = (Machine.run ex.Hotspot.ex_program).Machine.output))
+
+let prop_scalarize_preserves_semantics =
+  QCheck.Test.make ~name:"scalarisation preserves program output" ~count:40
+    arbitrary_program (fun src ->
+      let p = parse src in
+      let loops = Query.loops p in
+      let p' =
+        List.fold_left
+          (fun p (lm : Query.loop_match) ->
+            Scalarize.apply p ~loop_sid:lm.lm_stmt.Ast.sid)
+          p loops
+      in
+      (Machine.run p).Machine.output = (Machine.run p').Machine.output)
+
+(* SIV classification: a[i + k] = a[i] is carried iff k <> 0 *)
+let prop_siv_distance =
+  QCheck.Test.make ~name:"SIV test: shifted self-assignment carried iff shift nonzero"
+    ~count:60
+    QCheck.(int_range (-3) 3)
+    (fun k ->
+      let src =
+        Printf.sprintf
+          "void f(double* a, int n) { for (int i = 3; i < n - 3; i++) { a[i + %d] = a[i] + 1.0; } }"
+          k
+      in
+      let p = parse src in
+      let v = Dependence.analyse_loop p (List.hd (Query.loops p)) in
+      if k = 0 then v.Dependence.parallel_with_reductions
+      else not v.Dependence.parallel_with_reductions)
+
+(* the OpenMP design of any parallel generated kernel stays equivalent *)
+let prop_openmp_design_equivalent =
+  QCheck.Test.make ~name:"OpenMP designs of generated kernels are equivalent" ~count:30
+    arbitrary_program (fun src ->
+      let p = parse src in
+      match Hotspot.detect p with
+      | [] -> true
+      | h :: _ ->
+        (match Hotspot.extract p ~sid:h.Hotspot.hs_sid ~kernel_name:"knl" with
+         | Error _ -> true
+         | Ok ex ->
+           (match Openmp.generate ex.Hotspot.ex_program ~kernel:"knl" with
+            | Error _ -> true (* non-parallel shapes are legitimately rejected *)
+            | Ok r ->
+              (Machine.run p).Machine.output
+              = (Machine.run r.Openmp.omp_program).Machine.output)))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_roundtrip_stable;
+      prop_typechecks;
+      prop_deterministic;
+      prop_renumber_preserves_semantics;
+      prop_identity_rewrite;
+      prop_output_finite;
+      prop_region_counters_bounded;
+      prop_extraction_preserves_semantics;
+      prop_scalarize_preserves_semantics;
+      prop_siv_distance;
+      prop_openmp_design_equivalent;
+    ]
+
+let _ = check
