@@ -1,0 +1,21 @@
+.PHONY: all check test bench bench-quick clean
+
+all:
+	dune build @all
+
+# tier-1 verification: everything compiles and the full test suite passes
+check:
+	dune build && dune runtest
+
+test: check
+
+# full evaluation-workload benchmark run
+bench:
+	dune exec bench/main.exe
+
+# fast perf smoke run; leaves a machine-readable trajectory in bench.json
+bench-quick:
+	dune exec bench/main.exe -- --quick --json bench.json
+
+clean:
+	dune clean

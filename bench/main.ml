@@ -17,33 +17,84 @@
    Usage:
      main.exe                 everything (evaluation workloads)
      main.exe --quick         test workloads (fast smoke run)
+     main.exe --jobs N        domains for parallel flow execution (1 = sequential)
+     main.exe --json FILE     dump per-section wall-clock times as JSON
      main.exe fig5 table1 fig6 ablation micro    any subset, in any order *)
 
-let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
+let argv = Array.to_list Sys.argv
+
+let quick = List.exists (fun a -> a = "--quick" || a = "-q") argv
+
+let opt_value flag =
+  let rec find = function
+    | a :: v :: _ when a = flag -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find argv
+
+let () =
+  match opt_value "--jobs" with
+  | None -> ()
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> Util.Pool.set_default_jobs n
+    | None ->
+      prerr_endline "bench: --jobs expects an integer";
+      exit 2)
+
+let json_file = opt_value "--json"
 
 let wants section =
   let named = [ "fig5"; "table1"; "fig6"; "micro"; "ablation" ] in
-  let requested = List.filter (fun a -> List.mem a named) (Array.to_list Sys.argv) in
+  let requested = List.filter (fun a -> List.mem a named) argv in
   requested = [] || List.mem section requested
+
+(* ---- per-section wall-clock accounting (for --json) ---- *)
+
+let timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+  r
+
+let write_json path ~total =
+  match open_out path with
+  | exception Sys_error msg ->
+    Printf.eprintf "bench: cannot write %s: %s\n" path msg;
+    exit 1
+  | oc ->
+  let entries = List.rev !timings @ [ ("total", total) ] in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"jobs\": %d,\n  \"sections\": {\n" quick
+    (Util.Pool.default_jobs ());
+  List.iteri
+    (fun i (name, t) ->
+      Printf.fprintf oc "    %S: %.6f%s\n" name t
+        (if i < List.length entries - 1 then "," else ""))
+    entries;
+  output_string oc "  }\n}\n";
+  close_out oc
 
 (* ---- experiment regeneration ---- *)
 
 let reports = lazy (Runs.ok_reports (Runs.collect ~quick ()))
 
 let run_experiments () =
-  let reports = Lazy.force reports in
-  if wants "fig5" then begin
-    print_newline ();
-    print_string (Fig5.render (Fig5.of_reports reports))
-  end;
-  if wants "table1" then begin
-    print_newline ();
-    print_string (Table1.render (Table1.of_reports reports))
-  end;
-  if wants "fig6" then begin
-    print_newline ();
-    print_string (Fig6.render (Fig6.of_reports reports))
-  end
+  let reports = timed "runs" (fun () -> Lazy.force reports) in
+  if wants "fig5" then
+    timed "fig5" (fun () ->
+        print_newline ();
+        print_string (Fig5.render (Fig5.of_reports reports)));
+  if wants "table1" then
+    timed "table1" (fun () ->
+        print_newline ();
+        print_string (Table1.render (Table1.of_reports reports)));
+  if wants "fig6" then
+    timed "fig6" (fun () ->
+        print_newline ();
+        print_string (Fig6.render (Fig6.of_reports reports)))
 
 (* ---- micro-benchmarks ---- *)
 
@@ -158,6 +209,10 @@ let run_ablation () =
   | Error e -> Printf.eprintf "fpga ablation failed: %s\n" e
 
 let () =
+  let t0 = Unix.gettimeofday () in
   if wants "fig5" || wants "table1" || wants "fig6" then run_experiments ();
-  if wants "ablation" then run_ablation ();
-  if wants "micro" then run_micro ()
+  if wants "ablation" then timed "ablation" run_ablation;
+  if wants "micro" then timed "micro" run_micro;
+  match json_file with
+  | Some path -> write_json path ~total:(Unix.gettimeofday () -. t0)
+  | None -> ()

@@ -45,6 +45,16 @@ let diff_arg =
   let doc = "Print a unified diff of each generated design against the reference source." in
   Arg.(value & flag & info [ "diff" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains used for parallel flow execution (branch fan-out, \
+     suite runs, DSE sweeps). Defaults to the recommended domain count; \
+     $(b,--jobs 1) forces the fully sequential reference semantics."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs = function Some n -> Util.Pool.set_default_jobs n | None -> ()
+
 let find_app slug =
   match Suite.find slug with
   | Some app -> Ok app
@@ -97,7 +107,8 @@ let emit_designs dir (rep : Engine.report) =
     rep.Engine.rep_designs
 
 let run_cmd =
-  let run slug file scale mode quick explain emit diff =
+  let run slug file scale mode quick explain emit diff jobs =
+    apply_jobs jobs;
     match (if file then app_of_file slug ~scale else find_app slug) with
     | Error msg ->
       prerr_endline msg;
@@ -142,7 +153,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ app_arg $ file_arg $ scale_arg $ mode_arg $ quick_arg
-          $ explain_arg $ emit_arg $ diff_arg)
+          $ explain_arg $ emit_arg $ diff_arg $ jobs_arg)
 
 let apps_cmd =
   let run () =
@@ -192,25 +203,31 @@ let with_reports quick f =
   end
 
 let fig5_cmd =
-  let run quick = with_reports quick (fun reports ->
-      print_string (Fig5.render (Fig5.of_reports reports)))
+  let run quick jobs =
+    apply_jobs jobs;
+    with_reports quick (fun reports ->
+        print_string (Fig5.render (Fig5.of_reports reports)))
   in
   let doc = "Regenerate Fig. 5 (speedups of all generated designs)." in
-  Cmd.v (Cmd.info "fig5" ~doc) Term.(const run $ quick_arg)
+  Cmd.v (Cmd.info "fig5" ~doc) Term.(const run $ quick_arg $ jobs_arg)
 
 let table1_cmd =
-  let run quick = with_reports quick (fun reports ->
-      print_string (Table1.render (Table1.of_reports reports)))
+  let run quick jobs =
+    apply_jobs jobs;
+    with_reports quick (fun reports ->
+        print_string (Table1.render (Table1.of_reports reports)))
   in
   let doc = "Regenerate Table I (added lines of code per design)." in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ quick_arg)
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ quick_arg $ jobs_arg)
 
 let fig6_cmd =
-  let run quick = with_reports quick (fun reports ->
-      print_string (Fig6.render (Fig6.of_reports reports)))
+  let run quick jobs =
+    apply_jobs jobs;
+    with_reports quick (fun reports ->
+        print_string (Fig6.render (Fig6.of_reports reports)))
   in
   let doc = "Regenerate Fig. 6 (FPGA vs GPU cost across price ratios)." in
-  Cmd.v (Cmd.info "fig6" ~doc) Term.(const run $ quick_arg)
+  Cmd.v (Cmd.info "fig6" ~doc) Term.(const run $ quick_arg $ jobs_arg)
 
 let dot_cmd =
   let run mode =
@@ -221,7 +238,8 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ mode_arg)
 
 let budget_cmd =
-  let run slug budget quick =
+  let run slug budget quick jobs =
+    apply_jobs jobs;
     match find_app slug with
     | Error msg ->
       prerr_endline msg;
@@ -261,7 +279,8 @@ let budget_cmd =
     Arg.(required & pos 1 (some float) None & info [] ~docv:"USD" ~doc)
   in
   let doc = "Run the informed flow under a monetary budget (Fig. 3's cost feedback)." in
-  Cmd.v (Cmd.info "budget" ~doc) Term.(const run $ app_arg $ budget_arg $ quick_arg)
+  Cmd.v (Cmd.info "budget" ~doc)
+    Term.(const run $ app_arg $ budget_arg $ quick_arg $ jobs_arg)
 
 let main =
   let doc = "auto-generating diverse heterogeneous designs (PSA-flows)" in

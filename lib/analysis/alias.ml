@@ -1,12 +1,8 @@
 type report = (string * bool) list
 
 let analyse ?config p =
-  let config =
-    match config with
-    | Some c -> { c with Machine.trace_aliases = true }
-    | None -> { Machine.default_config with trace_aliases = true }
-  in
-  (Machine.run ~config p).aliased_funcs
+  let config = Memo.analysis_config ?config () in
+  (Memo.run ~config p).aliased_funcs
 
 let no_alias report fname =
   match List.assoc_opt fname report with Some aliased -> not aliased | None -> false

@@ -18,12 +18,11 @@ let of_region_stats ~kernel (rs : Machine.region_stats) =
   }
 
 let analyse ?config p ~kernel =
+  let base = Memo.analysis_config ?config () in
   let config =
-    match config with
-    | Some c -> { c with Machine.regions = Machine.Rfunc kernel :: c.Machine.regions }
-    | None -> { Machine.default_config with regions = [ Machine.Rfunc kernel ] }
+    { base with Machine.regions = Machine.Rfunc kernel :: base.Machine.regions }
   in
-  let result = Machine.run ~config p in
+  let result = Memo.run ~config p in
   match Machine.find_region_stats result (Machine.Rfunc kernel) with
   | Some rs -> of_region_stats ~kernel rs
   | None ->

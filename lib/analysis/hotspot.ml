@@ -9,12 +9,8 @@ type hotspot = {
 }
 
 let detect ?config p =
-  let config =
-    match config with
-    | Some c -> { c with Machine.profile_loops = true }
-    | None -> { Machine.default_config with profile_loops = true }
-  in
-  let result = Machine.run ~config p in
+  let config = Memo.analysis_config ?config () in
+  let result = Memo.run ~config p in
   let total = Counters.work result.counters in
   let total = if total <= 0.0 then 1.0 else total in
   let candidates =

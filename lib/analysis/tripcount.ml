@@ -27,11 +27,7 @@ let of_result (p : Ast.program) (result : Machine.result) =
     loops
 
 let analyse ?config p =
-  let config =
-    match config with
-    | Some c -> { c with Machine.profile_loops = true }
-    | None -> { Machine.default_config with profile_loops = true }
-  in
-  of_result p (Machine.run ~config p)
+  let config = Memo.analysis_config ?config () in
+  of_result p (Memo.run ~config p)
 
 let find infos sid = List.find_opt (fun i -> i.tc_sid = sid) infos

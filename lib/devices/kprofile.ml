@@ -40,7 +40,7 @@ let collect ?config ?(unroll_threshold = 64) (p : Ast.program) ~kernel =
            regions = Machine.Rfunc kernel :: base.Machine.regions;
          }
        in
-       let result = Machine.run ~config p in
+       let result = Memo.run ~config p in
        (match Machine.find_region_stats result (Machine.Rfunc kernel) with
         | None -> Error (Printf.sprintf "kernel %s was never invoked" kernel)
         | Some region ->

@@ -12,7 +12,7 @@ let run (spec : Device.gpu_spec) (ks : Kstatic.t) (kp : Kprofile.t) ~base p ~lau
   in
   let sweep = Search.sweep_all candidates ~eval in
   let best =
-    match Search.sweep candidates ~eval with
+    match Search.best sweep with
     | Some b -> b.Search.point
     | None -> 256
   in

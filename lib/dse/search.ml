@@ -1,16 +1,19 @@
 type 'p evaluated = { point : 'p; score : float }
 
-let sweep_all points ~eval = List.map (fun point -> { point; score = eval point }) points
+let sweep_all points ~eval =
+  Util.Pool.map (fun point -> { point; score = eval point }) points
 
-let sweep points ~eval =
-  let best acc c =
+let best evaluated =
+  let pick acc c =
     if not (Float.is_finite c.score) then acc
     else
       match acc with
       | None -> Some c
       | Some b -> if c.score < b.score then Some c else acc
   in
-  List.fold_left best None (sweep_all points ~eval)
+  List.fold_left pick None evaluated
+
+let sweep points ~eval = best (sweep_all points ~eval)
 
 let doubling_until ~init ~max ~feasible =
   if init <= 0 then invalid_arg "Search.doubling_until: init must be positive";

@@ -12,7 +12,12 @@ val sweep : 'p list -> eval:('p -> float) -> 'p evaluated option
     point evaluates finite. *)
 
 val sweep_all : 'p list -> eval:('p -> float) -> 'p evaluated list
-(** Every point with its score, in input order (for reports). *)
+(** Every point with its score, in input order (for reports).  Points are
+    evaluated via {!Util.Pool.map}, so [eval] must be pure. *)
+
+val best : 'p evaluated list -> 'p evaluated option
+(** Minimal finite-score element of an evaluated sweep (first wins on
+    ties), without re-running any evaluation. *)
 
 val doubling_until : init:int -> max:int -> feasible:(int -> bool) -> int option
 (** Largest power-of-two multiple of [init] (init, 2·init, 4·init, ...)

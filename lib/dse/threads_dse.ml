@@ -14,7 +14,7 @@ let run (spec : Device.cpu_spec) (kp : Kprofile.t) p ~kernel =
   let eval threads = (Cpu_model.openmp spec ~threads kp).Cpu_model.ce_time_s in
   let sweep = Search.sweep_all candidates ~eval in
   let best =
-    match Search.sweep candidates ~eval with
+    match Search.best sweep with
     | Some b -> b.Search.point
     | None -> spec.Device.cores
   in

@@ -1,5 +1,5 @@
 let collect ?(quick = false) () =
-  List.map
+  Util.Pool.map
     (fun (app : App.t) ->
       let workload =
         if quick then app.App.app_test_overrides else app.App.app_eval_overrides

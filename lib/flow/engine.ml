@@ -33,14 +33,17 @@ let run ?psa_config ?workload ~mode app =
   let* outcomes = Graph.run (Pipeline.branch_a ?psa_config mode) analysed in
   let reference_program = App.program app in
   let* designs =
-    List.fold_left
-      (fun acc oc ->
-        let* acc = acc in
-        let* d =
-          Design.of_outcome ~app ~reference_program ~baseline_s ~reference_output oc
-        in
-        Ok (acc @ [ d ]))
-      (Ok []) outcomes
+    let folded =
+      List.fold_left
+        (fun acc oc ->
+          let* acc = acc in
+          let* d =
+            Design.of_outcome ~app ~reference_program ~baseline_s ~reference_output oc
+          in
+          Ok (d :: acc))
+        (Ok []) outcomes
+    in
+    Result.map List.rev folded
   in
   Ok
     {

@@ -19,6 +19,21 @@ let ( let* ) = Result.bind
 (* recognised physically by [run_node]: take every path of the branch *)
 let select_all _art = Ok ([] : string list)
 
+(* Concatenate per-element results in input order, surfacing the first
+   error in input order — the same answer the old sequential
+   short-circuiting fold produced, but linear (no [acc @ outs]) and
+   applicable to an already-computed list of results. *)
+let concat_results results =
+  let folded =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        let* outs = r in
+        Ok (outs :: acc))
+      (Ok []) results
+  in
+  Result.map (fun groups -> List.concat (List.rev groups)) folded
+
 let rec run_node node (oc : outcome) : (outcome list, string) result =
   match node with
   | Task t ->
@@ -27,15 +42,7 @@ let rec run_node node (oc : outcome) : (outcome list, string) result =
   | Seq nodes ->
     let step acc node =
       let* outcomes = acc in
-      let* fanned =
-        List.fold_left
-          (fun acc oc ->
-            let* acc = acc in
-            let* outs = run_node node oc in
-            Ok (acc @ outs))
-          (Ok []) outcomes
-      in
-      Ok fanned
+      concat_results (Util.Pool.map (fun oc -> run_node node oc) outcomes)
     in
     List.fold_left step (Ok [ oc ]) nodes
   | Branch bp ->
@@ -51,20 +58,19 @@ let rec run_node node (oc : outcome) : (outcome list, string) result =
           (Printf.sprintf "branch %s: strategy chose unknown path(s) %s" bp.bp_name
              (String.concat ", " missing))
     in
-    List.fold_left
-      (fun acc path_name ->
-        let* acc = acc in
-        let node = List.assoc path_name bp.bp_paths in
-        let tagged =
-          {
-            oc_path = oc.oc_path @ [ (bp.bp_name, path_name) ];
-            oc_artifact =
-              Artifact.logf oc.oc_artifact "<branch %s -> %s>" bp.bp_name path_name;
-          }
-        in
-        let* outs = run_node node tagged in
-        Ok (acc @ outs))
-      (Ok []) available
+    concat_results
+      (Util.Pool.map
+         (fun path_name ->
+           let node = List.assoc path_name bp.bp_paths in
+           let tagged =
+             {
+               oc_path = oc.oc_path @ [ (bp.bp_name, path_name) ];
+               oc_artifact =
+                 Artifact.logf oc.oc_artifact "<branch %s -> %s>" bp.bp_name path_name;
+             }
+           in
+           run_node node tagged)
+         available)
 
 let run node art = run_node node { oc_path = []; oc_artifact = art }
 

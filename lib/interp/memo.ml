@@ -1,0 +1,164 @@
+type stats = { hits : int; misses : int }
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild a program with ids renumbered 1..n in traversal order, dummy
+   locations, and every attribute the interpreter never reads stripped
+   (pragmas, restrict/const qualifiers).  Returns the canonical program
+   plus both directions of the statement-id mapping: [to_canon] is used
+   to canonicalize the requester's config and to store results under
+   canonical ids, [of_canon] to translate cached statistics back into
+   the requester's ids.
+
+   The traversal uses explicit lets so child ids are assigned strictly
+   left-to-right regardless of constructor-argument evaluation order. *)
+let canonicalize (p : Ast.program) =
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    !next
+  in
+  let to_canon : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let of_canon : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let open Ast in
+  let rec expr e =
+    let edesc =
+      match e.edesc with
+      | (Int_lit _ | Float_lit _ | Bool_lit _ | Var _) as d -> d
+      | Unary (op, a) -> Unary (op, expr a)
+      | Binary (op, a, b) ->
+        let a = expr a in
+        Binary (op, a, expr b)
+      | Call (f, args) -> Call (f, List.map expr args)
+      | Index (a, b) ->
+        let a = expr a in
+        Index (a, expr b)
+      | Cast (t, a) -> Cast (t, expr a)
+      | Cond (a, b, c) ->
+        let a = expr a in
+        let b = expr b in
+        Cond (a, b, expr c)
+    in
+    { eid = fresh (); eloc = Loc.dummy; edesc }
+  in
+  let decl d =
+    let dinit = Option.map expr d.dinit in
+    let darray = Option.map expr d.darray in
+    { d with dinit; darray; dconst = false }
+  in
+  let rec stmt s =
+    let sid = fresh () in
+    Hashtbl.replace to_canon s.sid sid;
+    Hashtbl.replace of_canon sid s.sid;
+    let sdesc =
+      match s.sdesc with
+      | Decl d -> Decl (decl d)
+      | Assign (lhs, op, rhs) ->
+        let lhs = expr lhs in
+        Assign (lhs, op, expr rhs)
+      | Expr_stmt e -> Expr_stmt (expr e)
+      | If (c, b1, b2) ->
+        let c = expr c in
+        let b1 = block b1 in
+        If (c, b1, block b2)
+      | For (h, b) ->
+        let lo = expr h.lo in
+        let hi = expr h.hi in
+        let step = expr h.step in
+        For ({ h with lo; hi; step }, block b)
+      | While (c, b) ->
+        let c = expr c in
+        While (c, block b)
+      | Return e -> Return (Option.map expr e)
+      | (Break | Continue) as d -> d
+      | Scope b -> Scope (block b)
+    in
+    { sid; sloc = Loc.dummy; pragmas = []; sdesc }
+  and block b = List.map stmt b in
+  let param (prm : param) = { prm with prm_restrict = false; prm_const = false } in
+  let global = function
+    | Gfunc f ->
+      let fparams = List.map param f.fparams in
+      Gfunc { f with fparams; fbody = block f.fbody; floc = Loc.dummy }
+    | Gdecl d -> Gdecl (decl d)
+  in
+  ({ pglobals = List.map global p.pglobals }, to_canon, of_canon)
+
+let trans_sid map sid = Option.value (Hashtbl.find_opt map sid) ~default:sid
+
+let trans_region map = function
+  | Machine.Rstmt sid -> Machine.Rstmt (trans_sid map sid)
+  | r -> r
+
+(* Regions are a set as far as the interpreter is concerned (membership
+   tests only), so sorting them makes the key order-insensitive. *)
+let canon_config to_canon (c : Machine.config) =
+  let regions = List.sort compare (List.map (trans_region to_canon) c.Machine.regions) in
+  { c with Machine.regions }
+
+let translate map (r : Machine.result) =
+  {
+    r with
+    Machine.loop_stats =
+      List.map (fun (sid, ls) -> (trans_sid map sid, ls)) r.Machine.loop_stats;
+    region_stats =
+      List.map (fun (rg, rs) -> (trans_region map rg, rs)) r.Machine.region_stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Keys are digests of the marshalled canonical pair: programs and
+   configs are closure-free data, and a digest avoids rehashing deep
+   trees on every bucket comparison. *)
+let key_of canon_p config = Digest.string (Marshal.to_string (canon_p, config) [])
+
+let max_entries = 256
+
+let table : (Digest.t, Machine.result) Hashtbl.t = Hashtbl.create 64
+let hit_count = ref 0
+let miss_count = ref 0
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let stats () = with_lock (fun () -> { hits = !hit_count; misses = !miss_count })
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      hit_count := 0;
+      miss_count := 0)
+
+let run ?(config = Machine.default_config) p =
+  let canon_p, to_canon, of_canon = canonicalize p in
+  let key = key_of canon_p (canon_config to_canon config) in
+  let cached =
+    with_lock (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some r ->
+          incr hit_count;
+          Some r
+        | None ->
+          incr miss_count;
+          None)
+  in
+  match cached with
+  | Some r -> translate of_canon r
+  | None ->
+    (* Interpret outside the lock; two domains racing on the same key
+       both compute the (deterministic) result and one insert wins.
+       Failed runs propagate their exception and are never cached. *)
+    let result = Machine.run ~config p in
+    with_lock (fun () ->
+        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+        Hashtbl.replace table key (translate to_canon result));
+    result
+
+let analysis_config ?(config = Machine.default_config) () =
+  { config with Machine.profile_loops = true; trace_aliases = true }

@@ -1,0 +1,51 @@
+(** Memoization of {!Machine.run}.
+
+    A flow run interprets the same program many times: hotspot detection,
+    trip-count analysis, alias tracing, data-movement analysis and kernel
+    profiling all execute the identical [(program, config)] pair, and
+    ablation/DSE studies re-run whole branches over shared prefixes.  This
+    table caches {!Machine.result}s keyed by a canonical form of the pair
+    so each distinct interpretation happens once per process.
+
+    Canonicalization makes the key independent of accidents of program
+    identity: expression/statement ids are renumbered in traversal order,
+    source locations are dummied, and attributes the interpreter never
+    reads (pragmas, [restrict]/[const] qualifiers) are stripped.  Two
+    programs that the interpreter cannot distinguish therefore share one
+    cache entry, even when one was produced from the other by a
+    pragma-only transform or an id-refreshing rewrite.  Cached loop and
+    region statistics are translated back into the requester's own
+    statement ids on every lookup, so a hit is structurally equivalent to
+    a direct run.
+
+    Thread safety: the table is mutex-guarded and safe to use from
+    {!Util.Pool} workers.  Interpretation happens outside the lock; two
+    domains racing on the same key may both compute it (both get correct
+    results, one insertion wins).
+
+    Sharing caveat: a cached {!Machine.result} is returned to every
+    requester, so [result.memory] and [result.counters] are physically
+    shared.  Callers must treat results as read-only — all in-tree
+    consumers do ({!Counters.scale}, {!Counters.diff} and
+    {!Memory.to_float_array} are non-mutating). *)
+
+type stats = { hits : int; misses : int }
+
+val stats : unit -> stats
+(** Cumulative hit/miss counts since the last {!reset}. *)
+
+val reset : unit -> unit
+(** Empty the table and zero the counters. *)
+
+val run : ?config:Machine.config -> Ast.program -> Machine.result
+(** Memoizing equivalent of {!Machine.run}.  Exceptions
+    ({!Machine.Runtime_error}, {!Machine.Step_limit_exceeded}, ...)
+    propagate and are never cached. *)
+
+val analysis_config : ?config:Machine.config -> unit -> Machine.config
+(** The shared instrumentation configuration used by the standalone
+    analyses (hotspot, trip count, alias): [config] (default
+    {!Machine.default_config}) with [profile_loops] and [trace_aliases]
+    both enabled.  Instrumentation is purely observational, so turning
+    both on lets every analysis of a program share one interpretation
+    instead of one per analysis. *)

@@ -81,11 +81,11 @@ type global =
 
 type program = { pglobals : global list }
 
-let counter = ref 0
+(* Atomic so that rewrites running on several domains at once (see
+   Util.Pool) never hand out the same id twice. *)
+let counter = Atomic.make 0
 
-let fresh_id () =
-  incr counter;
-  !counter
+let fresh_id () = 1 + Atomic.fetch_and_add counter 1
 
 let mk_expr ?(loc = Loc.dummy) edesc = { eid = fresh_id (); eloc = loc; edesc }
 

@@ -1,0 +1,99 @@
+type t = { size : int }
+
+(* The OCaml 5 runtime supports at most 128 live domains; stay a couple
+   below so library users can spawn their own. *)
+let hard_cap = 126
+
+let clamp jobs = max 1 (min jobs hard_cap)
+
+let create ~jobs = { size = clamp jobs }
+
+let size t = t.size
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Default parallelism plus a global budget of spare domains.  Every
+   parallel [map] (on the default pool) draws the extra domains it wants
+   from [spare] and returns them when done; nested maps that find the
+   budget empty run sequentially, so the total number of live domains
+   is bounded by the configured job count no matter how maps nest. *)
+let default = Atomic.make (clamp (recommended_jobs ()))
+let spare = Atomic.make (clamp (recommended_jobs ()) - 1)
+
+let set_default_jobs jobs =
+  let jobs = clamp jobs in
+  Atomic.set default jobs;
+  Atomic.set spare (jobs - 1)
+
+let default_jobs () = Atomic.get default
+
+let rec take_spare want =
+  if want <= 0 then 0
+  else
+    let cur = Atomic.get spare in
+    if cur <= 0 then 0
+    else
+      let got = min want cur in
+      if Atomic.compare_and_set spare cur (cur - got) then got
+      else take_spare want
+
+let release_spare n = if n > 0 then ignore (Atomic.fetch_and_add spare n)
+
+(* Run [f] over [input] on [extra + 1] domains (the caller participates).
+   Work is handed out by an atomic cursor; each slot records either the
+   result or the exception (with backtrace) of its element. *)
+let parallel_run f input extra =
+  let n = Array.length input in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let slot =
+          match f input.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some slot;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = List.init extra (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  (* Re-raise the first failure in input order, as a sequential map
+     would have surfaced it. *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results;
+  List.init n (fun i ->
+      match results.(i) with
+      | Some (Ok v) -> v
+      | Some (Error _) | None -> assert false)
+
+let map ?pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ -> (
+    let n = List.length xs in
+    match pool with
+    | Some p ->
+      (* Explicit pools bound themselves; they do not touch the global
+         budget (tests use them to force parallelism regardless of the
+         configured default). *)
+      let extra = min (p.size - 1) (n - 1) in
+      if extra <= 0 then List.map f xs
+      else parallel_run f (Array.of_list xs) extra
+    | None ->
+      let extra = take_spare (min (default_jobs () - 1) (n - 1)) in
+      if extra <= 0 then List.map f xs
+      else
+        Fun.protect
+          ~finally:(fun () -> release_spare extra)
+          (fun () -> parallel_run f (Array.of_list xs) extra))

@@ -1,0 +1,44 @@
+(** A fixed-size work pool built on OCaml 5 domains.
+
+    [map] distributes list elements over a bounded number of domains and
+    returns the results in input order, so a parallel map is observably
+    identical to [List.map] whenever [f] is pure.  Exceptions raised by
+    [f] are marshalled back to the submitting domain and re-raised there
+    (the exception of the smallest-index failing element wins, with its
+    original backtrace), mirroring the first failure a sequential
+    left-to-right map would have hit.
+
+    The module keeps a global budget of spare domains so that nested
+    [map] calls — e.g. a parallel suite run whose flows fan out branch
+    paths in parallel — can never oversubscribe the machine or deadlock:
+    when no spare domain is available the map simply degrades to the
+    sequential path.  With [set_default_jobs 1] every call takes the
+    sequential path, which is the reference semantics. *)
+
+type t
+(** A pool descriptor: a requested degree of parallelism. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] makes a pool that uses at most [jobs] domains
+    (including the caller's).  [jobs] is clamped to [\[1; 126\]]. *)
+
+val size : t -> int
+(** Degree of parallelism the pool was created with (after clamping). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Set the degree of parallelism used by [map] when no explicit pool is
+    given, and reset the global spare-domain budget accordingly.  The
+    initial default is [recommended_jobs ()]. *)
+
+val default_jobs : unit -> int
+(** Current default degree of parallelism. *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs], computed on up to [size pool]
+    domains (the default pool when [?pool] is omitted).  Results keep
+    their input order.  Runs sequentially when the list has fewer than
+    two elements, when the pool size is 1, or when the spare-domain
+    budget is exhausted. *)

@@ -2,8 +2,10 @@ let () =
   Alcotest.run "repro"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("srclang", Test_srclang.suite);
       ("interp", Test_interp.suite);
+      ("memo", Test_memo.suite);
       ("analysis", Test_analysis.suite);
       ("devices", Test_devices.suite);
       ("codegen", Test_codegen.suite);

@@ -1,0 +1,150 @@
+(* Tests for Util.Pool: ordering, exception marshalling, sequential
+   fallbacks, nesting, and a differential property checking that a
+   parallel Engine.run is observably identical to the sequential one on
+   every benchmark. *)
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+exception Boom of int
+
+let restore_jobs () = Util.Pool.set_default_jobs (Util.Pool.recommended_jobs ())
+
+let test_map_matches_sequential () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * 7) mod 13 in
+  let pool = Util.Pool.create ~jobs:4 in
+  Alcotest.(check (list int)) "same results, same order" (List.map f xs)
+    (Util.Pool.map ~pool f xs)
+
+let test_map_empty_and_singleton () =
+  let pool = Util.Pool.create ~jobs:4 in
+  Alcotest.(check (list int)) "empty" [] (Util.Pool.map ~pool (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (Util.Pool.map ~pool (fun x -> x + 2) [ 7 ])
+
+let test_map_size_one_pool () =
+  let pool = Util.Pool.create ~jobs:1 in
+  checki "clamped size" 1 (Util.Pool.size pool);
+  let trace = ref [] in
+  let out =
+    Util.Pool.map ~pool
+      (fun x ->
+        trace := x :: !trace;
+        x * x)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results" [ 1; 4; 9 ] out;
+  (* size-1 pools run in the calling domain, strictly left to right *)
+  Alcotest.(check (list int)) "sequential order" [ 1; 2; 3 ] (List.rev !trace)
+
+let test_exception_propagates () =
+  let pool = Util.Pool.create ~jobs:4 in
+  match Util.Pool.map ~pool (fun x -> if x = 5 then raise (Boom x) else x)
+          (List.init 10 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 5 -> ()
+
+let test_first_exception_wins () =
+  (* several elements fail; the smallest-index failure is re-raised, as a
+     sequential left-to-right map would surface it *)
+  let pool = Util.Pool.create ~jobs:4 in
+  match
+    Util.Pool.map ~pool
+      (fun x -> if x >= 3 then raise (Boom x) else x)
+      (List.init 10 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom n -> checki "first failing index" 3 n
+
+let test_nested_maps () =
+  let pool = Util.Pool.create ~jobs:3 in
+  let expected = List.init 5 (fun i -> List.init 5 (fun j -> i * j)) in
+  let got =
+    Util.Pool.map ~pool
+      (fun i -> Util.Pool.map ~pool (fun j -> i * j) (List.init 5 (fun j -> j)))
+      (List.init 5 (fun i -> i))
+  in
+  check "nested parallel maps" true (got = expected)
+
+let test_default_jobs_roundtrip () =
+  let before = Util.Pool.default_jobs () in
+  Util.Pool.set_default_jobs 3;
+  checki "set" 3 (Util.Pool.default_jobs ());
+  Util.Pool.set_default_jobs 1;
+  checki "sequential" 1 (Util.Pool.default_jobs ());
+  Util.Pool.set_default_jobs before;
+  checki "restored" before (Util.Pool.default_jobs ())
+
+(* ---- parallel flow == sequential flow, observably ---- *)
+
+(* Log lines embed statement ids ("hotspot: loop 190 in main"), and ids
+   depend on the global fresh-id counter, which has advanced by a
+   different amount before the second run of the same app — in *any* two
+   successive runs, sequential or not.  Blank the digits right after
+   "loop " so the comparison sees the id-independent content. *)
+let normalize_line line =
+  let buf = Buffer.create (String.length line) in
+  let n = String.length line in
+  let is_digit c = c >= '0' && c <= '9' in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 5 <= n && String.sub line !i 5 = "loop " then begin
+      Buffer.add_string buf "loop ";
+      i := !i + 5;
+      if !i < n && is_digit line.[!i] then begin
+        Buffer.add_char buf '#';
+        while !i < n && is_digit line.[!i] do
+          incr i
+        done
+      end
+    end
+    else begin
+      Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let observe (rep : Engine.report) =
+  ( Report.decision_text rep,
+    Report.design_table rep,
+    List.map
+      (fun (d : Design.t) ->
+        (d.Design.d_path, Target.short d.Design.d_target, d.Design.d_valid,
+         d.Design.d_speedup, d.Design.d_time_s,
+         List.map normalize_line d.Design.d_log))
+      rep.Engine.rep_designs )
+
+let prop_parallel_run_equals_sequential =
+  QCheck.Test.make ~count:5 ~name:"parallel Engine.run == sequential (all apps)"
+    (QCheck.make
+       ~print:(fun i -> (List.nth Suite.all (i mod List.length Suite.all)).App.app_slug)
+       QCheck.Gen.(0 -- (List.length Suite.all - 1)))
+    (fun i ->
+      let app = List.nth Suite.all i in
+      let run () =
+        Engine.run ~workload:app.App.app_test_overrides ~mode:Pipeline.Uninformed app
+      in
+      Util.Pool.set_default_jobs 1;
+      let sequential = run () in
+      Util.Pool.set_default_jobs 4;
+      let parallel = run () in
+      restore_jobs ();
+      match (sequential, parallel) with
+      | Ok s, Ok p -> observe s = observe p
+      | Error a, Error b -> a = b
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let suite =
+  [
+    ("pool map matches sequential map", `Quick, test_map_matches_sequential);
+    ("pool map on empty/singleton lists", `Quick, test_map_empty_and_singleton);
+    ("pool of size 1 runs sequentially", `Quick, test_map_size_one_pool);
+    ("exceptions propagate to the submitter", `Quick, test_exception_propagates);
+    ("first failure in input order wins", `Quick, test_first_exception_wins);
+    ("nested maps neither deadlock nor reorder", `Quick, test_nested_maps);
+    ("default jobs can be set and restored", `Quick, test_default_jobs_roundtrip);
+    QCheck_alcotest.to_alcotest prop_parallel_run_equals_sequential;
+  ]
