@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-quick clean
+.PHONY: all check test bench bench-quick bench-compare clean
 
 all:
 	dune build @all
@@ -16,6 +16,13 @@ bench:
 # fast perf smoke run; leaves a machine-readable trajectory in bench.json
 bench-quick:
 	dune exec bench/main.exe -- --quick --json bench.json
+
+# regression gate: re-run the quick bench and diff against the committed
+# seed baseline (fails on >20% regression in any section or in
+# interpreter throughput, or if the compiled backend drops below 3x the
+# seed walker)
+bench-compare: bench-quick
+	dune exec bench/compare.exe -- bench.json BENCH_seed.json
 
 clean:
 	dune clean

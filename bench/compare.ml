@@ -1,0 +1,239 @@
+(* Compare two bench JSON dumps (written by main.exe --json) and fail on
+   performance regressions.
+
+   Usage: compare.exe CURRENT.json BASELINE.json
+
+   Gates:
+   - every wall-clock section present in both files may regress by at
+     most 20% (lower is better);
+   - every "statements_per_sec" entry present in both files may regress
+     by at most 20% (higher is better);
+   - the current compiled-backend throughput must be at least 3x the
+     baseline walker throughput (the committed seed baseline was produced
+     with --interp ast, so its "ast" entry is the pre-compilation
+     interpreter on the recording host).
+
+   Exit status 1 on any violation, 0 otherwise.  The JSON reader below is
+   a minimal recursive-descent parser for the subset bench emits (objects,
+   strings, numbers, booleans); no external dependency. *)
+
+type json =
+  | Obj of (string * json) list
+  | Num of float
+  | Bool of bool
+  | Str of string
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some 'n' -> Buffer.add_char b '\n'
+         | Some 't' -> Buffer.add_char b '\t'
+         | Some c -> Buffer.add_char b c
+         | None -> fail "unterminated escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some ('0' .. '9' | '-') -> Num (number ())
+    | _ -> fail "unexpected character"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws ();
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance ();
+          List.rev ((k, v) :: acc)
+        | _ -> fail "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+    Printf.eprintf "compare: cannot read %s: %s\n" path msg;
+    exit 2
+  | ic ->
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let num_members j =
+  match j with
+  | Obj fields ->
+    List.filter_map (function k, Num f -> Some (k, f) | _ -> None) fields
+  | _ -> []
+
+let tolerance = 0.20
+
+(* sections this fast are dominated by scheduling noise; report but never
+   gate on them *)
+let section_floor_s = 0.05
+
+let failures = ref 0
+
+let report fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL  %s\n" msg)
+    fmt
+
+let () =
+  let current_path, baseline_path =
+    match Sys.argv with
+    | [| _; c; b |] -> (c, b)
+    | _ ->
+      prerr_endline "usage: compare.exe CURRENT.json BASELINE.json";
+      exit 2
+  in
+  let parse path =
+    try parse_json (read_file path)
+    with Parse_error msg ->
+      Printf.eprintf "compare: %s: %s\n" path msg;
+      exit 2
+  in
+  let current = parse current_path in
+  let baseline = parse baseline_path in
+  (* wall-clock sections: lower is better *)
+  let cur_sections = Option.fold ~none:[] ~some:num_members (member "sections" current) in
+  let base_sections =
+    Option.fold ~none:[] ~some:num_members (member "sections" baseline)
+  in
+  List.iter
+    (fun (name, base_t) ->
+      match List.assoc_opt name cur_sections with
+      | None -> ()
+      | Some cur_t ->
+        if Float.max base_t cur_t < section_floor_s then
+          Printf.printf "ok    section %-10s %.3fs -> %.3fs (below noise floor)\n" name
+            base_t cur_t
+        else if base_t > 0.0 && cur_t > base_t *. (1.0 +. tolerance) then
+          report "section %-10s %.3fs -> %.3fs (+%.0f%%, limit +%.0f%%)" name base_t
+            cur_t
+            ((cur_t /. base_t -. 1.0) *. 100.0)
+            (tolerance *. 100.0)
+        else
+          Printf.printf "ok    section %-10s %.3fs -> %.3fs\n" name base_t cur_t)
+    base_sections;
+  (* interpreter throughput: higher is better *)
+  let cur_tp =
+    Option.fold ~none:[] ~some:num_members (member "statements_per_sec" current)
+  in
+  let base_tp =
+    Option.fold ~none:[] ~some:num_members (member "statements_per_sec" baseline)
+  in
+  List.iter
+    (fun (name, base_sps) ->
+      match List.assoc_opt name cur_tp with
+      | None -> ()
+      | Some cur_sps ->
+        if base_sps > 0.0 && cur_sps < base_sps *. (1.0 -. tolerance) then
+          report "throughput %-8s %.2e -> %.2e stmts/s (%.0f%%, limit -%.0f%%)" name
+            base_sps cur_sps
+            ((cur_sps /. base_sps -. 1.0) *. 100.0)
+            (tolerance *. 100.0)
+        else
+          Printf.printf "ok    throughput %-8s %.2e -> %.2e stmts/s\n" name base_sps
+            cur_sps)
+    base_tp;
+  (* the compiled backend must hold its >= 3x win over the seed walker *)
+  (match List.assoc_opt "ast" base_tp, List.assoc_opt "compiled" cur_tp with
+   | Some base_ast, Some cur_compiled when base_ast > 0.0 ->
+     let ratio = cur_compiled /. base_ast in
+     if ratio < 3.0 then
+       report "compiled backend only %.2fx the seed walker (needs >= 3x)" ratio
+     else Printf.printf "ok    compiled backend %.2fx the seed walker (>= 3x)\n" ratio
+   | _ -> ());
+  if !failures > 0 then begin
+    Printf.printf "%d regression%s detected\n" !failures
+      (if !failures = 1 then "" else "s");
+    exit 1
+  end
+  else print_endline "no regressions"

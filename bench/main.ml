@@ -19,7 +19,8 @@
      main.exe --quick         test workloads (fast smoke run)
      main.exe --jobs N        domains for parallel flow execution (1 = sequential)
      main.exe --json FILE     dump per-section wall-clock times as JSON
-     main.exe fig5 table1 fig6 ablation micro    any subset, in any order *)
+     main.exe --interp B      default interpreter backend: ast | compiled
+     main.exe fig5 table1 fig6 ablation micro interp    any subset, in any order *)
 
 let argv = Array.to_list Sys.argv
 
@@ -43,10 +44,20 @@ let () =
       prerr_endline "bench: --jobs expects an integer";
       exit 2)
 
+let () =
+  match opt_value "--interp" with
+  | None -> ()
+  | Some v -> (
+    match Machine.backend_of_string v with
+    | Some b -> Machine.set_default_backend b
+    | None ->
+      prerr_endline "bench: --interp expects 'ast' or 'compiled'";
+      exit 2)
+
 let json_file = opt_value "--json"
 
 let wants section =
-  let named = [ "fig5"; "table1"; "fig6"; "micro"; "ablation" ] in
+  let named = [ "fig5"; "table1"; "fig6"; "micro"; "ablation"; "interp" ] in
   let requested = List.filter (fun a -> List.mem a named) argv in
   requested = [] || List.mem section requested
 
@@ -59,6 +70,10 @@ let timed name f =
   let r = f () in
   timings := (name, Unix.gettimeofday () -. t0) :: !timings;
   r
+
+(* interpreter throughput per backend (statements/s), filled by the
+   "interp" section and reported under "statements_per_sec" in the JSON *)
+let throughput : (string * float) list ref = ref []
 
 let write_json path ~total =
   match open_out path with
@@ -74,6 +89,13 @@ let write_json path ~total =
       Printf.fprintf oc "    %S: %.6f%s\n" name t
         (if i < List.length entries - 1 then "," else ""))
     entries;
+  output_string oc "  },\n  \"statements_per_sec\": {\n";
+  let tp = !throughput in
+  List.iteri
+    (fun i (name, sps) ->
+      Printf.fprintf oc "    %S: %.1f%s\n" name sps
+        (if i < List.length tp - 1 then "," else ""))
+    tp;
   output_string oc "  }\n}\n";
   close_out oc
 
@@ -192,6 +214,55 @@ let run_micro () =
   print_endline "Micro-benchmarks of the pipeline stages (Bechamel, OLS time/run)";
   Util.Table.print table
 
+(* ---- interpreter throughput ---- *)
+
+let run_interp_throughput () =
+  let reps = if quick then 1 else 3 in
+  let inputs =
+    List.map
+      (fun (app : App.t) ->
+        let overrides =
+          if quick then app.App.app_test_overrides else app.App.app_eval_overrides
+        in
+        let config =
+          { Machine.default_config with
+            overrides = App.machine_overrides overrides }
+        in
+        (config, App.program app))
+      Suite.all
+  in
+  let measure backend =
+    let steps = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      List.iter
+        (fun (config, p) ->
+          let r = Machine.run ~config ~backend p in
+          steps := !steps + r.Machine.counters.Counters.steps)
+        inputs
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (float_of_int !steps /. dt, !steps)
+  in
+  let ast_sps, steps = measure `Ast in
+  let compiled_sps, _ = measure `Compiled in
+  throughput := [ ("ast", ast_sps); ("compiled", compiled_sps) ];
+  let table = Util.Table.create ~headers:[ "backend"; "statements/s"; "speedup" ] in
+  Util.Table.set_aligns table [ Util.Table.Left; Util.Table.Right; Util.Table.Right ];
+  Util.Table.add_row table [ "ast (tree walker)"; Printf.sprintf "%.2e" ast_sps; "1.00x" ];
+  Util.Table.add_row table
+    [ "compiled (closures)";
+      Printf.sprintf "%.2e" compiled_sps;
+      Printf.sprintf "%.2fx" (compiled_sps /. ast_sps) ];
+  print_newline ();
+  Printf.printf
+    "Interpreter throughput - five suite apps, %s workloads, %d rep%s (%d statements/run)\n"
+    (if quick then "test" else "evaluation")
+    reps
+    (if reps = 1 then "" else "s")
+    (steps / reps);
+  Util.Table.print table
+
 let run_ablation () =
   (* the transforms' individual contributions, on the two accelerator-won
      benchmarks: N-Body (GPU) and AdPredictor (FPGA) *)
@@ -213,6 +284,7 @@ let () =
   if wants "fig5" || wants "table1" || wants "fig6" then run_experiments ();
   if wants "ablation" then timed "ablation" run_ablation;
   if wants "micro" then timed "micro" run_micro;
+  if wants "interp" then timed "interp" run_interp_throughput;
   match json_file with
   | Some path -> write_json path ~total:(Unix.gettimeofday () -. t0)
   | None -> ()

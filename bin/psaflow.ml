@@ -53,7 +53,30 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let interp_arg =
+  let doc =
+    "Interpreter backend: $(b,compiled) (default; one-shot closure \
+     compilation) or $(b,ast) (reference tree walker). Both produce \
+     bit-identical results; ast exists as the semantic oracle and for \
+     debugging."
+  in
+  let backend_conv = Arg.enum [ ("ast", `Ast); ("compiled", `Compiled) ] in
+  Arg.(value & opt (some backend_conv) None & info [ "interp" ] ~docv:"BACKEND" ~doc)
+
 let apply_jobs = function Some n -> Util.Pool.set_default_jobs n | None -> ()
+
+let apply_interp = function
+  | Some b -> Machine.set_default_backend b
+  | None -> ()
+
+let print_interp_stats () =
+  let s = Machine.exec_stats () in
+  if s.Machine.exec_runs > 0 && s.Machine.exec_seconds > 0.0 then
+    Printf.printf
+      "\ninterpreter (%s backend): %d runs, %d statements, %.3f s (%.3g statements/s)\n"
+      (Machine.backend_name (Machine.default_backend ()))
+      s.Machine.exec_runs s.Machine.exec_steps s.Machine.exec_seconds
+      (float_of_int s.Machine.exec_steps /. s.Machine.exec_seconds)
 
 let find_app slug =
   match Suite.find slug with
@@ -107,8 +130,9 @@ let emit_designs dir (rep : Engine.report) =
     rep.Engine.rep_designs
 
 let run_cmd =
-  let run slug file scale mode quick explain emit diff jobs =
+  let run slug file scale mode quick explain emit diff jobs interp =
     apply_jobs jobs;
+    apply_interp interp;
     match (if file then app_of_file slug ~scale else find_app slug) with
     | Error msg ->
       prerr_endline msg;
@@ -132,7 +156,8 @@ let run_cmd =
          print_string (Report.design_table rep);
          if explain then begin
            print_newline ();
-           print_string (Report.log_text rep)
+           print_string (Report.log_text rep);
+           print_interp_stats ()
          end;
          (match emit with Some dir -> emit_designs dir rep | None -> ());
          if diff then begin
@@ -153,7 +178,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ app_arg $ file_arg $ scale_arg $ mode_arg $ quick_arg
-          $ explain_arg $ emit_arg $ diff_arg $ jobs_arg)
+          $ explain_arg $ emit_arg $ diff_arg $ jobs_arg $ interp_arg)
 
 let apps_cmd =
   let run () =
@@ -203,31 +228,34 @@ let with_reports quick f =
   end
 
 let fig5_cmd =
-  let run quick jobs =
+  let run quick jobs interp =
     apply_jobs jobs;
+    apply_interp interp;
     with_reports quick (fun reports ->
         print_string (Fig5.render (Fig5.of_reports reports)))
   in
   let doc = "Regenerate Fig. 5 (speedups of all generated designs)." in
-  Cmd.v (Cmd.info "fig5" ~doc) Term.(const run $ quick_arg $ jobs_arg)
+  Cmd.v (Cmd.info "fig5" ~doc) Term.(const run $ quick_arg $ jobs_arg $ interp_arg)
 
 let table1_cmd =
-  let run quick jobs =
+  let run quick jobs interp =
     apply_jobs jobs;
+    apply_interp interp;
     with_reports quick (fun reports ->
         print_string (Table1.render (Table1.of_reports reports)))
   in
   let doc = "Regenerate Table I (added lines of code per design)." in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ quick_arg $ jobs_arg)
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ quick_arg $ jobs_arg $ interp_arg)
 
 let fig6_cmd =
-  let run quick jobs =
+  let run quick jobs interp =
     apply_jobs jobs;
+    apply_interp interp;
     with_reports quick (fun reports ->
         print_string (Fig6.render (Fig6.of_reports reports)))
   in
   let doc = "Regenerate Fig. 6 (FPGA vs GPU cost across price ratios)." in
-  Cmd.v (Cmd.info "fig6" ~doc) Term.(const run $ quick_arg $ jobs_arg)
+  Cmd.v (Cmd.info "fig6" ~doc) Term.(const run $ quick_arg $ jobs_arg $ interp_arg)
 
 let dot_cmd =
   let run mode =
@@ -238,8 +266,9 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ mode_arg)
 
 let budget_cmd =
-  let run slug budget quick jobs =
+  let run slug budget quick jobs interp =
     apply_jobs jobs;
+    apply_interp interp;
     match find_app slug with
     | Error msg ->
       prerr_endline msg;
@@ -280,7 +309,7 @@ let budget_cmd =
   in
   let doc = "Run the informed flow under a monetary budget (Fig. 3's cost feedback)." in
   Cmd.v (Cmd.info "budget" ~doc)
-    Term.(const run $ app_arg $ budget_arg $ quick_arg $ jobs_arg)
+    Term.(const run $ app_arg $ budget_arg $ quick_arg $ jobs_arg $ interp_arg)
 
 let main =
   let doc = "auto-generating diverse heterogeneous designs (PSA-flows)" in

@@ -1,0 +1,525 @@
+(* Shared runtime core of the two interpreter backends.
+
+   Both the reference tree-walker (Walker) and the closure compiler
+   (Compile) execute against the same mutable [state]: one memory, one
+   counter set, one PRNG, one output buffer, and the same profiling
+   tables.  Keeping every observable accumulator and its update helpers
+   here is what makes the backends bit-identical: a loop snapshot, a
+   region footprint or an alias cell is maintained by exactly one piece
+   of code, whichever backend drives it. *)
+
+open Ast
+
+exception Runtime_error of Loc.t * string
+
+exception Step_limit_exceeded
+
+type region = Rfunc of string | Rstmt of int
+
+type config = {
+  seed : int;
+  overrides : (string * Value.t) list;
+  profile_loops : bool;
+  regions : region list;
+  trace_aliases : bool;
+  max_steps : int;
+  entry : string;
+}
+
+let default_config =
+  {
+    seed = 42;
+    overrides = [];
+    profile_loops = false;
+    regions = [];
+    trace_aliases = false;
+    max_steps = 400_000_000;
+    entry = "main";
+  }
+
+type loop_stats = {
+  ls_entries : int;
+  ls_iterations : int;
+  ls_work : float;
+  ls_counters : Counters.t;
+}
+
+type array_traffic = {
+  at_name : string;
+  at_elem_bytes : int;
+  at_read_elems : int;
+  at_written_elems : int;
+}
+
+type region_stats = {
+  rs_invocations : int;
+  rs_counters : Counters.t;
+  rs_traffic : array_traffic list;
+  rs_bytes_in : int;
+  rs_bytes_out : int;
+}
+
+type result = {
+  ret : Value.t option;
+  output : string list;
+  counters : Counters.t;
+  loop_stats : (int * loop_stats) list;
+  region_stats : (region * region_stats) list;
+  aliased_funcs : (string * bool) list;
+  memory : Memory.t;
+}
+
+(* ---- mutable profiling state ---- *)
+
+type loop_acc = {
+  mutable la_entries : int;
+  mutable la_iterations : int;
+  mutable la_counters : Counters.t;
+}
+
+(* footprint bitsets of one array within one active region frame *)
+type footprint = { fp_written : Bytes.t; fp_read_first : Bytes.t }
+
+type region_frame = {
+  rf_region : region;
+  rf_snapshot : Counters.t;
+  rf_footprints : (int, footprint) Hashtbl.t;
+  rf_alloc_watermark : int;
+      (* arrays allocated after the region began are region-local scratch
+         (tiles, privatised buffers): they are not transferred data *)
+}
+
+type region_acc = {
+  mutable ra_invocations : int;
+  mutable ra_counters : Counters.t;
+  (* per array base: read-before-write / written element totals over invocations *)
+  ra_traffic : (int, int ref * int ref) Hashtbl.t;
+}
+
+type flow = Fnormal | Fbreak | Fcontinue | Freturn of Value.t option
+
+type state = {
+  program : program;
+  cfg : config;
+  mem : Memory.t;
+  counters : Counters.t;
+  prng : Util.Prng.t;
+  output : Buffer.t;
+  globals : (string, Value.t ref) Hashtbl.t;
+  loop_table : (int, loop_acc) Hashtbl.t;
+  region_table : (region, region_acc) Hashtbl.t;
+  mutable active_regions : region_frame list;
+  alias_table : (string, bool ref) Hashtbl.t;
+  func_table : (string, func) Hashtbl.t;
+  mutable steps_left : int;
+}
+
+let make_state (cfg : config) program =
+  {
+    program;
+    cfg;
+    mem = Memory.create ();
+    counters = Counters.create ();
+    prng = Util.Prng.create cfg.seed;
+    output = Buffer.create 256;
+    globals = Hashtbl.create 16;
+    loop_table = Hashtbl.create 16;
+    region_table = Hashtbl.create 4;
+    active_regions = [];
+    alias_table = Hashtbl.create 4;
+    func_table = Hashtbl.create 16;
+    steps_left = cfg.max_steps;
+  }
+
+let runtime_error loc fmt = Printf.ksprintf (fun msg -> raise (Runtime_error (loc, msg))) fmt
+
+(* ---- counting helpers ---- *)
+
+let tick_step st =
+  st.steps_left <- st.steps_left - 1;
+  if st.steps_left <= 0 then raise Step_limit_exceeded;
+  st.counters.steps <- st.counters.steps + 1
+
+(* One step-budget decrement and one counter update for a straight-line
+   run of [k] statements.  The raise condition is identical to ticking k
+   times ([steps_left <= k] either way), only the abort point within the
+   (discarded) run moves.  Callers must skip the call for k = 0. *)
+let consume_steps st k =
+  st.steps_left <- st.steps_left - k;
+  if st.steps_left <= 0 then raise Step_limit_exceeded;
+  st.counters.steps <- st.counters.steps + k
+
+let count_branch st = st.counters.branches <- st.counters.branches + 1
+
+type op_class = Cadd | Cmul | Cdiv | Cspecial
+
+let count_flop st prec cls =
+  let c = st.counters in
+  match prec, cls with
+  | Value.Sp, Cadd -> c.flops_sp_add <- c.flops_sp_add + 1
+  | Value.Sp, Cmul -> c.flops_sp_mul <- c.flops_sp_mul + 1
+  | Value.Sp, Cdiv -> c.flops_sp_div <- c.flops_sp_div + 1
+  | Value.Sp, Cspecial -> c.flops_sp_special <- c.flops_sp_special + 1
+  | Value.Dp, Cadd -> c.flops_dp_add <- c.flops_dp_add + 1
+  | Value.Dp, Cmul -> c.flops_dp_mul <- c.flops_dp_mul + 1
+  | Value.Dp, Cdiv -> c.flops_dp_div <- c.flops_dp_div + 1
+  | Value.Dp, Cspecial -> c.flops_dp_special <- c.flops_dp_special + 1
+
+let count_int_op st = st.counters.int_ops <- st.counters.int_ops + 1
+
+(* footprint marking on the active region frames *)
+
+let get_footprint st frame base =
+  match Hashtbl.find_opt frame.rf_footprints base with
+  | Some fp -> fp
+  | None ->
+    let len = Memory.length st.mem base in
+    let fp = { fp_written = Bytes.make len '\000'; fp_read_first = Bytes.make len '\000' } in
+    Hashtbl.replace frame.rf_footprints base fp;
+    fp
+
+let mark_read st base idx =
+  List.iter
+    (fun frame ->
+      let fp = get_footprint st frame base in
+      if Bytes.get fp.fp_written idx = '\000' then Bytes.set fp.fp_read_first idx '\001')
+    st.active_regions
+
+let mark_write st base idx =
+  List.iter
+    (fun frame ->
+      let fp = get_footprint st frame base in
+      Bytes.set fp.fp_written idx '\001')
+    st.active_regions
+
+let count_load st base idx =
+  st.counters.loads <- st.counters.loads + 1;
+  st.counters.bytes_loaded <- st.counters.bytes_loaded + Memory.elem_bytes st.mem base;
+  if st.active_regions <> [] then mark_read st base idx
+
+let count_store st base idx =
+  st.counters.stores <- st.counters.stores + 1;
+  st.counters.bytes_stored <- st.counters.bytes_stored + Memory.elem_bytes st.mem base;
+  if st.active_regions <> [] then mark_write st base idx
+
+(* ---- region frames ---- *)
+
+let region_acc st region =
+  match Hashtbl.find_opt st.region_table region with
+  | Some acc -> acc
+  | None ->
+    let acc =
+      { ra_invocations = 0; ra_counters = Counters.create (); ra_traffic = Hashtbl.create 8 }
+    in
+    Hashtbl.replace st.region_table region acc;
+    acc
+
+let push_region st region =
+  let frame =
+    {
+      rf_region = region;
+      rf_snapshot = Counters.copy st.counters;
+      rf_footprints = Hashtbl.create 8;
+      rf_alloc_watermark = Memory.array_count st.mem;
+    }
+  in
+  st.active_regions <- frame :: st.active_regions
+
+let popcount bytes =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) bytes;
+  !n
+
+let pop_region st =
+  match st.active_regions with
+  | [] -> invalid_arg "Machine.pop_region: no active region"
+  | frame :: rest ->
+    st.active_regions <- rest;
+    let acc = region_acc st frame.rf_region in
+    acc.ra_invocations <- acc.ra_invocations + 1;
+    Counters.add_into acc.ra_counters (Counters.diff st.counters frame.rf_snapshot);
+    Hashtbl.iter
+      (fun base fp ->
+        if base < frame.rf_alloc_watermark then begin
+          let rd, wr =
+            match Hashtbl.find_opt acc.ra_traffic base with
+            | Some pair -> pair
+            | None ->
+              let pair = (ref 0, ref 0) in
+              Hashtbl.replace acc.ra_traffic base pair;
+              pair
+          in
+          rd := !rd + popcount fp.fp_read_first;
+          wr := !wr + popcount fp.fp_written
+        end)
+      frame.rf_footprints
+
+(* ---- loop accumulators ---- *)
+
+let loop_acc_of st sid =
+  match Hashtbl.find_opt st.loop_table sid with
+  | Some a -> a
+  | None ->
+    let a = { la_entries = 0; la_iterations = 0; la_counters = Counters.create () } in
+    Hashtbl.replace st.loop_table sid a;
+    a
+
+let dummy_loop_acc () =
+  { la_entries = 0; la_iterations = 0; la_counters = Counters.create () }
+
+(* ---- alias tracing (per user-function call) ---- *)
+
+let alias_cell st fname =
+  match Hashtbl.find_opt st.alias_table fname with
+  | Some c -> c
+  | None ->
+    let c = ref false in
+    Hashtbl.replace st.alias_table fname c;
+    c
+
+(* record one traced call: do two pointer arguments share a base? *)
+let note_alias_bases st fname (bases : int list) =
+  let sorted = List.sort compare bases in
+  let rec has_dup = function
+    | a :: (b :: _ as rest) -> a = b || has_dup rest
+    | [ _ ] | [] -> false
+  in
+  let cell = alias_cell st fname in
+  if has_dup sorted then cell := true
+
+(* ---- intrinsics ---- *)
+
+let special_fns =
+  [ "sqrt"; "sqrtf"; "sin"; "sinf"; "cos"; "cosf"; "tan"; "tanf"; "exp"; "expf";
+    "log"; "logf"; "pow"; "powf"; "tanh"; "tanhf"; "erf"; "erff"; "rsqrt"; "rsqrtf" ]
+
+let cheap_fns =
+  [ "fabs"; "fabsf"; "fmin"; "fminf"; "fmax"; "fmaxf"; "floor"; "floorf";
+    "ceil"; "ceilf" ]
+
+(* Abramowitz-Stegun 7.1.26 rational approximation *)
+let erf_approx x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. (((((1.061405429 *. t -. 1.453152027) *. t +. 1.421413741) *. t
+          -. 0.284496736) *. t +. 0.254829592)
+        *. t *. exp (-.x *. x))
+  in
+  sign *. y
+
+let eval_intrinsic st loc name (args : Value.t list) : Value.t =
+  let f1 () = match args with [ a ] -> Value.to_float a | _ -> runtime_error loc "%s: arity" name in
+  let f2 () =
+    match args with
+    | [ a; b ] -> (Value.to_float a, Value.to_float b)
+    | _ -> runtime_error loc "%s: arity" name
+  in
+  let single = String.length name > 0 && name.[String.length name - 1] = 'f'
+               && name <> "erf" in
+  let ret_float x =
+    if single then Value.Vfloat (Value.Sp, Value.demote x) else Value.Vfloat (Value.Dp, x)
+  in
+  let count () =
+    let prec = if single then Value.Sp else Value.Dp in
+    if List.mem name special_fns then count_flop st prec Cspecial
+    else if List.mem name cheap_fns then count_flop st prec Cadd
+  in
+  match name with
+  | "sqrt" | "sqrtf" -> count (); ret_float (sqrt (f1 ()))
+  | "rsqrt" | "rsqrtf" -> count (); ret_float (1.0 /. sqrt (f1 ()))
+  | "sin" | "sinf" -> count (); ret_float (sin (f1 ()))
+  | "cos" | "cosf" -> count (); ret_float (cos (f1 ()))
+  | "tan" | "tanf" -> count (); ret_float (tan (f1 ()))
+  | "exp" | "expf" -> count (); ret_float (exp (f1 ()))
+  | "log" | "logf" -> count (); ret_float (log (f1 ()))
+  | "tanh" | "tanhf" -> count (); ret_float (tanh (f1 ()))
+  | "erf" | "erff" -> count (); ret_float (erf_approx (f1 ()))
+  | "pow" | "powf" ->
+    count ();
+    let a, b = f2 () in
+    ret_float (Float.pow a b)
+  | "fabs" | "fabsf" -> count (); ret_float (Float.abs (f1 ()))
+  | "floor" | "floorf" -> count (); ret_float (Float.floor (f1 ()))
+  | "ceil" | "ceilf" -> count (); ret_float (Float.ceil (f1 ()))
+  | "fmin" | "fminf" ->
+    count ();
+    let a, b = f2 () in
+    ret_float (Float.min a b)
+  | "fmax" | "fmaxf" ->
+    count ();
+    let a, b = f2 () in
+    ret_float (Float.max a b)
+  | "abs" ->
+    count_int_op st;
+    (match args with
+     | [ a ] -> Value.Vint (Int.abs (Value.to_int a))
+     | _ -> runtime_error loc "abs: arity")
+  | "imin" ->
+    count_int_op st;
+    (match args with
+     | [ a; b ] -> Value.Vint (Int.min (Value.to_int a) (Value.to_int b))
+     | _ -> runtime_error loc "imin: arity")
+  | "imax" ->
+    count_int_op st;
+    (match args with
+     | [ a; b ] -> Value.Vint (Int.max (Value.to_int a) (Value.to_int b))
+     | _ -> runtime_error loc "imax: arity")
+  | "rand01" -> Value.Vfloat (Value.Dp, Util.Prng.uniform st.prng)
+  | "print_int" ->
+    (match args with
+     | [ a ] ->
+       Buffer.add_string st.output (string_of_int (Value.to_int a));
+       Buffer.add_char st.output '\n';
+       Value.Vint 0
+     | _ -> runtime_error loc "print_int: arity")
+  | "print_float" ->
+    (match args with
+     | [ a ] ->
+       Buffer.add_string st.output (Printf.sprintf "%.17g" (Value.to_float a));
+       Buffer.add_char st.output '\n';
+       Value.Vint 0
+     | _ -> runtime_error loc "print_float: arity")
+  | _ -> runtime_error loc "unknown intrinsic %s" name
+
+(* ---- dynamic binary operations ---- *)
+
+let float_op_prec (a : Value.t) (b : Value.t) : Value.prec option =
+  match a, b with
+  | Value.Vfloat (Value.Dp, _), (Value.Vfloat _ | Value.Vint _ | Value.Vbool _)
+  | (Value.Vint _ | Value.Vbool _ | Value.Vfloat _), Value.Vfloat (Value.Dp, _) ->
+    Some Value.Dp
+  | Value.Vfloat (Value.Sp, _), (Value.Vfloat (Value.Sp, _) | Value.Vint _ | Value.Vbool _)
+  | (Value.Vint _ | Value.Vbool _), Value.Vfloat (Value.Sp, _) ->
+    Some Value.Sp
+  | _, _ -> None
+
+let eval_binop st loc op va vb : Value.t =
+  let arith cls int_case float_case =
+    match float_op_prec va vb with
+    | Some p ->
+      count_flop st p cls;
+      let r = float_case (Value.to_float va) (Value.to_float vb) in
+      Value.Vfloat (p, (if p = Value.Sp then Value.demote r else r))
+    | None ->
+      count_int_op st;
+      Value.Vint (int_case (Value.to_int va) (Value.to_int vb))
+  in
+  let compare_vals cmp_i cmp_f =
+    count_int_op st;
+    match float_op_prec va vb with
+    | Some _ -> Value.Vbool (cmp_f (Value.to_float va) (Value.to_float vb))
+    | None -> Value.Vbool (cmp_i (Value.to_int va) (Value.to_int vb))
+  in
+  match op with
+  | Add -> arith Cadd ( + ) ( +. )
+  | Sub -> arith Cadd ( - ) ( -. )
+  | Mul -> arith Cmul ( * ) ( *. )
+  | Div ->
+    (match float_op_prec va vb with
+     | Some _ -> arith Cdiv (fun _ _ -> 0) ( /. )
+     | None ->
+       let d = Value.to_int vb in
+       if d = 0 then runtime_error loc "integer division by zero";
+       count_int_op st;
+       Value.Vint (Value.to_int va / d))
+  | Mod ->
+    let d = Value.to_int vb in
+    if d = 0 then runtime_error loc "modulo by zero";
+    count_int_op st;
+    Value.Vint (Value.to_int va mod d)
+  | Lt -> compare_vals ( < ) ( < )
+  | Le -> compare_vals ( <= ) ( <= )
+  | Gt -> compare_vals ( > ) ( > )
+  | Ge -> compare_vals ( >= ) ( >= )
+  | Eq -> compare_vals ( = ) ( = )
+  | Ne -> compare_vals ( <> ) ( <> )
+  | And | Or -> runtime_error loc "internal: logical op in eval_binop"
+
+let binop_of_assign = function
+  | AddEq -> Add
+  | SubEq -> Sub
+  | MulEq -> Mul
+  | DivEq -> Div
+  | Set -> invalid_arg "binop_of_assign: Set"
+
+(* Keep the representation kind of the assigned slot. *)
+let cast_like (old : Value.t) (v : Value.t) : Value.t =
+  match old with
+  | Value.Vint _ -> Value.Vint (Value.to_int v)
+  | Value.Vbool _ -> Value.Vbool (Value.truth v)
+  | Value.Vfloat (Value.Sp, _) -> Value.Vfloat (Value.Sp, Value.demote (Value.to_float v))
+  | Value.Vfloat (Value.Dp, _) -> Value.Vfloat (Value.Dp, Value.to_float v)
+  | Value.Vptr _ -> v
+
+let decl_scalar_ty (d : decl) : ty =
+  match d.darray with Some _ -> Tptr d.dty | None -> d.dty
+
+(* ---- result assembly ----
+
+   Both backends fill the same tables in the same first-touch order, so
+   folding them here yields identical association lists either way. *)
+
+let assemble_result st ret : result =
+  let loop_stats =
+    Hashtbl.fold
+      (fun sid (a : loop_acc) acc ->
+        ( sid,
+          {
+            ls_entries = a.la_entries;
+            ls_iterations = a.la_iterations;
+            ls_work = Counters.work a.la_counters;
+            ls_counters = a.la_counters;
+          } )
+        :: acc)
+      st.loop_table []
+  in
+  let region_stats =
+    Hashtbl.fold
+      (fun region (a : region_acc) acc ->
+        let traffic =
+          Hashtbl.fold
+            (fun base (rd, wr) acc ->
+              {
+                at_name = Memory.name st.mem base;
+                at_elem_bytes = Memory.elem_bytes st.mem base;
+                at_read_elems = !rd;
+                at_written_elems = !wr;
+              }
+              :: acc)
+            a.ra_traffic []
+        in
+        let bytes_in =
+          List.fold_left (fun n t -> n + (t.at_read_elems * t.at_elem_bytes)) 0 traffic
+        in
+        let bytes_out =
+          List.fold_left (fun n t -> n + (t.at_written_elems * t.at_elem_bytes)) 0 traffic
+        in
+        ( region,
+          {
+            rs_invocations = a.ra_invocations;
+            rs_counters = a.ra_counters;
+            rs_traffic = traffic;
+            rs_bytes_in = bytes_in;
+            rs_bytes_out = bytes_out;
+          } )
+        :: acc)
+      st.region_table []
+  in
+  let aliased =
+    Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) st.alias_table []
+  in
+  {
+    ret;
+    output =
+      (match Buffer.contents st.output with
+       | "" -> []
+       | text -> String.split_on_char '\n' (String.trim text));
+    counters = st.counters;
+    loop_stats;
+    region_stats;
+    aliased_funcs = aliased;
+    memory = st.mem;
+  }

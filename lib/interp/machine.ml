@@ -1,12 +1,20 @@
-open Ast
+(* Public interpreter façade.
 
-exception Runtime_error of Loc.t * string
+   Dispatches between the two backends over the shared Interp_rt core:
+   - [`Compiled] (default): Compile, the closure-compiling backend;
+   - [`Ast]: Walker, the reference tree-walker.
 
-exception Step_limit_exceeded
+   Also keeps cumulative execution statistics (runs, interpreted
+   statements, wall-clock seconds) so callers can report interpreter
+   throughput without instrumenting every call site. *)
 
-type region = Rfunc of string | Rstmt of int
+exception Runtime_error = Interp_rt.Runtime_error
 
-type config = {
+exception Step_limit_exceeded = Interp_rt.Step_limit_exceeded
+
+type region = Interp_rt.region = Rfunc of string | Rstmt of int
+
+type config = Interp_rt.config = {
   seed : int;
   overrides : (string * Value.t) list;
   profile_loops : bool;
@@ -16,32 +24,23 @@ type config = {
   entry : string;
 }
 
-let default_config =
-  {
-    seed = 42;
-    overrides = [];
-    profile_loops = false;
-    regions = [];
-    trace_aliases = false;
-    max_steps = 400_000_000;
-    entry = "main";
-  }
+let default_config = Interp_rt.default_config
 
-type loop_stats = {
+type loop_stats = Interp_rt.loop_stats = {
   ls_entries : int;
   ls_iterations : int;
   ls_work : float;
   ls_counters : Counters.t;
 }
 
-type array_traffic = {
+type array_traffic = Interp_rt.array_traffic = {
   at_name : string;
   at_elem_bytes : int;
   at_read_elems : int;
   at_written_elems : int;
 }
 
-type region_stats = {
+type region_stats = Interp_rt.region_stats = {
   rs_invocations : int;
   rs_counters : Counters.t;
   rs_traffic : array_traffic list;
@@ -49,7 +48,7 @@ type region_stats = {
   rs_bytes_out : int;
 }
 
-type result = {
+type result = Interp_rt.result = {
   ret : Value.t option;
   output : string list;
   counters : Counters.t;
@@ -59,744 +58,69 @@ type result = {
   memory : Memory.t;
 }
 
-(* ---- mutable profiling state ---- *)
+(* ---- backend selection ---- *)
 
-type loop_acc = {
-  mutable la_entries : int;
-  mutable la_iterations : int;
-  mutable la_counters : Counters.t;
-}
+type backend = [ `Ast | `Compiled ]
 
-(* footprint bitsets of one array within one active region frame *)
-type footprint = { fp_written : Bytes.t; fp_read_first : Bytes.t }
+(* Bump when observable interpreter semantics change; memoization keys
+   include this so stale cached results are never replayed. *)
+let interp_version = 2
 
-type region_frame = {
-  rf_region : region;
-  rf_snapshot : Counters.t;
-  rf_footprints : (int, footprint) Hashtbl.t;
-  rf_alloc_watermark : int;
-      (* arrays allocated after the region began are region-local scratch
-         (tiles, privatised buffers): they are not transferred data *)
-}
+let backend_name = function `Ast -> "ast" | `Compiled -> "compiled"
 
-type region_acc = {
-  mutable ra_invocations : int;
-  mutable ra_counters : Counters.t;
-  (* per array base: read-before-write / written element totals over invocations *)
-  ra_traffic : (int, int ref * int ref) Hashtbl.t;
-}
+let backend_of_string = function
+  | "ast" -> Some `Ast
+  | "compiled" -> Some `Compiled
+  | _ -> None
 
-type flow = Fnormal | Fbreak | Fcontinue | Freturn of Value.t option
+let default_backend_ref : backend Atomic.t = Atomic.make `Compiled
 
-type state = {
-  program : program;
-  cfg : config;
-  mem : Memory.t;
-  counters : Counters.t;
-  prng : Util.Prng.t;
-  output : Buffer.t;
-  globals : (string, Value.t ref) Hashtbl.t;
-  loop_table : (int, loop_acc) Hashtbl.t;
-  region_table : (region, region_acc) Hashtbl.t;
-  mutable active_regions : region_frame list;
-  alias_table : (string, bool ref) Hashtbl.t;
-  func_table : (string, func) Hashtbl.t;
-  mutable steps_left : int;
-}
+let default_backend () = Atomic.get default_backend_ref
 
-let runtime_error loc fmt = Printf.ksprintf (fun msg -> raise (Runtime_error (loc, msg))) fmt
+let set_default_backend b = Atomic.set default_backend_ref b
 
-(* ---- environment ---- *)
+(* ---- cumulative execution statistics ---- *)
 
-type env = (string, Value.t ref) Hashtbl.t list
+type exec_stats = { exec_runs : int; exec_steps : int; exec_seconds : float }
 
-let push_scope env : env = Hashtbl.create 8 :: env
+let stats_mu = Mutex.create ()
+let stats = ref { exec_runs = 0; exec_steps = 0; exec_seconds = 0.0 }
 
-let rec lookup env name =
-  match env with
-  | [] -> None
-  | scope :: rest ->
-    (match Hashtbl.find_opt scope name with Some r -> Some r | None -> lookup rest name)
+let exec_stats () =
+  Mutex.lock stats_mu;
+  let s = !stats in
+  Mutex.unlock stats_mu;
+  s
 
-let bind env name v =
-  match env with
-  | scope :: _ -> Hashtbl.replace scope name (ref v)
-  | [] -> invalid_arg "Machine.bind: empty environment"
+let reset_exec_stats () =
+  Mutex.lock stats_mu;
+  stats := { exec_runs = 0; exec_steps = 0; exec_seconds = 0.0 };
+  Mutex.unlock stats_mu
 
-(* ---- counting helpers ---- *)
-
-let tick_step st =
-  st.steps_left <- st.steps_left - 1;
-  if st.steps_left <= 0 then raise Step_limit_exceeded;
-  st.counters.steps <- st.counters.steps + 1
-
-let count_branch st = st.counters.branches <- st.counters.branches + 1
-
-type op_class = Cadd | Cmul | Cdiv | Cspecial
-
-let count_flop st prec cls =
-  let c = st.counters in
-  match prec, cls with
-  | Value.Sp, Cadd -> c.flops_sp_add <- c.flops_sp_add + 1
-  | Value.Sp, Cmul -> c.flops_sp_mul <- c.flops_sp_mul + 1
-  | Value.Sp, Cdiv -> c.flops_sp_div <- c.flops_sp_div + 1
-  | Value.Sp, Cspecial -> c.flops_sp_special <- c.flops_sp_special + 1
-  | Value.Dp, Cadd -> c.flops_dp_add <- c.flops_dp_add + 1
-  | Value.Dp, Cmul -> c.flops_dp_mul <- c.flops_dp_mul + 1
-  | Value.Dp, Cdiv -> c.flops_dp_div <- c.flops_dp_div + 1
-  | Value.Dp, Cspecial -> c.flops_dp_special <- c.flops_dp_special + 1
-
-let count_int_op st = st.counters.int_ops <- st.counters.int_ops + 1
-
-(* footprint marking on the active region frames *)
-
-let get_footprint st frame base =
-  match Hashtbl.find_opt frame.rf_footprints base with
-  | Some fp -> fp
-  | None ->
-    let len = Memory.length st.mem base in
-    let fp = { fp_written = Bytes.make len '\000'; fp_read_first = Bytes.make len '\000' } in
-    Hashtbl.replace frame.rf_footprints base fp;
-    fp
-
-let mark_read st base idx =
-  List.iter
-    (fun frame ->
-      let fp = get_footprint st frame base in
-      if Bytes.get fp.fp_written idx = '\000' then Bytes.set fp.fp_read_first idx '\001')
-    st.active_regions
-
-let mark_write st base idx =
-  List.iter
-    (fun frame ->
-      let fp = get_footprint st frame base in
-      Bytes.set fp.fp_written idx '\001')
-    st.active_regions
-
-let count_load st base idx =
-  st.counters.loads <- st.counters.loads + 1;
-  st.counters.bytes_loaded <- st.counters.bytes_loaded + Memory.elem_bytes st.mem base;
-  if st.active_regions <> [] then mark_read st base idx
-
-let count_store st base idx =
-  st.counters.stores <- st.counters.stores + 1;
-  st.counters.bytes_stored <- st.counters.bytes_stored + Memory.elem_bytes st.mem base;
-  if st.active_regions <> [] then mark_write st base idx
-
-(* ---- region frames ---- *)
-
-let region_acc st region =
-  match Hashtbl.find_opt st.region_table region with
-  | Some acc -> acc
-  | None ->
-    let acc =
-      { ra_invocations = 0; ra_counters = Counters.create (); ra_traffic = Hashtbl.create 8 }
-    in
-    Hashtbl.replace st.region_table region acc;
-    acc
-
-let push_region st region =
-  let frame =
+let record_run steps seconds =
+  Mutex.lock stats_mu;
+  let s = !stats in
+  stats :=
     {
-      rf_region = region;
-      rf_snapshot = Counters.copy st.counters;
-      rf_footprints = Hashtbl.create 8;
-      rf_alloc_watermark = Memory.array_count st.mem;
-    }
+      exec_runs = s.exec_runs + 1;
+      exec_steps = s.exec_steps + steps;
+      exec_seconds = s.exec_seconds +. seconds;
+    };
+  Mutex.unlock stats_mu
+
+(* ---- execution ---- *)
+
+let run ?(config = default_config) ?backend (program : Ast.program) : result =
+  let backend = match backend with Some b -> b | None -> default_backend () in
+  let t0 = Unix.gettimeofday () in
+  let finish (r : result) =
+    record_run r.counters.Counters.steps (Unix.gettimeofday () -. t0);
+    r
   in
-  st.active_regions <- frame :: st.active_regions
+  match backend with
+  | `Ast -> finish (Walker.run config program)
+  | `Compiled -> finish (Compile.run config program)
 
-let popcount bytes =
-  let n = ref 0 in
-  Bytes.iter (fun c -> if c <> '\000' then incr n) bytes;
-  !n
+let find_loop_stats (r : result) sid = List.assoc_opt sid r.loop_stats
 
-let pop_region st =
-  match st.active_regions with
-  | [] -> invalid_arg "Machine.pop_region: no active region"
-  | frame :: rest ->
-    st.active_regions <- rest;
-    let acc = region_acc st frame.rf_region in
-    acc.ra_invocations <- acc.ra_invocations + 1;
-    Counters.add_into acc.ra_counters (Counters.diff st.counters frame.rf_snapshot);
-    Hashtbl.iter
-      (fun base fp ->
-        if base < frame.rf_alloc_watermark then begin
-          let rd, wr =
-            match Hashtbl.find_opt acc.ra_traffic base with
-            | Some pair -> pair
-            | None ->
-              let pair = (ref 0, ref 0) in
-              Hashtbl.replace acc.ra_traffic base pair;
-              pair
-          in
-          rd := !rd + popcount fp.fp_read_first;
-          wr := !wr + popcount fp.fp_written
-        end)
-      frame.rf_footprints
-
-(* ---- intrinsics ---- *)
-
-let special_fns =
-  [ "sqrt"; "sqrtf"; "sin"; "sinf"; "cos"; "cosf"; "tan"; "tanf"; "exp"; "expf";
-    "log"; "logf"; "pow"; "powf"; "tanh"; "tanhf"; "erf"; "erff"; "rsqrt"; "rsqrtf" ]
-
-let cheap_fns =
-  [ "fabs"; "fabsf"; "fmin"; "fminf"; "fmax"; "fmaxf"; "floor"; "floorf";
-    "ceil"; "ceilf" ]
-
-let eval_intrinsic st loc name (args : Value.t list) : Value.t =
-  let f1 () = match args with [ a ] -> Value.to_float a | _ -> runtime_error loc "%s: arity" name in
-  let f2 () =
-    match args with
-    | [ a; b ] -> (Value.to_float a, Value.to_float b)
-    | _ -> runtime_error loc "%s: arity" name
-  in
-  let single = String.length name > 0 && name.[String.length name - 1] = 'f'
-               && name <> "erf" in
-  let ret_float x =
-    if single then Value.Vfloat (Value.Sp, Value.demote x) else Value.Vfloat (Value.Dp, x)
-  in
-  let count () =
-    let prec = if single then Value.Sp else Value.Dp in
-    if List.mem name special_fns then count_flop st prec Cspecial
-    else if List.mem name cheap_fns then count_flop st prec Cadd
-  in
-  match name with
-  | "sqrt" | "sqrtf" -> count (); ret_float (sqrt (f1 ()))
-  | "rsqrt" | "rsqrtf" -> count (); ret_float (1.0 /. sqrt (f1 ()))
-  | "sin" | "sinf" -> count (); ret_float (sin (f1 ()))
-  | "cos" | "cosf" -> count (); ret_float (cos (f1 ()))
-  | "tan" | "tanf" -> count (); ret_float (tan (f1 ()))
-  | "exp" | "expf" -> count (); ret_float (exp (f1 ()))
-  | "log" | "logf" -> count (); ret_float (log (f1 ()))
-  | "tanh" | "tanhf" -> count (); ret_float (tanh (f1 ()))
-  | "erf" | "erff" ->
-    count ();
-    (* Abramowitz-Stegun 7.1.26 rational approximation *)
-    let x = f1 () in
-    let sign = if x < 0.0 then -1.0 else 1.0 in
-    let x = Float.abs x in
-    let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
-    let y =
-      1.0
-      -. (((((1.061405429 *. t -. 1.453152027) *. t +. 1.421413741) *. t
-            -. 0.284496736) *. t +. 0.254829592)
-          *. t *. exp (-.x *. x))
-    in
-    ret_float (sign *. y)
-  | "pow" | "powf" ->
-    count ();
-    let a, b = f2 () in
-    ret_float (Float.pow a b)
-  | "fabs" | "fabsf" -> count (); ret_float (Float.abs (f1 ()))
-  | "floor" | "floorf" -> count (); ret_float (Float.floor (f1 ()))
-  | "ceil" | "ceilf" -> count (); ret_float (Float.ceil (f1 ()))
-  | "fmin" | "fminf" ->
-    count ();
-    let a, b = f2 () in
-    ret_float (Float.min a b)
-  | "fmax" | "fmaxf" ->
-    count ();
-    let a, b = f2 () in
-    ret_float (Float.max a b)
-  | "abs" ->
-    count_int_op st;
-    (match args with
-     | [ a ] -> Value.Vint (Int.abs (Value.to_int a))
-     | _ -> runtime_error loc "abs: arity")
-  | "imin" ->
-    count_int_op st;
-    (match args with
-     | [ a; b ] -> Value.Vint (Int.min (Value.to_int a) (Value.to_int b))
-     | _ -> runtime_error loc "imin: arity")
-  | "imax" ->
-    count_int_op st;
-    (match args with
-     | [ a; b ] -> Value.Vint (Int.max (Value.to_int a) (Value.to_int b))
-     | _ -> runtime_error loc "imax: arity")
-  | "rand01" -> Value.Vfloat (Value.Dp, Util.Prng.uniform st.prng)
-  | "print_int" ->
-    (match args with
-     | [ a ] ->
-       Buffer.add_string st.output (string_of_int (Value.to_int a));
-       Buffer.add_char st.output '\n';
-       Value.Vint 0
-     | _ -> runtime_error loc "print_int: arity")
-  | "print_float" ->
-    (match args with
-     | [ a ] ->
-       Buffer.add_string st.output (Printf.sprintf "%.17g" (Value.to_float a));
-       Buffer.add_char st.output '\n';
-       Value.Vint 0
-     | _ -> runtime_error loc "print_float: arity")
-  | _ -> runtime_error loc "unknown intrinsic %s" name
-
-(* ---- expression evaluation ---- *)
-
-let float_op_prec (a : Value.t) (b : Value.t) : Value.prec option =
-  match a, b with
-  | Value.Vfloat (Value.Dp, _), (Value.Vfloat _ | Value.Vint _ | Value.Vbool _)
-  | (Value.Vint _ | Value.Vbool _ | Value.Vfloat _), Value.Vfloat (Value.Dp, _) ->
-    Some Value.Dp
-  | Value.Vfloat (Value.Sp, _), (Value.Vfloat (Value.Sp, _) | Value.Vint _ | Value.Vbool _)
-  | (Value.Vint _ | Value.Vbool _), Value.Vfloat (Value.Sp, _) ->
-    Some Value.Sp
-  | _, _ -> None
-
-let rec eval_expr st env (e : expr) : Value.t =
-  match e.edesc with
-  | Int_lit n -> Value.Vint n
-  | Float_lit (f, single) ->
-    if single then Value.Vfloat (Value.Sp, Value.demote f) else Value.Vfloat (Value.Dp, f)
-  | Bool_lit b -> Value.Vbool b
-  | Var v ->
-    (match lookup env v with
-     | Some r -> !r
-     | None -> runtime_error e.eloc "unbound variable %s" v)
-  | Unary (Neg, a) ->
-    let va = eval_expr st env a in
-    (match va with
-     | Value.Vint n -> count_int_op st; Value.Vint (-n)
-     | Value.Vfloat (p, f) -> count_flop st p Cadd; Value.Vfloat (p, -.f)
-     | Value.Vbool _ | Value.Vptr _ -> runtime_error e.eloc "negating non-number")
-  | Unary (Not, a) ->
-    let va = eval_expr st env a in
-    count_int_op st;
-    Value.Vbool (not (Value.truth va))
-  | Binary (And, a, b) ->
-    count_branch st;
-    if Value.truth (eval_expr st env a) then Value.Vbool (Value.truth (eval_expr st env b))
-    else Value.Vbool false
-  | Binary (Or, a, b) ->
-    count_branch st;
-    if Value.truth (eval_expr st env a) then Value.Vbool true
-    else Value.Vbool (Value.truth (eval_expr st env b))
-  | Binary (op, a, b) ->
-    let va = eval_expr st env a in
-    let vb = eval_expr st env b in
-    eval_binop st e.eloc op va vb
-  | Call (name, args) ->
-    let vargs = List.map (eval_expr st env) args in
-    (match Hashtbl.find_opt st.func_table name with
-     | Some fn ->
-       st.counters.calls <- st.counters.calls + 1;
-       (match call_function st fn vargs with
-        | Some v -> v
-        | None -> Value.Vint 0)
-     | None -> eval_intrinsic st e.eloc name vargs)
-  | Index (base, idx) ->
-    let vb = eval_expr st env base in
-    let vi = eval_expr st env idx in
-    (match vb with
-     | Value.Vptr ptr ->
-       let i = Value.to_int vi in
-       let v =
-         try Memory.load st.mem ptr i with Failure msg -> runtime_error e.eloc "%s" msg
-       in
-       count_load st ptr.Value.base (ptr.Value.offset + i);
-       v
-     | _ -> runtime_error e.eloc "indexing a non-pointer")
-  | Cast (ty, a) ->
-    let va = eval_expr st env a in
-    (try Value.coerce ty va
-     with Invalid_argument msg -> runtime_error e.eloc "%s" msg)
-  | Cond (c, a, b) ->
-    count_branch st;
-    if Value.truth (eval_expr st env c) then eval_expr st env a else eval_expr st env b
-
-and eval_binop st loc op va vb : Value.t =
-  let arith cls int_case float_case =
-    match float_op_prec va vb with
-    | Some p ->
-      count_flop st p cls;
-      let r = float_case (Value.to_float va) (Value.to_float vb) in
-      Value.Vfloat (p, (if p = Value.Sp then Value.demote r else r))
-    | None ->
-      count_int_op st;
-      Value.Vint (int_case (Value.to_int va) (Value.to_int vb))
-  in
-  let compare_vals cmp_i cmp_f =
-    count_int_op st;
-    match float_op_prec va vb with
-    | Some _ -> Value.Vbool (cmp_f (Value.to_float va) (Value.to_float vb))
-    | None -> Value.Vbool (cmp_i (Value.to_int va) (Value.to_int vb))
-  in
-  match op with
-  | Add -> arith Cadd ( + ) ( +. )
-  | Sub -> arith Cadd ( - ) ( -. )
-  | Mul -> arith Cmul ( * ) ( *. )
-  | Div ->
-    (match float_op_prec va vb with
-     | Some _ -> arith Cdiv (fun _ _ -> 0) ( /. )
-     | None ->
-       let d = Value.to_int vb in
-       if d = 0 then runtime_error loc "integer division by zero";
-       count_int_op st;
-       Value.Vint (Value.to_int va / d))
-  | Mod ->
-    let d = Value.to_int vb in
-    if d = 0 then runtime_error loc "modulo by zero";
-    count_int_op st;
-    Value.Vint (Value.to_int va mod d)
-  | Lt -> compare_vals ( < ) ( < )
-  | Le -> compare_vals ( <= ) ( <= )
-  | Gt -> compare_vals ( > ) ( > )
-  | Ge -> compare_vals ( >= ) ( >= )
-  | Eq -> compare_vals ( = ) ( = )
-  | Ne -> compare_vals ( <> ) ( <> )
-  | And | Or -> runtime_error loc "internal: logical op in eval_binop"
-
-(* ---- statements ---- *)
-
-and exec_block st env (blk : block) : flow =
-  let env = push_scope env in
-  let rec loop = function
-    | [] -> Fnormal
-    | s :: rest ->
-      (match exec_stmt st env s with
-       | Fnormal -> loop rest
-       | (Fbreak | Fcontinue | Freturn _) as f -> f)
-  in
-  loop blk
-
-and exec_stmt st env (s : stmt) : flow =
-  tick_step st;
-  let profiled_region =
-    if st.cfg.regions = [] then None
-    else if List.mem (Rstmt s.sid) st.cfg.regions then Some (Rstmt s.sid)
-    else None
-  in
-  (match profiled_region with Some r -> push_region st r | None -> ());
-  let flow = exec_stmt_inner st env s in
-  (match profiled_region with Some _ -> pop_region st | None -> ());
-  flow
-
-and exec_stmt_inner st env (s : stmt) : flow =
-  match s.sdesc with
-  | Decl d ->
-    (match d.darray with
-     | Some size_e ->
-       let n = Value.to_int (eval_expr st env size_e) in
-       let ptr =
-         try Memory.alloc st.mem ~name:d.dname ~elem_ty:d.dty n
-         with Invalid_argument msg -> runtime_error s.sloc "%s" msg
-       in
-       bind env d.dname (Value.Vptr ptr)
-     | None ->
-       let v =
-         match d.dinit with
-         | Some e -> Value.coerce (decl_scalar_ty d) (eval_expr st env e)
-         | None -> Value.zero_of (decl_scalar_ty d)
-       in
-       bind env d.dname v);
-    Fnormal
-  | Assign (lhs, op, rhs) ->
-    let vr = eval_expr st env rhs in
-    (match lhs.edesc with
-     | Var v ->
-       (match lookup env v with
-        | None -> runtime_error lhs.eloc "unbound variable %s" v
-        | Some r ->
-          let nv =
-            match op with
-            | Set -> cast_like !r vr
-            | AddEq | SubEq | MulEq | DivEq ->
-              eval_binop st s.sloc (binop_of_assign op) !r vr |> cast_like !r
-          in
-          r := nv)
-     | Index (base, idx) ->
-       let vb = eval_expr st env base in
-       let vi = eval_expr st env idx in
-       (match vb with
-        | Value.Vptr ptr ->
-          let i = Value.to_int vi in
-          let elem = ptr.Value.base in
-          let nv =
-            match op with
-            | Set -> vr
-            | AddEq | SubEq | MulEq | DivEq ->
-              let old =
-                try Memory.load st.mem ptr i
-                with Failure msg -> runtime_error lhs.eloc "%s" msg
-              in
-              count_load st elem (ptr.Value.offset + i);
-              eval_binop st s.sloc (binop_of_assign op) old vr
-          in
-          (try Memory.store st.mem ptr i nv
-           with Failure msg -> runtime_error lhs.eloc "%s" msg);
-          count_store st elem (ptr.Value.offset + i)
-        | _ -> runtime_error lhs.eloc "assigning through a non-pointer")
-     | _ -> runtime_error lhs.eloc "invalid assignment target");
-    Fnormal
-  | Expr_stmt e ->
-    ignore (eval_expr st env e);
-    Fnormal
-  | If (c, b1, b2) ->
-    count_branch st;
-    if Value.truth (eval_expr st env c) then exec_block st env b1 else exec_block st env b2
-  | For (h, body) ->
-    let lo = Value.to_int (eval_expr st env h.lo) in
-    let acc =
-      if st.cfg.profile_loops then Some (loop_acc_of st s.sid) else None
-    in
-    (match acc with
-     | Some a ->
-       a.la_entries <- a.la_entries + 1;
-       let snapshot = Counters.copy st.counters in
-       let flow = exec_for st env s h body lo a in
-       Counters.add_into a.la_counters (Counters.diff st.counters snapshot);
-       flow
-     | None -> exec_for st env s h body lo (dummy_loop_acc ()))
-  | While (c, body) ->
-    let acc =
-      if st.cfg.profile_loops then Some (loop_acc_of st s.sid) else None
-    in
-    let rec iterate (acc : loop_acc) =
-      count_branch st;
-      if Value.truth (eval_expr st env c) then begin
-        acc.la_iterations <- acc.la_iterations + 1;
-        match exec_block st env body with
-        | Fnormal | Fcontinue -> iterate acc
-        | Fbreak -> Fnormal
-        | Freturn _ as f -> f
-      end
-      else Fnormal
-    in
-    (match acc with
-     | Some a ->
-       a.la_entries <- a.la_entries + 1;
-       let snapshot = Counters.copy st.counters in
-       let flow = iterate a in
-       Counters.add_into a.la_counters (Counters.diff st.counters snapshot);
-       flow
-     | None -> iterate (dummy_loop_acc ()))
-  | Return None -> Freturn None
-  | Return (Some e) -> Freturn (Some (eval_expr st env e))
-  | Break -> Fbreak
-  | Continue -> Fcontinue
-  | Scope blk -> exec_block st env blk
-
-and exec_for st env s h body lo acc : flow =
-  ignore s;
-  let env_loop = push_scope env in
-  bind env_loop h.index (Value.Vint lo);
-  let index_ref =
-    match lookup env_loop h.index with Some r -> r | None -> assert false
-  in
-  let test () =
-    count_branch st;
-    count_int_op st;
-    let i = Value.to_int !index_ref in
-    let hi = Value.to_int (eval_expr st env_loop h.hi) in
-    match h.cmp with CLt -> i < hi | CLe -> i <= hi
-  in
-  let bump () =
-    count_int_op st;
-    let step = Value.to_int (eval_expr st env_loop h.step) in
-    index_ref := Value.Vint (Value.to_int !index_ref + step)
-  in
-  let rec iterate () =
-    if test () then begin
-      acc.la_iterations <- acc.la_iterations + 1;
-      match exec_block st env_loop body with
-      | Fnormal | Fcontinue ->
-        bump ();
-        iterate ()
-      | Fbreak -> Fnormal
-      | Freturn _ as f -> f
-    end
-    else Fnormal
-  in
-  iterate ()
-
-and loop_acc_of st sid =
-  match Hashtbl.find_opt st.loop_table sid with
-  | Some a -> a
-  | None ->
-    let a = { la_entries = 0; la_iterations = 0; la_counters = Counters.create () } in
-    Hashtbl.replace st.loop_table sid a;
-    a
-
-and dummy_loop_acc () =
-  { la_entries = 0; la_iterations = 0; la_counters = Counters.create () }
-
-and binop_of_assign = function
-  | AddEq -> Add
-  | SubEq -> Sub
-  | MulEq -> Mul
-  | DivEq -> Div
-  | Set -> invalid_arg "binop_of_assign: Set"
-
-(* Keep the representation kind of the assigned slot. *)
-and cast_like (old : Value.t) (v : Value.t) : Value.t =
-  match old with
-  | Value.Vint _ -> Value.Vint (Value.to_int v)
-  | Value.Vbool _ -> Value.Vbool (Value.truth v)
-  | Value.Vfloat (Value.Sp, _) -> Value.Vfloat (Value.Sp, Value.demote (Value.to_float v))
-  | Value.Vfloat (Value.Dp, _) -> Value.Vfloat (Value.Dp, Value.to_float v)
-  | Value.Vptr _ -> v
-
-and decl_scalar_ty (d : decl) : ty =
-  match d.darray with Some _ -> Tptr d.dty | None -> d.dty
-
-and call_function st (fn : func) (args : Value.t list) : Value.t option =
-  if List.length args <> List.length fn.fparams then
-    runtime_error fn.floc "calling %s with %d arguments (expects %d)" fn.fname
-      (List.length args) (List.length fn.fparams);
-  (* alias tracing: do two pointer arguments share a base? *)
-  if st.cfg.trace_aliases then begin
-    let bases =
-      List.filter_map
-        (function Value.Vptr p -> Some p.Value.base | _ -> None)
-        args
-    in
-    let sorted = List.sort compare bases in
-    let rec has_dup = function
-      | a :: (b :: _ as rest) -> a = b || has_dup rest
-      | [ _ ] | [] -> false
-    in
-    let cell =
-      match Hashtbl.find_opt st.alias_table fn.fname with
-      | Some c -> c
-      | None ->
-        let c = ref false in
-        Hashtbl.replace st.alias_table fn.fname c;
-        c
-    in
-    if has_dup sorted then cell := true
-  end;
-  let profiled = List.mem (Rfunc fn.fname) st.cfg.regions in
-  if profiled then push_region st (Rfunc fn.fname);
-  let env : env = [ Hashtbl.create 16; st.globals ] in
-  List.iter2
-    (fun prm v ->
-      let v' =
-        match prm.prm_ty with
-        | Tptr _ -> v
-        | t -> Value.coerce t v
-      in
-      bind env prm.prm_name v')
-    fn.fparams args;
-  let flow = exec_block st env fn.fbody in
-  if profiled then pop_region st;
-  match flow with
-  | Freturn v -> v
-  | Fnormal -> None
-  | Fbreak | Fcontinue -> runtime_error fn.floc "break/continue escaped function %s" fn.fname
-
-(* ---- program setup and entry ---- *)
-
-let init_globals st =
-  let env : env = [ st.globals ] in
-  List.iter
-    (function
-      | Gfunc _ -> ()
-      | Gdecl d ->
-        (match d.darray with
-         | Some size_e ->
-           let n = Value.to_int (eval_expr st env size_e) in
-           let ptr = Memory.alloc st.mem ~name:d.dname ~elem_ty:d.dty n in
-           Hashtbl.replace st.globals d.dname (ref (Value.Vptr ptr))
-         | None ->
-           let v =
-             match List.assoc_opt d.dname st.cfg.overrides with
-             | Some ov -> Value.coerce d.dty ov
-             | None ->
-               (match d.dinit with
-                | Some e -> Value.coerce d.dty (eval_expr st env e)
-                | None -> Value.zero_of d.dty)
-           in
-           Hashtbl.replace st.globals d.dname (ref v)))
-    st.program.pglobals
-
-let run ?(config = default_config) program =
-  let st =
-    {
-      program;
-      cfg = config;
-      mem = Memory.create ();
-      counters = Counters.create ();
-      prng = Util.Prng.create config.seed;
-      output = Buffer.create 256;
-      globals = Hashtbl.create 16;
-      loop_table = Hashtbl.create 16;
-      region_table = Hashtbl.create 4;
-      active_regions = [];
-      alias_table = Hashtbl.create 4;
-      func_table = Hashtbl.create 16;
-      steps_left = config.max_steps;
-    }
-  in
-  List.iter (fun fn -> Hashtbl.replace st.func_table fn.fname fn) (funcs program);
-  init_globals st;
-  let entry =
-    match Hashtbl.find_opt st.func_table config.entry with
-    | Some fn -> fn
-    | None -> runtime_error Loc.dummy "entry function %s not found" config.entry
-  in
-  let ret = call_function st entry [] in
-  let loop_stats =
-    Hashtbl.fold
-      (fun sid (a : loop_acc) acc ->
-        ( sid,
-          {
-            ls_entries = a.la_entries;
-            ls_iterations = a.la_iterations;
-            ls_work = Counters.work a.la_counters;
-            ls_counters = a.la_counters;
-          } )
-        :: acc)
-      st.loop_table []
-  in
-  let region_stats =
-    Hashtbl.fold
-      (fun region (a : region_acc) acc ->
-        let traffic =
-          Hashtbl.fold
-            (fun base (rd, wr) acc ->
-              {
-                at_name = Memory.name st.mem base;
-                at_elem_bytes = Memory.elem_bytes st.mem base;
-                at_read_elems = !rd;
-                at_written_elems = !wr;
-              }
-              :: acc)
-            a.ra_traffic []
-        in
-        let bytes_in =
-          List.fold_left (fun n t -> n + (t.at_read_elems * t.at_elem_bytes)) 0 traffic
-        in
-        let bytes_out =
-          List.fold_left (fun n t -> n + (t.at_written_elems * t.at_elem_bytes)) 0 traffic
-        in
-        ( region,
-          {
-            rs_invocations = a.ra_invocations;
-            rs_counters = a.ra_counters;
-            rs_traffic = traffic;
-            rs_bytes_in = bytes_in;
-            rs_bytes_out = bytes_out;
-          } )
-        :: acc)
-      st.region_table []
-  in
-  let aliased =
-    Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) st.alias_table []
-  in
-  {
-    ret;
-    output =
-      (match Buffer.contents st.output with
-       | "" -> []
-       | text -> String.split_on_char '\n' (String.trim text));
-    counters = st.counters;
-    loop_stats;
-    region_stats;
-    aliased_funcs = aliased;
-    memory = st.mem;
-  }
-
-let find_loop_stats result sid = List.assoc_opt sid result.loop_stats
-
-let find_region_stats result region = List.assoc_opt region result.region_stats
+let find_region_stats (r : result) region = List.assoc_opt region r.region_stats

@@ -60,7 +60,39 @@ type result = {
   memory : Memory.t;                          (** final memory, for inspecting results *)
 }
 
-val run : ?config:config -> Ast.program -> result
+(** Interpreter backend: [`Compiled] lowers the AST to OCaml closures in a
+    one-shot pass before execution (slot-indexed frames, pre-resolved calls,
+    block-batched step counting); [`Ast] is the reference tree-walker.  Both
+    produce bit-identical observables. *)
+type backend = [ `Ast | `Compiled ]
+
+val interp_version : int
+(** Bumped whenever observable interpreter semantics change; memoization
+    keys include it (together with the backend tag) so cached results from
+    older interpreters are never replayed. *)
+
+val backend_name : backend -> string
+
+val backend_of_string : string -> backend option
+
+val default_backend : unit -> backend
+(** The backend used when {!run} is not given [?backend]; initially
+    [`Compiled]. *)
+
+val set_default_backend : backend -> unit
+
+(** Cumulative execution statistics across all {!run} calls (thread-safe). *)
+type exec_stats = {
+  exec_runs : int;      (** completed interpreter runs *)
+  exec_steps : int;     (** total interpreted statements *)
+  exec_seconds : float; (** total wall-clock seconds inside the interpreter *)
+}
+
+val exec_stats : unit -> exec_stats
+
+val reset_exec_stats : unit -> unit
+
+val run : ?config:config -> ?backend:backend -> Ast.program -> result
 (** Execute the program from its entry function.
     @raise Runtime_error on dynamic errors (bounds, division by zero, ...)
     @raise Step_limit_exceeded when [max_steps] is exhausted. *)

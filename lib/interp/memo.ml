@@ -113,8 +113,17 @@ let translate map (r : Machine.result) =
 
 (* Keys are digests of the marshalled canonical pair: programs and
    configs are closure-free data, and a digest avoids rehashing deep
-   trees on every bucket comparison. *)
-let key_of canon_p config = Digest.string (Marshal.to_string (canon_p, config) [])
+   trees on every bucket comparison.  The interpreter version and the
+   backend tag are folded in so results cached by an older interpreter
+   (or by the other backend, should their observables ever diverge) are
+   never replayed. *)
+let backend_tag = function `Ast -> 0 | `Compiled -> 1
+
+let key_of backend canon_p config =
+  Digest.string
+    (Marshal.to_string
+       (Machine.interp_version, backend_tag backend, canon_p, config)
+       [])
 
 let max_entries = 256
 
@@ -135,9 +144,12 @@ let reset () =
       hit_count := 0;
       miss_count := 0)
 
-let run ?(config = Machine.default_config) p =
+let run ?(config = Machine.default_config) ?backend p =
+  let backend =
+    match backend with Some b -> b | None -> Machine.default_backend ()
+  in
   let canon_p, to_canon, of_canon = canonicalize p in
-  let key = key_of canon_p (canon_config to_canon config) in
+  let key = key_of backend canon_p (canon_config to_canon config) in
   let cached =
     with_lock (fun () ->
         match Hashtbl.find_opt table key with
@@ -154,7 +166,7 @@ let run ?(config = Machine.default_config) p =
     (* Interpret outside the lock; two domains racing on the same key
        both compute the (deterministic) result and one insert wins.
        Failed runs propagate their exception and are never cached. *)
-    let result = Machine.run ~config p in
+    let result = Machine.run ~config ~backend p in
     with_lock (fun () ->
         if Hashtbl.length table >= max_entries then Hashtbl.reset table;
         Hashtbl.replace table key (translate to_canon result));

@@ -37,10 +37,14 @@ val stats : unit -> stats
 val reset : unit -> unit
 (** Empty the table and zero the counters. *)
 
-val run : ?config:Machine.config -> Ast.program -> Machine.result
-(** Memoizing equivalent of {!Machine.run}.  Exceptions
-    ({!Machine.Runtime_error}, {!Machine.Step_limit_exceeded}, ...)
-    propagate and are never cached. *)
+val run :
+  ?config:Machine.config -> ?backend:Machine.backend -> Ast.program -> Machine.result
+(** Memoizing equivalent of {!Machine.run}.  The cache key includes
+    {!Machine.interp_version} and the backend tag ([backend] defaults to
+    {!Machine.default_backend}), so entries cached under an older
+    interpreter version or the other backend are never replayed.
+    Exceptions ({!Machine.Runtime_error}, {!Machine.Step_limit_exceeded},
+    ...) propagate and are never cached. *)
 
 val analysis_config : ?config:Machine.config -> unit -> Machine.config
 (** The shared instrumentation configuration used by the standalone

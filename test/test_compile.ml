@@ -1,0 +1,419 @@
+(* Differential tests for the closure-compiled interpreter backend: the
+   compiled backend must be observably bit-identical to the reference
+   tree-walker on every program — output, counters, loop/region stats,
+   alias verdicts, final memory, and raised exceptions. *)
+
+let check = Alcotest.(check bool)
+
+let parse = Parser.parse_program
+
+(* Observable projection of a result.  Hashtbl-fold-built assoc lists are
+   sorted by key so ordering differences (there are none today, since both
+   backends populate the tables in the same first-touch order, but the
+   comparison should not depend on that) cannot cause false alarms.
+   Memory is projected to (name, elem_ty, contents) per base: both
+   backends allocate in the same program order, so bases line up. *)
+type observation = {
+  o_ret : Value.t option;
+  o_output : string list;
+  o_counters : Counters.t;
+  o_loops : (int * (int * int * Counters.t)) list;
+  o_regions :
+    (Machine.region * (int * Counters.t * (string * int * int * int) list * int * int))
+    list;
+  o_aliases : (string * bool) list;
+  o_memory : (string * Ast.ty * float array) list;
+}
+
+let observe (r : Machine.result) : observation =
+  let mem = r.Machine.memory in
+  let arrays = ref [] in
+  for base = Memory.array_count mem - 1 downto 0 do
+    arrays :=
+      (Memory.name mem base, Memory.elem_ty mem base, Memory.to_float_array mem base)
+      :: !arrays
+  done;
+  {
+    o_ret = r.Machine.ret;
+    o_output = r.Machine.output;
+    o_counters = r.Machine.counters;
+    o_loops =
+      List.sort compare
+        (List.map
+           (fun (sid, (ls : Machine.loop_stats)) ->
+             (sid, (ls.Machine.ls_entries, ls.Machine.ls_iterations, ls.Machine.ls_counters)))
+           r.Machine.loop_stats);
+    o_regions =
+      List.sort compare
+        (List.map
+           (fun (rg, (rs : Machine.region_stats)) ->
+             ( rg,
+               ( rs.Machine.rs_invocations,
+                 rs.Machine.rs_counters,
+                 List.sort compare
+                   (List.map
+                      (fun (t : Machine.array_traffic) ->
+                        ( t.Machine.at_name,
+                          t.Machine.at_elem_bytes,
+                          t.Machine.at_read_elems,
+                          t.Machine.at_written_elems ))
+                      rs.Machine.rs_traffic),
+                 rs.Machine.rs_bytes_in,
+                 rs.Machine.rs_bytes_out ) ))
+           r.Machine.region_stats);
+    o_aliases = List.sort compare r.Machine.aliased_funcs;
+    o_memory = !arrays;
+  }
+
+(* run one backend, capturing normal results and exceptions uniformly *)
+type outcome =
+  | Completed of observation
+  | Failed of Loc.t * string
+  | Out_of_steps
+
+let run_backend backend config p : outcome =
+  match Machine.run ~config ~backend p with
+  | r -> Completed (observe r)
+  | exception Machine.Runtime_error (loc, msg) -> Failed (loc, msg)
+  | exception Machine.Step_limit_exceeded -> Out_of_steps
+
+let outcomes_equal a b =
+  match a, b with
+  | Completed oa, Completed ob -> compare oa ob = 0
+  | Failed (la, ma), Failed (lb, mb) -> la = lb && String.equal ma mb
+  | Out_of_steps, Out_of_steps -> true
+  | _ -> false
+
+let agree ?(config = Machine.default_config) p =
+  outcomes_equal (run_backend `Ast config p) (run_backend `Compiled config p)
+
+let agree_src ?config src = agree ?config (parse src)
+
+(* a config that exercises every profiling observable at once *)
+let full_config (p : Ast.program) =
+  let fnames = List.map (fun f -> f.Ast.fname) (Ast.funcs p) in
+  let sids = List.map (fun (lm : Query.loop_match) -> lm.Query.lm_stmt.Ast.sid) (Query.loops p) in
+  {
+    Machine.default_config with
+    profile_loops = true;
+    trace_aliases = true;
+    regions =
+      List.map (fun f -> Machine.Rfunc f) fnames
+      @ List.map (fun s -> Machine.Rstmt s) sids;
+  }
+
+(* ---- the five suite applications ---- *)
+
+let test_suite_apps () =
+  List.iter
+    (fun (app : App.t) ->
+      let p = App.program app in
+      let config =
+        {
+          (full_config p) with
+          overrides = App.machine_overrides app.App.app_test_overrides;
+        }
+      in
+      check
+        (Printf.sprintf "backends agree on %s (fully profiled)" app.App.app_slug)
+        true
+        (agree ~config p))
+    Suite.all
+
+let test_suite_apps_plain () =
+  List.iter
+    (fun (app : App.t) ->
+      let p = App.program app in
+      let config =
+        {
+          Machine.default_config with
+          overrides = App.machine_overrides app.App.app_test_overrides;
+        }
+      in
+      check (Printf.sprintf "backends agree on %s (no profiling)" app.App.app_slug)
+        true (agree ~config p))
+    Suite.all
+
+(* ---- targeted parity cases ---- *)
+
+let test_shadowing () =
+  check "inner decl shadows, outer restored" true
+    (agree_src
+       {|
+int main() {
+  int x = 1;
+  { int x = 2; print_int(x); }
+  print_int(x);
+  for (int i = 0; i < 3; i++) { double x = 0.5; print_float(x + (double)i); }
+  print_int(x);
+  return 0;
+}|})
+
+let test_use_before_decl () =
+  (* a use before the local declaration resolves to the outer binding in
+     both backends *)
+  check "use before declaration sees outer binding" true
+    (agree_src
+       {|
+int g = 7;
+int main() {
+  print_int(g);
+  int h = g + 1;
+  int g = 100;
+  print_int(g);
+  print_int(h);
+  return 0;
+}|})
+
+let test_early_return_and_break () =
+  check "early return / break / continue" true
+    (agree_src
+       {|
+int f(int n) {
+  for (int i = 0; i < n; i++) {
+    if (i == 3) { break; }
+    if (i == 1) { continue; }
+    if (n > 10) { return -1; }
+    print_int(i);
+  }
+  return n;
+}
+int main() {
+  print_int(f(5));
+  print_int(f(20));
+  while (true) { break; }
+  return 0;
+}|})
+
+let test_numeric_semantics () =
+  (* mixed precision, casts, bool arrays, integral Mod on floats, compound
+     ops: the corners where the compiled specializations must match the
+     dynamic walker exactly *)
+  check "numeric corner cases" true
+    (agree_src
+       {|
+int main() {
+  bool flags[4];
+  flags[0] = 0.5;
+  flags[1] = true;
+  flags[2] = 0.0;
+  flags[3] = 3;
+  int ones = 0;
+  for (int i = 0; i < 4; i++) { if (flags[i]) { ones += 1; } }
+  print_int(ones);
+  double d = 7.9;
+  float s = 7.9f;
+  int t = (int)d;
+  print_int(t);
+  print_int(d % 3);
+  print_float((double)s);
+  float arr[3];
+  arr[0] = 1.0000001;
+  arr[1] = (float)(1.0 / 3.0);
+  arr[2] = 2;
+  double acc = 0.0;
+  for (int i = 0; i < 3; i++) { acc += arr[i]; }
+  print_float(acc);
+  int k = 10;
+  k /= 3;
+  k *= -2;
+  print_int(k);
+  d -= 0.5f;
+  s += 1;
+  print_float(d);
+  print_float((double)s);
+  int ia[2];
+  ia[0] = 41;
+  ia[1] = 2;
+  ia[0] += 1;
+  ia[1] *= 3;
+  print_int(ia[0] + ia[1]);
+  print_float(fabs(-2.5) + fminf(1.0f, 2.0f) + (double)imax(3, 4));
+  print_float(1.0 ? 2.0 : 3.0);
+  print_int(true ? 1 : 0);
+  return 0;
+}|})
+
+let test_alias_tracing () =
+  let src =
+    {|
+double sum2(double* a, double* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) { s += a[i] + b[i]; }
+  return s;
+}
+int main() {
+  double x[8];
+  double y[8];
+  for (int i = 0; i < 8; i++) { x[i] = (double)i; y[i] = 1.0; }
+  print_float(sum2(x, y, 8));
+  print_float(sum2(x, x, 8));
+  return 0;
+}|}
+  in
+  let p = parse src in
+  check "alias verdicts agree" true (agree ~config:(full_config p) p);
+  (* and positively: the compiled backend detects the aliasing call *)
+  let config = { (full_config p) with trace_aliases = true } in
+  let r = Machine.run ~config ~backend:`Compiled p in
+  check "compiled backend flags sum2 as aliased" true
+    (List.assoc_opt "sum2" r.Machine.aliased_funcs = Some true)
+
+let test_global_overrides () =
+  let p =
+    parse
+      {|
+const int N = 4;
+double scale = 0.5;
+int main() {
+  double acc = 0.0;
+  for (int i = 0; i < N; i++) { acc += scale * (double)i; }
+  print_float(acc);
+  return 0;
+}|}
+  in
+  let config =
+    { Machine.default_config with overrides = [ ("N", Value.Vint 6) ] }
+  in
+  check "global override respected identically" true (agree ~config p);
+  (* the walker skips evaluating the overridden initializer; so must we *)
+  let r = Machine.run ~config ~backend:`Compiled p in
+  check "override value used" true (r.Machine.output = [ "7.5" ])
+
+let test_error_parity () =
+  let cases =
+    [
+      ("div by zero", "int main() { int a = 1; int b = 0; print_int(a / b); return 0; }");
+      ("mod by zero", "int main() { int a = 1; int b = 0; print_int(a % b); return 0; }");
+      ( "oob read",
+        "int main() { double a[4]; print_float(a[7]); return 0; }" );
+      ( "oob write",
+        "int main() { double a[4]; for (int i = 0; i <= 4; i++) { a[i] = 1.0; } return 0; }" );
+      ( "unknown intrinsic",
+        "int main() { print_int(mystery(3)); return 0; }" );
+      ( "arity mismatch",
+        "int f(int a, int b) { return a + b; } int main() { print_int(f(1)); return 0; }" );
+      ( "negative alloc",
+        "int main() { int n = 0 - 3; double a[n]; return 0; }" );
+    ]
+  in
+  List.iter (fun (name, src) -> check name true (agree_src src)) cases
+
+let test_step_limit_parity () =
+  let src =
+    {|
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 1000; i++) { acc += i; acc += 1; acc += 2; }
+  print_int(acc);
+  return 0;
+}|}
+  in
+  let p = parse src in
+  (* sweep budgets across segment boundaries: the batched budget must
+     raise exactly when per-statement ticking would *)
+  for max_steps = 1 to 60 do
+    let config = { Machine.default_config with max_steps } in
+    check (Printf.sprintf "step budget %d" max_steps) true (agree ~config p)
+  done;
+  (* and at a coarser grain across the whole run *)
+  List.iter
+    (fun max_steps ->
+      let config = { Machine.default_config with max_steps } in
+      check (Printf.sprintf "step budget %d" max_steps) true (agree ~config p))
+    [ 100; 1000; 2000; 5000; 5999; 6000; 6007; 8000 ]
+
+let test_step_count_identical () =
+  (* same program, both backends complete: identical total steps *)
+  List.iter
+    (fun (app : App.t) ->
+      let config =
+        {
+          Machine.default_config with
+          overrides = App.machine_overrides app.App.app_test_overrides;
+        }
+      in
+      let p = App.program app in
+      let sa = (Machine.run ~config ~backend:`Ast p).Machine.counters.Counters.steps in
+      let sc = (Machine.run ~config ~backend:`Compiled p).Machine.counters.Counters.steps in
+      Alcotest.(check int) (app.App.app_slug ^ " steps") sa sc)
+    Suite.all
+
+let test_recursion () =
+  check "recursion and mutual calls" true
+    (agree_src
+       {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+int main() {
+  print_int(fib(12));
+  print_int(is_even(9));
+  print_int(is_odd(9));
+  return 0;
+}|})
+
+let test_prng_stream () =
+  (* PRNG draws must interleave identically with all other evaluation *)
+  check "rand01 stream order" true
+    (agree_src
+       {|
+int main() {
+  double a = rand01() + rand01() * rand01();
+  double b = rand01() < 0.5 ? rand01() : rand01() + 1.0;
+  print_float(a);
+  print_float(b);
+  print_float(rand01());
+  return 0;
+}|})
+
+let test_exec_stats_accumulate () =
+  Machine.reset_exec_stats ();
+  let p = parse "int main() { print_int(1 + 2); return 0; }" in
+  ignore (Machine.run p);
+  ignore (Machine.run ~backend:`Ast p);
+  let s = Machine.exec_stats () in
+  Alcotest.(check int) "two runs recorded" 2 s.Machine.exec_runs;
+  check "steps accumulated" true (s.Machine.exec_steps > 0);
+  check "time accumulated" true (s.Machine.exec_seconds >= 0.0)
+
+let test_default_backend_switch () =
+  let saved = Machine.default_backend () in
+  Machine.set_default_backend `Ast;
+  check "default backend switched" true (Machine.default_backend () = `Ast);
+  Machine.set_default_backend saved;
+  check "backend names round-trip" true
+    (Machine.backend_of_string (Machine.backend_name `Ast) = Some `Ast
+    && Machine.backend_of_string (Machine.backend_name `Compiled) = Some `Compiled
+    && Machine.backend_of_string "nope" = None)
+
+(* ---- random-program differential property ---- *)
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"compiled backend agrees with walker on random kernels"
+    ~count:150 Test_props.arbitrary_program (fun src ->
+      let p = parse src in
+      agree ~config:(full_config p) p)
+
+let suite =
+  [
+    Alcotest.test_case "suite apps fully profiled" `Quick test_suite_apps;
+    Alcotest.test_case "suite apps unprofiled" `Quick test_suite_apps_plain;
+    Alcotest.test_case "scope shadowing" `Quick test_shadowing;
+    Alcotest.test_case "use before declaration" `Quick test_use_before_decl;
+    Alcotest.test_case "early return and break" `Quick test_early_return_and_break;
+    Alcotest.test_case "numeric corner cases" `Quick test_numeric_semantics;
+    Alcotest.test_case "alias tracing" `Quick test_alias_tracing;
+    Alcotest.test_case "global overrides" `Quick test_global_overrides;
+    Alcotest.test_case "error parity" `Quick test_error_parity;
+    Alcotest.test_case "step limit parity" `Quick test_step_limit_parity;
+    Alcotest.test_case "step counts identical" `Quick test_step_count_identical;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "prng stream order" `Quick test_prng_stream;
+    Alcotest.test_case "exec stats accumulate" `Quick test_exec_stats_accumulate;
+    Alcotest.test_case "default backend switch" `Quick test_default_backend_switch;
+    QCheck_alcotest.to_alcotest prop_backends_agree;
+  ]

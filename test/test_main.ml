@@ -5,6 +5,7 @@ let () =
       ("pool", Test_pool.suite);
       ("srclang", Test_srclang.suite);
       ("interp", Test_interp.suite);
+      ("compile", Test_compile.suite);
       ("memo", Test_memo.suite);
       ("analysis", Test_analysis.suite);
       ("devices", Test_devices.suite);

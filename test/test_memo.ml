@@ -98,9 +98,21 @@ let test_flow_run_reuses_interpretations () =
     (Printf.sprintf "at least 3 hits in one flow run (got %d)" s.Memo.hits)
     true (s.Memo.hits >= 3)
 
+let test_backends_do_not_collide () =
+  Memo.reset ();
+  let config = Memo.analysis_config ~config:small_config () in
+  let ra = Memo.run ~config ~backend:`Ast nbody_program in
+  let rc = Memo.run ~config ~backend:`Compiled nbody_program in
+  let s = Memo.stats () in
+  checki "each backend keyed separately" 2 s.Memo.misses;
+  checki "no cross-backend hit" 0 s.Memo.hits;
+  check "backends agree through the cache" true
+    (sorted_stats ra = sorted_stats rc && ra.Machine.output = rc.Machine.output)
+
 let suite =
   [
     ("memoized run equals direct run", `Quick, test_memo_equals_direct);
+    ("backends are keyed separately", `Quick, test_backends_do_not_collide);
     ("distinct configs do not collide", `Quick, test_distinct_configs_do_not_collide);
     ("id-renumbered programs share one entry", `Quick, test_renumbered_program_hits);
     ("failed runs are not cached", `Quick, test_exceptions_not_cached);
