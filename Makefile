@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-quick bench-compare clean
+.PHONY: all check test bench bench-quick bench-compare bench-warm-cold clean
 
 all:
 	dune build @all
@@ -23,6 +23,15 @@ bench-quick:
 # seed walker)
 bench-compare: bench-quick
 	dune exec bench/compare.exe -- bench.json BENCH_seed.json
+
+# cache-effectiveness gate: a cold quick bench populates a fresh cache,
+# then a warm rerun must cut the combined runs+micro+ablation time >= 2x
+# and actually serve entries from the disk tier
+bench-warm-cold:
+	rm -rf .psa-cache bench-cold.json bench-warm.json
+	dune exec bench/main.exe -- --quick --json bench-cold.json
+	dune exec bench/main.exe -- --quick --json bench-warm.json
+	dune exec bench/compare.exe -- --warm-cold bench-cold.json bench-warm.json
 
 clean:
 	dune clean

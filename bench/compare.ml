@@ -2,8 +2,15 @@
    performance regressions.
 
    Usage: compare.exe CURRENT.json BASELINE.json
+          compare.exe --warm-cold COLD.json WARM.json
 
-   Gates:
+   The second form checks the evaluation cache's effectiveness: WARM must
+   have been produced by rerunning the same bench against the cache
+   directory COLD populated.  It requires the combined runs+micro+ablation
+   wall time to drop at least 2x and the warm run to have actually served
+   entries from the disk tier.
+
+   Gates (first form):
    - every wall-clock section present in both files may regress by at
      most 20% (lower is better);
    - every "statements_per_sec" entry present in both files may regress
@@ -165,20 +172,60 @@ let report fmt =
       Printf.printf "FAIL  %s\n" msg)
     fmt
 
-let () =
-  let current_path, baseline_path =
-    match Sys.argv with
-    | [| _; c; b |] -> (c, b)
-    | _ ->
-      prerr_endline "usage: compare.exe CURRENT.json BASELINE.json";
-      exit 2
+let parse path =
+  try parse_json (read_file path)
+  with Parse_error msg ->
+    Printf.eprintf "compare: %s: %s\n" path msg;
+    exit 2
+
+(* ---- warm/cold cache-effectiveness gate ---- *)
+
+let warm_cold_sections = [ "runs"; "micro"; "ablation" ]
+
+let warm_cold_speedup = 2.0
+
+let run_warm_cold cold_path warm_path =
+  let cold = parse cold_path in
+  let warm = parse warm_path in
+  let sections j = Option.fold ~none:[] ~some:num_members (member "sections" j) in
+  let combined label j =
+    List.fold_left
+      (fun acc name ->
+        match List.assoc_opt name (sections j) with
+        | Some t -> acc +. t
+        | None ->
+          report "%s is missing section %S" label name;
+          acc)
+      0.0 warm_cold_sections
   in
-  let parse path =
-    try parse_json (read_file path)
-    with Parse_error msg ->
-      Printf.eprintf "compare: %s: %s\n" path msg;
-      exit 2
+  let cold_t = combined "cold run" cold in
+  let warm_t = combined "warm run" warm in
+  let ratio = if warm_t > 0.0 then cold_t /. warm_t else infinity in
+  if ratio < warm_cold_speedup then
+    report "warm %s only %.2fx faster than cold (%.3fs -> %.3fs, needs >= %.1fx)"
+      (String.concat "+" warm_cold_sections)
+      ratio cold_t warm_t warm_cold_speedup
+  else
+    Printf.printf "ok    warm %s %.3fs -> %.3fs (%.2fx >= %.1fx)\n"
+      (String.concat "+" warm_cold_sections)
+      cold_t warm_t ratio warm_cold_speedup;
+  (* the speedup must come from the cache, not from noise *)
+  let cache_stat j name =
+    match member "cache" j with
+    | Some c -> List.assoc_opt name (num_members c)
+    | None -> None
   in
+  (match cache_stat warm "disk_hits" with
+   | Some h when h > 0.0 ->
+     Printf.printf "ok    warm run served %.0f entries from the disk tier\n" h
+   | Some _ | None -> report "warm run has no disk hits (cache not exercised)");
+  (match cache_stat warm "errors" with
+   | Some e when e > 0.0 -> Printf.printf "note  warm run logged %.0f cache errors\n" e
+   | _ -> ())
+
+(* ---- seed-baseline regression gate ---- *)
+
+let run_regressions current_path baseline_path =
   let current = parse current_path in
   let baseline = parse baseline_path in
   (* wall-clock sections: lower is better *)
@@ -230,10 +277,20 @@ let () =
      if ratio < 3.0 then
        report "compiled backend only %.2fx the seed walker (needs >= 3x)" ratio
      else Printf.printf "ok    compiled backend %.2fx the seed walker (>= 3x)\n" ratio
-   | _ -> ());
+   | _ -> ())
+
+let () =
+  (match Sys.argv with
+   | [| _; "--warm-cold"; cold; warm |] -> run_warm_cold cold warm
+   | [| _; current; baseline |] -> run_regressions current baseline
+   | _ ->
+     prerr_endline
+       "usage: compare.exe CURRENT.json BASELINE.json\n\
+       \       compare.exe --warm-cold COLD.json WARM.json";
+     exit 2);
   if !failures > 0 then begin
-    Printf.printf "%d regression%s detected\n" !failures
+    Printf.printf "%d violation%s detected\n" !failures
       (if !failures = 1 then "" else "s");
     exit 1
   end
-  else print_endline "no regressions"
+  else print_endline "all gates passed"

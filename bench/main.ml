@@ -20,6 +20,7 @@
      main.exe --jobs N        domains for parallel flow execution (1 = sequential)
      main.exe --json FILE     dump per-section wall-clock times as JSON
      main.exe --interp B      default interpreter backend: ast | compiled
+     main.exe --cache D       evaluation-cache directory (default .psa-cache; off = disabled)
      main.exe fig5 table1 fig6 ablation micro interp    any subset, in any order *)
 
 let argv = Array.to_list Sys.argv
@@ -53,6 +54,12 @@ let () =
     | None ->
       prerr_endline "bench: --interp expects 'ast' or 'compiled'";
       exit 2)
+
+let () =
+  match opt_value "--cache" with
+  | None -> Cache.set_dir (Some ".psa-cache")
+  | Some "off" -> Cache.set_dir None
+  | Some dir -> Cache.set_dir (Some dir)
 
 let json_file = opt_value "--json"
 
@@ -96,7 +103,23 @@ let write_json path ~total =
       Printf.fprintf oc "    %S: %.1f%s\n" name sps
         (if i < List.length tp - 1 then "," else ""))
     tp;
-  output_string oc "  }\n}\n";
+  output_string oc "  },\n";
+  let s = Cache.stats () in
+  Printf.fprintf oc
+    "  \"cache\": {\n\
+    \    \"enabled\": %b,\n\
+    \    \"mem_hits\": %d,\n\
+    \    \"disk_hits\": %d,\n\
+    \    \"misses\": %d,\n\
+    \    \"waits\": %d,\n\
+    \    \"errors\": %d,\n\
+    \    \"evictions\": %d,\n\
+    \    \"bytes_read\": %d,\n\
+    \    \"bytes_written\": %d\n\
+    \  }\n}\n"
+    (Cache.enabled ()) s.Cache.mem_hits s.Cache.disk_hits s.Cache.misses
+    s.Cache.waits s.Cache.errors s.Cache.evictions s.Cache.bytes_read
+    s.Cache.bytes_written;
   close_out oc
 
 (* ---- experiment regeneration ---- *)
@@ -187,7 +210,18 @@ let micro_tests =
 let run_micro () =
   let open Bechamel in
   ignore (Lazy.force micro_inputs);
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  (* the micro section times raw stage latencies; drop the suite's cached
+     artifacts from the memory tier and compact first, so Bechamel's GC
+     stabilization does not scale with however much the preceding
+     sections (cold or warm) left live *)
+  Cache.clear_memory ();
+  Gc.compact ();
+  (* quick mode is a smoke run: a tiny sampling quota keeps the (fixed,
+     quota-bound) Bechamel time from dominating the whole bench *)
+  let cfg =
+    if quick then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.01) ()
+    else Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ()
+  in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let raw = Benchmark.all cfg instances micro_tests in
   let ols =

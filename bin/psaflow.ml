@@ -63,6 +63,18 @@ let interp_arg =
   let backend_conv = Arg.enum [ ("ast", `Ast); ("compiled", `Compiled) ] in
   Arg.(value & opt (some backend_conv) None & info [ "interp" ] ~docv:"BACKEND" ~doc)
 
+let cache_arg =
+  let doc =
+    "Directory of the persistent evaluation cache (interpreter runs, dynamic \
+     tasks, DSE points are content-addressed and replayed on warm runs), or \
+     $(b,off) to disable caching entirely. Default $(b,.psa-cache)."
+  in
+  Arg.(value & opt string ".psa-cache" & info [ "cache" ] ~docv:"DIR|off" ~doc)
+
+let apply_cache = function
+  | "off" -> Cache.set_dir None
+  | dir -> Cache.set_dir (Some dir)
+
 let apply_jobs = function Some n -> Util.Pool.set_default_jobs n | None -> ()
 
 let apply_interp = function
@@ -77,6 +89,24 @@ let print_interp_stats () =
       (Machine.backend_name (Machine.default_backend ()))
       s.Machine.exec_runs s.Machine.exec_steps s.Machine.exec_seconds
       (float_of_int s.Machine.exec_steps /. s.Machine.exec_seconds)
+
+let print_cache_stats () =
+  match Cache.dir () with
+  | None -> Printf.printf "\nevaluation cache: off\n"
+  | Some dir ->
+    let s = Cache.stats () in
+    Printf.printf
+      "\nevaluation cache (%s): %d memory hits, %d disk hits, %d misses, %d \
+       single-flight waits, %d errors, %d evictions, %d bytes read, %d bytes \
+       written\n"
+      dir s.Cache.mem_hits s.Cache.disk_hits s.Cache.misses s.Cache.waits
+      s.Cache.errors s.Cache.evictions s.Cache.bytes_read s.Cache.bytes_written;
+    List.iter
+      (fun (kind, (k : Cache.stats)) ->
+        if k.Cache.mem_hits + k.Cache.disk_hits + k.Cache.misses > 0 then
+          Printf.printf "  %-6s %4d mem, %4d disk, %4d miss\n" kind
+            k.Cache.mem_hits k.Cache.disk_hits k.Cache.misses)
+      (Cache.stats_by_kind ())
 
 let find_app slug =
   match Suite.find slug with
@@ -130,9 +160,10 @@ let emit_designs dir (rep : Engine.report) =
     rep.Engine.rep_designs
 
 let run_cmd =
-  let run slug file scale mode quick explain emit diff jobs interp =
+  let run slug file scale mode quick explain emit diff jobs interp cache =
     apply_jobs jobs;
     apply_interp interp;
+    apply_cache cache;
     match (if file then app_of_file slug ~scale else find_app slug) with
     | Error msg ->
       prerr_endline msg;
@@ -157,7 +188,8 @@ let run_cmd =
          if explain then begin
            print_newline ();
            print_string (Report.log_text rep);
-           print_interp_stats ()
+           print_interp_stats ();
+           print_cache_stats ()
          end;
          (match emit with Some dir -> emit_designs dir rep | None -> ());
          if diff then begin
@@ -178,7 +210,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ app_arg $ file_arg $ scale_arg $ mode_arg $ quick_arg
-          $ explain_arg $ emit_arg $ diff_arg $ jobs_arg $ interp_arg)
+          $ explain_arg $ emit_arg $ diff_arg $ jobs_arg $ interp_arg $ cache_arg)
 
 let apps_cmd =
   let run () =
@@ -228,34 +260,40 @@ let with_reports quick f =
   end
 
 let fig5_cmd =
-  let run quick jobs interp =
+  let run quick jobs interp cache =
     apply_jobs jobs;
     apply_interp interp;
+    apply_cache cache;
     with_reports quick (fun reports ->
         print_string (Fig5.render (Fig5.of_reports reports)))
   in
   let doc = "Regenerate Fig. 5 (speedups of all generated designs)." in
-  Cmd.v (Cmd.info "fig5" ~doc) Term.(const run $ quick_arg $ jobs_arg $ interp_arg)
+  Cmd.v (Cmd.info "fig5" ~doc)
+    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg)
 
 let table1_cmd =
-  let run quick jobs interp =
+  let run quick jobs interp cache =
     apply_jobs jobs;
     apply_interp interp;
+    apply_cache cache;
     with_reports quick (fun reports ->
         print_string (Table1.render (Table1.of_reports reports)))
   in
   let doc = "Regenerate Table I (added lines of code per design)." in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ quick_arg $ jobs_arg $ interp_arg)
+  Cmd.v (Cmd.info "table1" ~doc)
+    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg)
 
 let fig6_cmd =
-  let run quick jobs interp =
+  let run quick jobs interp cache =
     apply_jobs jobs;
     apply_interp interp;
+    apply_cache cache;
     with_reports quick (fun reports ->
         print_string (Fig6.render (Fig6.of_reports reports)))
   in
   let doc = "Regenerate Fig. 6 (FPGA vs GPU cost across price ratios)." in
-  Cmd.v (Cmd.info "fig6" ~doc) Term.(const run $ quick_arg $ jobs_arg $ interp_arg)
+  Cmd.v (Cmd.info "fig6" ~doc)
+    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg)
 
 let dot_cmd =
   let run mode =
@@ -266,9 +304,10 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ mode_arg)
 
 let budget_cmd =
-  let run slug budget quick jobs interp =
+  let run slug budget quick jobs interp cache =
     apply_jobs jobs;
     apply_interp interp;
+    apply_cache cache;
     match find_app slug with
     | Error msg ->
       prerr_endline msg;
@@ -309,7 +348,9 @@ let budget_cmd =
   in
   let doc = "Run the informed flow under a monetary budget (Fig. 3's cost feedback)." in
   Cmd.v (Cmd.info "budget" ~doc)
-    Term.(const run $ app_arg $ budget_arg $ quick_arg $ jobs_arg $ interp_arg)
+    Term.(
+      const run $ app_arg $ budget_arg $ quick_arg $ jobs_arg $ interp_arg
+      $ cache_arg)
 
 let main =
   let doc = "auto-generating diverse heterogeneous designs (PSA-flows)" in

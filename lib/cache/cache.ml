@@ -1,0 +1,361 @@
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  waits : int;
+  errors : int;
+  evictions : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+let zero_stats =
+  {
+    mem_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    waits = 0;
+    errors = 0;
+    evictions = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+
+let add_stats a b =
+  {
+    mem_hits = a.mem_hits + b.mem_hits;
+    disk_hits = a.disk_hits + b.disk_hits;
+    misses = a.misses + b.misses;
+    waits = a.waits + b.waits;
+    errors = a.errors + b.errors;
+    evictions = a.evictions + b.evictions;
+    bytes_read = a.bytes_read + b.bytes_read;
+    bytes_written = a.bytes_written + b.bytes_written;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Global configuration and instance registry                          *)
+(* ------------------------------------------------------------------ *)
+
+let the_dir : string option Atomic.t = Atomic.make None
+
+let the_max_bytes = Atomic.make (512 * 1024 * 1024)
+
+let set_dir d = Atomic.set the_dir d
+
+let dir () = Atomic.get the_dir
+
+let enabled () = dir () <> None
+
+let set_max_bytes n = Atomic.set the_max_bytes (max 1 n)
+
+let max_bytes () = Atomic.get the_max_bytes
+
+(* Every [Make] instance registers its stats/reset closures here so the
+   CLIs can report and tests can clear all tiers at once. *)
+let registry : (string * (unit -> stats)) list ref = ref []
+
+let resets : (unit -> unit) list ref = ref []
+
+let mem_clears : (unit -> unit) list ref = ref []
+
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let stats () =
+  with_registry (fun () ->
+      List.fold_left (fun acc (_, get) -> add_stats acc (get ())) zero_stats !registry)
+
+let stats_by_kind () =
+  with_registry (fun () ->
+      List.sort compare (List.map (fun (kind, get) -> (kind, get ())) !registry))
+
+let reset_stats () = with_registry (fun () -> List.iter (fun f -> f ()) !resets)
+
+let clear_memory () = with_registry (fun () -> List.iter (fun f -> f ()) !mem_clears)
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One entry per file: a small marshalled header (kind, version, hex key
+   digest, payload digest) followed by the raw payload bytes.  Readers
+   validate every header field and the payload digest; any mismatch,
+   truncation or unmarshalling failure is a miss (and the offender is
+   deleted).  Writes go to a unique temp file in the same directory and
+   are published with an atomic rename, so concurrent processes never
+   observe a half-written entry. *)
+
+let suffix = ".bin"
+
+let file_name ~kind ~version ~key =
+  Printf.sprintf "%s-v%d-%s%s" kind version (Digest.to_hex (Digest.string key)) suffix
+
+let entry_path ~kind ~version ~key =
+  Option.map (fun d -> Filename.concat d (file_name ~kind ~version ~key)) (dir ())
+
+let ensure_dir d = try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let tmp_counter = Atomic.make 0
+
+let tmp_path d =
+  Filename.concat d
+    (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1))
+
+(* Eviction is per-process best-effort: scan the directory, and when the
+   cap is exceeded delete oldest-mtime entries down to 3/4 of it.
+   Failures (entries deleted by a racing process) are ignored. *)
+let evict_lock = Mutex.create ()
+
+let entry_files d =
+  match Sys.readdir d with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           if Filename.check_suffix name suffix then
+             let path = Filename.concat d name in
+             match Unix.stat path with
+             | exception Unix.Unix_error _ -> None
+             | st when st.Unix.st_kind = Unix.S_REG ->
+               Some (path, st.Unix.st_size, st.Unix.st_mtime)
+             | _ -> None
+           else None)
+
+let evict d =
+  Mutex.lock evict_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock evict_lock)
+    (fun () ->
+      let files = entry_files d in
+      let total = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 files in
+      let cap = max_bytes () in
+      if total <= cap then 0
+      else begin
+        let target = cap * 3 / 4 in
+        let by_age = List.sort (fun (_, _, a) (_, _, b) -> compare a b) files in
+        let evicted = ref 0 in
+        let remaining = ref total in
+        List.iter
+          (fun (path, sz, _) ->
+            if !remaining > target then begin
+              (try
+                 Sys.remove path;
+                 remaining := !remaining - sz;
+                 incr evicted
+               with Sys_error _ -> ())
+            end)
+          by_age;
+        !evicted
+      end)
+
+type disk_outcome = Hit of string | Miss | Error_miss
+
+let disk_find ~kind ~version ~key =
+  match entry_path ~kind ~version ~key with
+  | None -> Miss
+  | Some path ->
+    (match open_in_bin path with
+     | exception Sys_error _ -> Miss
+     | ic ->
+       let outcome =
+         match
+           let k, v, keyhex, payload_md5 =
+             (input_value ic : string * int * string * Digest.t)
+           in
+           if
+             k <> kind || v <> version
+             || keyhex <> Digest.to_hex (Digest.string key)
+           then raise Exit;
+           let len = in_channel_length ic - pos_in ic in
+           let payload = really_input_string ic len in
+           if Digest.string payload <> payload_md5 then raise Exit;
+           payload
+         with
+         | payload -> Hit payload
+         | exception _ -> Error_miss
+       in
+       close_in_noerr ic;
+       (match outcome with
+        | Hit _ ->
+          (* LRU-ish: refresh the entry so eviction removes cold ones first *)
+          (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ())
+        | Error_miss -> ( try Sys.remove path with Sys_error _ -> ())
+        | Miss -> ());
+       outcome)
+
+(* Returns the number of entries evicted, or -1 on a failed write. *)
+let disk_store ~kind ~version ~key payload =
+  match dir () with
+  | None -> 0
+  | Some d ->
+    (match
+       ensure_dir d;
+       let tmp = tmp_path d in
+       let oc = open_out_bin tmp in
+       (try
+          output_value oc
+            (kind, version, Digest.to_hex (Digest.string key), Digest.string payload);
+          output_string oc payload;
+          close_out oc
+        with e ->
+          close_out_noerr oc;
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise e);
+       Sys.rename tmp (Filename.concat d (file_name ~kind ~version ~key))
+     with
+     | () -> evict d
+     | exception (Sys_error _ | Unix.Unix_error _) -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* Typed instances: in-memory tier + single-flight + disk round trips  *)
+(* ------------------------------------------------------------------ *)
+
+module type SPEC = sig
+  type value
+
+  val kind : string
+
+  val version : int
+end
+
+module Make (V : SPEC) = struct
+  type slot = Ready of V.value | Pending
+
+  let table : (string, slot) Hashtbl.t = Hashtbl.create 64
+
+  let ready_count = ref 0
+
+  let max_ready = 512
+
+  let lock = Mutex.create ()
+
+  let cond = Condition.create ()
+
+  let st = ref zero_stats
+
+  let bump f =
+    Mutex.lock lock;
+    st := f !st;
+    Mutex.unlock lock
+
+  let stats () =
+    Mutex.lock lock;
+    let s = !st in
+    Mutex.unlock lock;
+    s
+
+  let clear_memory_locked () =
+    (* keep Pending slots: waiters are parked on them *)
+    let pending =
+      Hashtbl.fold
+        (fun k slot acc -> match slot with Pending -> k :: acc | Ready _ -> acc)
+        table []
+    in
+    Hashtbl.reset table;
+    List.iter (fun k -> Hashtbl.replace table k Pending) pending;
+    ready_count := 0
+
+  let clear_memory () =
+    Mutex.lock lock;
+    clear_memory_locked ();
+    Mutex.unlock lock
+
+  let reset () =
+    Mutex.lock lock;
+    clear_memory_locked ();
+    st := zero_stats;
+    Mutex.unlock lock
+
+  let () =
+    Mutex.lock registry_lock;
+    registry := (V.kind, stats) :: !registry;
+    resets := reset :: !resets;
+    mem_clears := clear_memory :: !mem_clears;
+    Mutex.unlock registry_lock
+
+  let publish key v =
+    Mutex.lock lock;
+    if !ready_count >= max_ready then clear_memory_locked ();
+    Hashtbl.replace table key (Ready v);
+    incr ready_count;
+    Condition.broadcast cond;
+    Mutex.unlock lock
+
+  let unclaim key =
+    Mutex.lock lock;
+    Hashtbl.remove table key;
+    Condition.broadcast cond;
+    Mutex.unlock lock
+
+  let compute_and_store key compute =
+    match compute () with
+    | v ->
+      bump (fun s -> { s with misses = s.misses + 1 });
+      if enabled () then begin
+        let payload = Marshal.to_string v [] in
+        match disk_store ~kind:V.kind ~version:V.version ~key payload with
+        | -1 -> bump (fun s -> { s with errors = s.errors + 1 })
+        | evicted ->
+          bump (fun s ->
+              {
+                s with
+                evictions = s.evictions + evicted;
+                bytes_written = s.bytes_written + String.length payload;
+              })
+      end;
+      publish key v;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      unclaim key;
+      Printexc.raise_with_backtrace e bt
+
+  let find_or_compute ?on_disk_hit ~key compute =
+    Mutex.lock lock;
+    let waited = ref false in
+    let rec claim () =
+      match Hashtbl.find_opt table key with
+      | Some (Ready v) ->
+        st := { !st with mem_hits = !st.mem_hits + 1 };
+        Mutex.unlock lock;
+        `Done v
+      | Some Pending ->
+        if not !waited then begin
+          waited := true;
+          st := { !st with waits = !st.waits + 1 }
+        end;
+        Condition.wait cond lock;
+        claim ()
+      | None ->
+        Hashtbl.replace table key Pending;
+        Mutex.unlock lock;
+        `Compute
+    in
+    match claim () with
+    | `Done v -> v
+    | `Compute ->
+      (match disk_find ~kind:V.kind ~version:V.version ~key with
+       | Hit payload ->
+         (match (Marshal.from_string payload 0 : V.value) with
+          | v ->
+            bump (fun s ->
+                {
+                  s with
+                  disk_hits = s.disk_hits + 1;
+                  bytes_read = s.bytes_read + String.length payload;
+                });
+            (match on_disk_hit with Some f -> f v | None -> ());
+            publish key v;
+            v
+          | exception _ ->
+            bump (fun s -> { s with errors = s.errors + 1 });
+            compute_and_store key compute)
+       | Miss -> compute_and_store key compute
+       | Error_miss ->
+         bump (fun s -> { s with errors = s.errors + 1 });
+         compute_and_store key compute)
+end

@@ -1,0 +1,110 @@
+(** Two-tier content-addressed evaluation cache.
+
+    The PSA-flow recomputes the same evaluations over and over: the
+    uninformed mode takes every branch path, device branch points evaluate
+    both arms, and bench/experiment harnesses re-run whole suites.  This
+    library gives every such evaluation a shared cache with two tiers:
+
+    - an {b in-memory tier} with single-flight deduplication: when two
+      {!Util.Pool} workers request the same [(kind, key)] concurrently
+      (the two arms of a device branch point, neighbouring DSE sweep
+      points, suite runs over the same app), one computes and the others
+      block on its result instead of recomputing;
+    - a {b persistent on-disk tier} (off by default; enabled via
+      {!set_dir}, conventionally [.psa-cache/]) so warm reruns skip
+      recomputation across processes.  Entries are written atomically
+      (temp file + rename), carry the kind/version/key and a payload
+      digest, and anything corrupted or mismatched is treated as a miss.
+      The directory is size-capped with LRU-ish eviction (read hits
+      refresh an entry's mtime; eviction removes oldest-mtime entries
+      first).
+
+    Keys are caller-supplied content strings — callers derive them from a
+    canonical binary serialization of whatever the evaluation depends on
+    (program, device spec, config, interpreter version).  The cache
+    digests them for file names; equal content means equal key.
+
+    Values cross the disk boundary via [Marshal], so cached value types
+    must be closure-free.  Values served from the in-memory tier are
+    physically shared between requesters and must be treated as
+    read-only (the same caveat as {!Memo}). *)
+
+type stats = {
+  mem_hits : int;        (** served from the in-memory tier *)
+  disk_hits : int;       (** served from the on-disk tier *)
+  misses : int;          (** computed by the caller *)
+  waits : int;           (** single-flight: blocked on another worker's computation *)
+  errors : int;          (** corrupted/mismatched disk entries treated as misses, and failed writes *)
+  evictions : int;       (** disk entries removed by the size cap *)
+  bytes_read : int;      (** payload bytes unmarshalled from disk *)
+  bytes_written : int;   (** payload bytes written to disk *)
+}
+
+val zero_stats : stats
+
+val add_stats : stats -> stats -> stats
+(** Field-wise sum, for aggregating over instances. *)
+
+val set_dir : string option -> unit
+(** Enable ([Some dir]) or disable ([None], the default) the on-disk
+    tier.  The directory is created lazily on first use. *)
+
+val dir : unit -> string option
+
+val enabled : unit -> bool
+(** [dir () <> None]. *)
+
+val set_max_bytes : int -> unit
+(** Size cap for the on-disk tier (default 512 MiB).  Exceeding it after
+    a store evicts oldest-mtime entries down to 3/4 of the cap. *)
+
+val max_bytes : unit -> int
+
+val stats : unit -> stats
+(** Aggregate statistics over every cache instance since the last
+    {!reset_stats}. *)
+
+val stats_by_kind : unit -> (string * stats) list
+(** Per-instance statistics, sorted by kind. *)
+
+val reset_stats : unit -> unit
+
+val clear_memory : unit -> unit
+(** Drop the in-memory tier of every instance (testing: forces the next
+    lookup to the disk tier).  In-flight computations are unaffected. *)
+
+val entry_path : kind:string -> version:int -> key:string -> string option
+(** Absolute path the disk tier would use for this entry, [None] when the
+    disk tier is disabled.  Exposed so tests can corrupt/relabel entries. *)
+
+module type SPEC = sig
+  type value
+
+  val kind : string
+  (** Short namespace id; also the on-disk file prefix. *)
+
+  val version : int
+  (** Bumped whenever the value type or the semantics producing it
+      change; entries recorded under any other version are never
+      replayed. *)
+end
+
+module Make (V : SPEC) : sig
+  val find_or_compute :
+    ?on_disk_hit:(V.value -> unit) -> key:string -> (unit -> V.value) -> V.value
+  (** Serve [key] from the in-memory tier, else from the disk tier, else
+      compute it (storing the result in both tiers).  Concurrent
+      requests for the same key block on the first one (single-flight);
+      exceptions from the computation propagate to the computing caller,
+      are never cached, and release the waiters (which then compute
+      themselves).  [on_disk_hit] runs on the freshly unmarshalled value
+      before it is published to any requester (e.g. to re-reserve AST id
+      ranges). *)
+
+  val stats : unit -> stats
+  (** This instance's statistics since the last {!reset}. *)
+
+  val reset : unit -> unit
+  (** Drop the in-memory tier and zero this instance's statistics.  The
+      disk tier is untouched. *)
+end

@@ -84,10 +84,14 @@ let resources_of (spec : Device.fpga_spec) (ks : Kstatic.t) ~unroll =
     r_m20k_frac = float_of_int m20ks /. float_of_int spec.m20ks;
   }
 
-let estimate (spec : Device.fpga_spec) (ks : Kstatic.t) (kp : Kprofile.t)
+let estimate ?resources (spec : Device.fpga_spec) (ks : Kstatic.t) (kp : Kprofile.t)
     (params : params) =
   let unroll = max 1 params.unroll in
-  let resources = resources_of spec ks ~unroll in
+  let resources =
+    match resources with
+    | Some r -> r
+    | None -> resources_of spec ks ~unroll
+  in
   let overmapped =
     resources.r_alm_frac > overmap_threshold || resources.r_dsp_frac > overmap_threshold
   in

@@ -48,4 +48,14 @@ val overmap_threshold : float
 
 val resources_of : Device.fpga_spec -> Kstatic.t -> unroll:int -> resources
 
-val estimate : Device.fpga_spec -> Kstatic.t -> Kprofile.t -> params -> estimate
+val estimate :
+  ?resources:resources ->
+  Device.fpga_spec ->
+  Kstatic.t ->
+  Kprofile.t ->
+  params ->
+  estimate
+(** [resources], when given, must be [resources_of spec ks ~unroll] for
+    the (clamped) [params.unroll]; passing it skips recomputing the
+    report (the unroll DSE already evaluated it during the doubling
+    loop). *)

@@ -1,7 +1,12 @@
 type 'p evaluated = { point : 'p; score : float }
 
 let sweep_all points ~eval =
-  Util.Pool.map (fun point -> { point; score = eval point }) points
+  let eval_one point = { point; score = eval point } in
+  match points with
+  (* serial fast path: below three points the pool's chunking costs more
+     than it saves, and nested DSE calls sweep 1–2 point lists constantly *)
+  | [] | [ _ ] | [ _; _ ] -> List.map eval_one points
+  | _ -> Util.Pool.map eval_one points
 
 let best evaluated =
   let pick acc c =
@@ -17,7 +22,7 @@ let sweep points ~eval = best (sweep_all points ~eval)
 
 let doubling_until ~init ~max ~feasible =
   if init <= 0 then invalid_arg "Search.doubling_until: init must be positive";
-  if not (feasible init) then None
+  if init > max || not (feasible init) then None
   else begin
     let rec grow n =
       let next = 2 * n in

@@ -12,8 +12,11 @@ val sweep : 'p list -> eval:('p -> float) -> 'p evaluated option
     point evaluates finite. *)
 
 val sweep_all : 'p list -> eval:('p -> float) -> 'p evaluated list
-(** Every point with its score, in input order (for reports).  Points are
-    evaluated via {!Util.Pool.map}, so [eval] must be pure. *)
+(** Every point with its score, in input order (for reports).  Spaces of
+    three or more points are evaluated via {!Util.Pool.map}, so [eval]
+    must be pure; smaller spaces are evaluated serially (nested DSE
+    calls produce many 1–2 point sweeps, where pool dispatch costs more
+    than it saves). *)
 
 val best : 'p evaluated list -> 'p evaluated option
 (** Minimal finite-score element of an evaluated sweep (first wins on
@@ -23,7 +26,7 @@ val doubling_until : init:int -> max:int -> feasible:(int -> bool) -> int option
 (** Largest power-of-two multiple of [init] (init, 2·init, 4·init, ...)
     not exceeding [max] for which [feasible] holds — the Fig. 2 loop that
     doubles the unroll factor until the design overmaps.  [None] when even
-    [init] is infeasible. *)
+    [init] is infeasible or exceeds [max]. *)
 
 val powers_of_two : lo:int -> hi:int -> int list
 (** [lo; 2lo; ...] up to [hi] inclusive (lo must be positive). *)

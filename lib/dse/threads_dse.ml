@@ -11,7 +11,11 @@ let run (spec : Device.cpu_spec) (kp : Kprofile.t) p ~kernel =
     if List.mem spec.Device.cores candidates then candidates
     else candidates @ [ spec.Device.cores ]
   in
-  let eval threads = (Cpu_model.openmp spec ~threads kp).Cpu_model.ce_time_s in
+  let eval =
+    Point_cache.scores ~tag:"cpu-threads" (spec, Point_cache.stable_kp kp)
+      (fun threads ->
+        (Cpu_model.openmp spec ~threads kp).Cpu_model.ce_time_s)
+  in
   let sweep = Search.sweep_all candidates ~eval in
   let best =
     match Search.best sweep with

@@ -37,7 +37,7 @@ let concat_results results =
 let rec run_node node (oc : outcome) : (outcome list, string) result =
   match node with
   | Task t ->
-    let* art = Task.apply t oc.oc_artifact in
+    let* art = Task_cache.apply t oc.oc_artifact in
     Ok [ { oc with oc_artifact = art } ]
   | Seq nodes ->
     let step acc node =

@@ -609,9 +609,14 @@ let fpga_unroll_until_overmap_dse (spec : Device.fpga_spec) =
                (100.0 *. r.Unroll_dse.ud_estimate.Fpga_model.fe_resources.Fpga_model.r_alm_frac)
                r.Unroll_dse.ud_estimate.Fpga_model.fe_ii)
         else
+          let alm_frac_1 =
+            (* the DSE's doubling loop already evaluated unroll 1 *)
+            match List.assoc_opt 1 r.Unroll_dse.ud_trace with
+            | Some frac -> frac
+            | None -> (Fpga_model.resources_of spec ks ~unroll:1).Fpga_model.r_alm_frac
+          in
           Ok
             (Artifact.logf art'
                "design overmaps %s at unroll 1 (%.0f%% ALMs): not synthesisable" dev
-               (100.0
-                *. (Fpga_model.resources_of spec ks ~unroll:1).Fpga_model.r_alm_frac))
+               (100.0 *. alm_frac_1))
       | _, _ -> Error "profile the oneAPI design before the unroll DSE")

@@ -108,7 +108,7 @@ let translate map (r : Machine.result) =
   }
 
 (* ------------------------------------------------------------------ *)
-(* The table                                                           *)
+(* The cache instance                                                  *)
 (* ------------------------------------------------------------------ *)
 
 (* Keys are digests of the marshalled canonical pair: programs and
@@ -116,33 +116,38 @@ let translate map (r : Machine.result) =
    trees on every bucket comparison.  The interpreter version and the
    backend tag are folded in so results cached by an older interpreter
    (or by the other backend, should their observables ever diverge) are
-   never replayed. *)
+   never replayed.
+
+   Storage and single-flight dedup live in {!Cache}: concurrent pool
+   workers requesting the same key block on one interpretation, and when
+   the on-disk tier is enabled (Cache.set_dir) results persist across
+   processes.  Entries are stored in canonical id space — cached
+   statistics are translated into the requester's ids on every hit. *)
 let backend_tag = function `Ast -> 0 | `Compiled -> 1
 
+(* No_sharing: a marshalled value's bytes otherwise depend on physical
+   sharing, which differs between freshly built structures and ones
+   unmarshalled from the disk tier — same content, different key.
+   Structural serialization makes keys provenance-independent. *)
 let key_of backend canon_p config =
   Digest.string
     (Marshal.to_string
        (Machine.interp_version, backend_tag backend, canon_p, config)
-       [])
+       [ Marshal.No_sharing ])
 
-let max_entries = 256
+module C = Cache.Make (struct
+  type value = Machine.result
 
-let table : (Digest.t, Machine.result) Hashtbl.t = Hashtbl.create 64
-let hit_count = ref 0
-let miss_count = ref 0
-let lock = Mutex.create ()
+  let kind = "run"
 
-let with_lock f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  let version = 1
+end)
 
-let stats () = with_lock (fun () -> { hits = !hit_count; misses = !miss_count })
+let stats () =
+  let s = C.stats () in
+  { hits = s.Cache.mem_hits + s.Cache.disk_hits; misses = s.Cache.misses }
 
-let reset () =
-  with_lock (fun () ->
-      Hashtbl.reset table;
-      hit_count := 0;
-      miss_count := 0)
+let reset () = C.reset ()
 
 let run ?(config = Machine.default_config) ?backend p =
   let backend =
@@ -150,27 +155,12 @@ let run ?(config = Machine.default_config) ?backend p =
   in
   let canon_p, to_canon, of_canon = canonicalize p in
   let key = key_of backend canon_p (canon_config to_canon config) in
-  let cached =
-    with_lock (fun () ->
-        match Hashtbl.find_opt table key with
-        | Some r ->
-          incr hit_count;
-          Some r
-        | None ->
-          incr miss_count;
-          None)
+  (* Failed runs propagate their exception and are never cached. *)
+  let canon_r =
+    C.find_or_compute ~key (fun () ->
+        translate to_canon (Machine.run ~config ~backend p))
   in
-  match cached with
-  | Some r -> translate of_canon r
-  | None ->
-    (* Interpret outside the lock; two domains racing on the same key
-       both compute the (deterministic) result and one insert wins.
-       Failed runs propagate their exception and are never cached. *)
-    let result = Machine.run ~config ~backend p in
-    with_lock (fun () ->
-        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-        Hashtbl.replace table key (translate to_canon result));
-    result
+  translate of_canon canon_r
 
 let analysis_config ?(config = Machine.default_config) () =
   { config with Machine.profile_loops = true; trace_aliases = true }

@@ -32,10 +32,28 @@
 type stats = { hits : int; misses : int }
 
 val stats : unit -> stats
-(** Cumulative hit/miss counts since the last {!reset}. *)
+(** Cumulative hit/miss counts since the last {!reset}.  [hits] sums the
+    in-memory and on-disk tiers of the underlying {!Cache} instance. *)
 
 val reset : unit -> unit
-(** Empty the table and zero the counters. *)
+(** Empty the in-memory tier and zero the counters (the on-disk tier, if
+    enabled via {!Cache.set_dir}, is untouched). *)
+
+val canonicalize :
+  Ast.program -> Ast.program * (int, int) Hashtbl.t * (int, int) Hashtbl.t
+(** [canonicalize p] rebuilds [p] with expression/statement ids
+    renumbered 1..n in traversal order, dummy source locations, and
+    attributes the interpreter never reads (pragmas, [restrict]/[const])
+    stripped.  Returns [(canon, to_canon, of_canon)] where [to_canon]
+    maps each original statement id to its canonical id and [of_canon]
+    is the inverse.  Two programs the interpreter cannot distinguish
+    canonicalize to equal programs, which is what makes marshalled
+    canonical forms usable as content-addressed cache keys (also reused
+    by the flow-level task cache). *)
+
+val trans_sid : (int, int) Hashtbl.t -> int -> int
+(** Translate a statement id through a {!canonicalize} mapping; ids
+    absent from the map are returned unchanged. *)
 
 val run :
   ?config:Machine.config -> ?backend:Machine.backend -> Ast.program -> Machine.result

@@ -31,11 +31,25 @@ let test_doubling_until () =
   check "capped by max" true
     (Search.doubling_until ~init:1 ~max:8 ~feasible:(fun _ -> true) = Some 8);
   check "infeasible at init" true
-    (Search.doubling_until ~init:1 ~max:8 ~feasible:(fun _ -> false) = None)
+    (Search.doubling_until ~init:1 ~max:8 ~feasible:(fun _ -> false) = None);
+  check "init beyond max" true
+    (Search.doubling_until ~init:16 ~max:8 ~feasible:(fun _ -> true) = None);
+  check "init equals max" true
+    (Search.doubling_until ~init:8 ~max:8 ~feasible:(fun _ -> true) = Some 8);
+  check "init must be positive" true
+    (match Search.doubling_until ~init:0 ~max:8 ~feasible:(fun _ -> true) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
 
 let test_powers_of_two () =
   Alcotest.(check (list int)) "powers" [ 32; 64; 128; 256; 512; 1024 ]
-    (Search.powers_of_two ~lo:32 ~hi:1024)
+    (Search.powers_of_two ~lo:32 ~hi:1024);
+  Alcotest.(check (list int)) "lo beyond hi" [] (Search.powers_of_two ~lo:16 ~hi:8);
+  Alcotest.(check (list int)) "lo equals hi" [ 8 ] (Search.powers_of_two ~lo:8 ~hi:8);
+  check "lo must be positive" true
+    (match Search.powers_of_two ~lo:0 ~hi:8 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
 
 let qcheck_doubling_is_power_times_init =
   QCheck.Test.make ~name:"doubling result is init times a power of two" ~count:200

@@ -7,6 +7,7 @@ let () =
       ("interp", Test_interp.suite);
       ("compile", Test_compile.suite);
       ("memo", Test_memo.suite);
+      ("cache", Test_cache.suite);
       ("analysis", Test_analysis.suite);
       ("devices", Test_devices.suite);
       ("codegen", Test_codegen.suite);
