@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-quick bench-compare bench-warm-cold clean
+.PHONY: all check test bench bench-quick bench-compare bench-warm-cold trace-check clean
 
 all:
 	dune build @all
@@ -32,6 +32,14 @@ bench-warm-cold:
 	dune exec bench/main.exe -- --quick --json bench-cold.json
 	dune exec bench/main.exe -- --quick --json bench-warm.json
 	dune exec bench/compare.exe -- --warm-cold bench-cold.json bench-warm.json
+
+# trace gate: record a span trace of an nbody flow run and validate it
+# (balanced per-domain tracks, all flow-level span kinds, >= 2 domains)
+trace-check:
+	dune exec bin/psaflow.exe -- run nbody --quick --jobs 4 --cache off --trace trace.json
+	dune exec bench/tracecheck.exe -- trace.json \
+	  --require-kinds task,branch,dse-point,interp-run,cache-lookup \
+	  --require-tids 2
 
 clean:
 	dune clean

@@ -21,6 +21,7 @@
      main.exe --json FILE     dump per-section wall-clock times as JSON
      main.exe --interp B      default interpreter backend: ast | compiled
      main.exe --cache D       evaluation-cache directory (default .psa-cache; off = disabled)
+     main.exe --trace FILE    write a Chrome trace-event span trace of the run
      main.exe fig5 table1 fig6 ablation micro interp    any subset, in any order *)
 
 let argv = Array.to_list Sys.argv
@@ -63,6 +64,10 @@ let () =
 
 let json_file = opt_value "--json"
 
+let trace_file = opt_value "--trace"
+
+let () = if trace_file <> None then Obs.Trace.start ()
+
 let wants section =
   let named = [ "fig5"; "table1"; "fig6"; "micro"; "ablation"; "interp" ] in
   let requested = List.filter (fun a -> List.mem a named) argv in
@@ -70,12 +75,18 @@ let wants section =
 
 (* ---- per-section wall-clock accounting (for --json) ---- *)
 
+(* Every section timing reads the one process-anchored clock
+   (Obs.Monotonic) and lands in the metrics registry as
+   bench.section.<name>, next to the subsystem counters. *)
 let timings : (string * float) list ref = ref []
 
 let timed name f =
-  let t0 = Unix.gettimeofday () in
+  Obs.Trace.with_span ~name ~kind:Obs.Trace.Section @@ fun _ ->
+  let t0 = Obs.Monotonic.now_s () in
   let r = f () in
-  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+  let dt = Obs.Monotonic.now_s () -. t0 in
+  Obs.Metrics.Gauge.set (Obs.Metrics.gauge ("bench.section." ^ name)) dt;
+  timings := (name, dt) :: !timings;
   r
 
 (* interpreter throughput per backend (statements/s), filled by the
@@ -116,10 +127,33 @@ let write_json path ~total =
     \    \"evictions\": %d,\n\
     \    \"bytes_read\": %d,\n\
     \    \"bytes_written\": %d\n\
-    \  }\n}\n"
+    \  },\n"
     (Cache.enabled ()) s.Cache.mem_hits s.Cache.disk_hits s.Cache.misses
     s.Cache.waits s.Cache.errors s.Cache.evictions s.Cache.bytes_read
     s.Cache.bytes_written;
+  (* flat name -> number map: compare.ml's parser has no array support,
+     so histograms are flattened into .count/.p50/.p90/.p99 entries *)
+  let metrics =
+    List.concat_map
+      (fun (name, v) ->
+        match v with
+        | Obs.Metrics.Count n -> [ (name, string_of_int n) ]
+        | Obs.Metrics.Value x -> [ (name, Printf.sprintf "%.6g" x) ]
+        | Obs.Metrics.Summary { count; p50; p90; p99; _ } ->
+          [ (name ^ ".count", string_of_int count);
+            (name ^ ".p50", Printf.sprintf "%.6g" p50);
+            (name ^ ".p90", Printf.sprintf "%.6g" p90);
+            (name ^ ".p99", Printf.sprintf "%.6g" p99)
+          ])
+      (Obs.Metrics.snapshot ())
+  in
+  output_string oc "  \"metrics\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    %S: %s%s\n" name v
+        (if i < List.length metrics - 1 then "," else ""))
+    metrics;
+  output_string oc "  }\n}\n";
   close_out oc
 
 (* ---- experiment regeneration ---- *)
@@ -267,7 +301,7 @@ let run_interp_throughput () =
   in
   let measure backend =
     let steps = ref 0 in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Monotonic.now_s () in
     for _ = 1 to reps do
       List.iter
         (fun (config, p) ->
@@ -275,7 +309,7 @@ let run_interp_throughput () =
           steps := !steps + r.Machine.counters.Counters.steps)
         inputs
     done;
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.Monotonic.now_s () -. t0 in
     (float_of_int !steps /. dt, !steps)
   in
   let ast_sps, steps = measure `Ast in
@@ -314,11 +348,20 @@ let run_ablation () =
   | Error e -> Printf.eprintf "fpga ablation failed: %s\n" e
 
 let () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Monotonic.now_s () in
   if wants "fig5" || wants "table1" || wants "fig6" then run_experiments ();
   if wants "ablation" then timed "ablation" run_ablation;
   if wants "micro" then timed "micro" run_micro;
   if wants "interp" then timed "interp" run_interp_throughput;
-  match json_file with
-  | Some path -> write_json path ~total:(Unix.gettimeofday () -. t0)
+  (match json_file with
+   | Some path -> write_json path ~total:(Obs.Monotonic.now_s () -. t0)
+   | None -> ());
+  match trace_file with
   | None -> ()
+  | Some path ->
+    Obs.Trace.stop ();
+    (match Obs.Trace.write_file path with
+     | Ok () -> ()
+     | Error msg ->
+       Printf.eprintf "bench: cannot write trace %s: %s\n" path msg;
+       exit 1)

@@ -1,0 +1,79 @@
+(* tracecheck - validate a Chrome trace-event file produced by --trace.
+
+   Checks that every domain track is balanced (each E closes the most
+   recent B of the same name) and that timestamps are non-decreasing per
+   track, then prints a summary.  Optional requirements:
+
+     tracecheck FILE [--require-kinds k1,k2,...] [--require-tids N]
+
+   exit 0: valid (and requirements met); exit 1: invalid or missing
+   coverage.  Used by CI on a psaflow --trace run. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let split_commas s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+
+let () =
+  let file = ref None in
+  let require_kinds = ref [] in
+  let require_tids = ref 0 in
+  let rec parse = function
+    | [] -> ()
+    | "--require-kinds" :: v :: rest ->
+      require_kinds := split_commas v;
+      parse rest
+    | "--require-tids" :: v :: rest ->
+      require_tids := int_of_string v;
+      parse rest
+    | arg :: rest when !file = None && String.length arg > 0 && arg.[0] <> '-' ->
+      file := Some arg;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "tracecheck: unexpected argument %s\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !file with
+  | None ->
+    prerr_endline
+      "usage: tracecheck FILE [--require-kinds k1,k2,...] [--require-tids N]";
+    exit 2
+  | Some path ->
+    (match read_file path with
+     | exception Sys_error msg ->
+       Printf.eprintf "tracecheck: %s\n" msg;
+       exit 1
+     | contents ->
+       (match Obs.Trace_json.validate_string contents with
+        | Error msg ->
+          Printf.eprintf "tracecheck: %s: INVALID: %s\n" path msg;
+          exit 1
+        | Ok su ->
+          Printf.printf "%s: %d events, %d domain track(s)\n" path
+            su.Obs.Trace_json.su_events
+            (List.length su.Obs.Trace_json.su_tids);
+          List.iter
+            (fun (cat, n) -> Printf.printf "  %-14s %d span(s)\n" cat n)
+            su.Obs.Trace_json.su_cats;
+          let missing =
+            List.filter
+              (fun k -> not (List.mem_assoc k su.Obs.Trace_json.su_cats))
+              !require_kinds
+          in
+          if missing <> [] then begin
+            Printf.eprintf "tracecheck: missing span kind(s): %s\n"
+              (String.concat ", " missing);
+            exit 1
+          end;
+          if List.length su.Obs.Trace_json.su_tids < !require_tids then begin
+            Printf.eprintf "tracecheck: only %d domain track(s), need %d\n"
+              (List.length su.Obs.Trace_json.su_tids)
+              !require_tids;
+            exit 1
+          end;
+          print_endline "trace OK"))

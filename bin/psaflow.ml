@@ -63,6 +63,23 @@ let interp_arg =
   let backend_conv = Arg.enum [ ("ast", `Ast); ("compiled", `Compiled) ] in
   Arg.(value & opt (some backend_conv) None & info [ "interp" ] ~docv:"BACKEND" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a span trace of the whole command (flow phases, tasks, branch \
+     fan-out, DSE points, interpreter runs, cache lookups, pool items) and \
+     write it to $(docv) as Chrome trace-event JSON; open it in Perfetto or \
+     chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let why_arg =
+  let doc =
+    "Print each design's provenance: the ordered tasks (with cache status), \
+     branch decisions with the analysis facts that justified them, and DSE \
+     sweeps with their explored point counts."
+  in
+  Arg.(value & flag & info [ "why" ] ~doc)
+
 let cache_arg =
   let doc =
     "Directory of the persistent evaluation cache (interpreter runs, dynamic \
@@ -77,6 +94,22 @@ let apply_cache = function
 
 let apply_jobs = function Some n -> Util.Pool.set_default_jobs n | None -> ()
 
+(* Tracing wraps the whole command so the exported file covers every
+   span the run produced; a failed write turns success into failure. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+    Obs.Trace.start ();
+    let code = Fun.protect ~finally:Obs.Trace.stop f in
+    (match Obs.Trace.write_file file with
+     | Ok () ->
+       Printf.printf "wrote trace %s\n" file;
+       code
+     | Error msg ->
+       Printf.eprintf "failed to write trace %s: %s\n" file msg;
+       max code 1)
+
 let apply_interp = function
   | Some b -> Machine.set_default_backend b
   | None -> ()
@@ -90,9 +123,26 @@ let print_interp_stats () =
       s.Machine.exec_runs s.Machine.exec_steps s.Machine.exec_seconds
       (float_of_int s.Machine.exec_steps /. s.Machine.exec_seconds)
 
+let print_metrics () =
+  let metrics = Obs.Metrics.snapshot () in
+  if metrics <> [] then begin
+    Printf.printf "\nmetrics:\n";
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Obs.Metrics.Count n -> if n <> 0 then Printf.printf "  %-28s %d\n" name n
+        | Obs.Metrics.Value f ->
+          if f <> 0.0 then Printf.printf "  %-28s %.4g\n" name f
+        | Obs.Metrics.Summary { count; sum; p50; p90; p99; _ } ->
+          if count > 0 then
+            Printf.printf "  %-28s n=%d sum=%.4g p50=%.4g p90=%.4g p99=%.4g\n" name
+              count sum p50 p90 p99)
+      metrics
+  end
+
 let print_cache_stats () =
   match Cache.dir () with
-  | None -> Printf.printf "\nevaluation cache: off\n"
+  | None -> Printf.printf "\ncache disabled\n"
   | Some dir ->
     let s = Cache.stats () in
     Printf.printf
@@ -160,10 +210,11 @@ let emit_designs dir (rep : Engine.report) =
     rep.Engine.rep_designs
 
 let run_cmd =
-  let run slug file scale mode quick explain emit diff jobs interp cache =
+  let run slug file scale mode quick explain why emit diff jobs interp cache trace =
     apply_jobs jobs;
     apply_interp interp;
     apply_cache cache;
+    with_trace trace @@ fun () ->
     match (if file then app_of_file slug ~scale else find_app slug) with
     | Error msg ->
       prerr_endline msg;
@@ -185,11 +236,16 @@ let run_cmd =
          Printf.printf "\nbaseline (single-thread CPU hotspot): %.4g s\n\n"
            rep.Engine.rep_baseline_s;
          print_string (Report.design_table rep);
+         if why then begin
+           print_newline ();
+           print_string (Report.why_text rep)
+         end;
          if explain then begin
            print_newline ();
            print_string (Report.log_text rep);
            print_interp_stats ();
-           print_cache_stats ()
+           print_cache_stats ();
+           print_metrics ()
          end;
          (match emit with Some dir -> emit_designs dir rep | None -> ());
          if diff then begin
@@ -210,7 +266,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ app_arg $ file_arg $ scale_arg $ mode_arg $ quick_arg
-          $ explain_arg $ emit_arg $ diff_arg $ jobs_arg $ interp_arg $ cache_arg)
+          $ explain_arg $ why_arg $ emit_arg $ diff_arg $ jobs_arg $ interp_arg
+          $ cache_arg $ trace_arg)
 
 let apps_cmd =
   let run () =
@@ -260,40 +317,43 @@ let with_reports quick f =
   end
 
 let fig5_cmd =
-  let run quick jobs interp cache =
+  let run quick jobs interp cache trace =
     apply_jobs jobs;
     apply_interp interp;
     apply_cache cache;
-    with_reports quick (fun reports ->
-        print_string (Fig5.render (Fig5.of_reports reports)))
+    with_trace trace (fun () ->
+        with_reports quick (fun reports ->
+            print_string (Fig5.render (Fig5.of_reports reports))))
   in
   let doc = "Regenerate Fig. 5 (speedups of all generated designs)." in
   Cmd.v (Cmd.info "fig5" ~doc)
-    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg $ trace_arg)
 
 let table1_cmd =
-  let run quick jobs interp cache =
+  let run quick jobs interp cache trace =
     apply_jobs jobs;
     apply_interp interp;
     apply_cache cache;
-    with_reports quick (fun reports ->
-        print_string (Table1.render (Table1.of_reports reports)))
+    with_trace trace (fun () ->
+        with_reports quick (fun reports ->
+            print_string (Table1.render (Table1.of_reports reports))))
   in
   let doc = "Regenerate Table I (added lines of code per design)." in
   Cmd.v (Cmd.info "table1" ~doc)
-    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg $ trace_arg)
 
 let fig6_cmd =
-  let run quick jobs interp cache =
+  let run quick jobs interp cache trace =
     apply_jobs jobs;
     apply_interp interp;
     apply_cache cache;
-    with_reports quick (fun reports ->
-        print_string (Fig6.render (Fig6.of_reports reports)))
+    with_trace trace (fun () ->
+        with_reports quick (fun reports ->
+            print_string (Fig6.render (Fig6.of_reports reports))))
   in
   let doc = "Regenerate Fig. 6 (FPGA vs GPU cost across price ratios)." in
   Cmd.v (Cmd.info "fig6" ~doc)
-    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ interp_arg $ cache_arg $ trace_arg)
 
 let dot_cmd =
   let run mode =
@@ -304,10 +364,11 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ mode_arg)
 
 let budget_cmd =
-  let run slug budget quick jobs interp cache =
+  let run slug budget quick jobs interp cache trace =
     apply_jobs jobs;
     apply_interp interp;
     apply_cache cache;
+    with_trace trace @@ fun () ->
     match find_app slug with
     | Error msg ->
       prerr_endline msg;
@@ -350,7 +411,7 @@ let budget_cmd =
   Cmd.v (Cmd.info "budget" ~doc)
     Term.(
       const run $ app_arg $ budget_arg $ quick_arg $ jobs_arg $ interp_arg
-      $ cache_arg)
+      $ cache_arg $ trace_arg)
 
 let main =
   let doc = "auto-generating diverse heterogeneous designs (PSA-flows)" in

@@ -34,7 +34,11 @@ let flops_per_transfer_byte_strategy ~threshold art =
     let bytes = float_of_int (kp.Kprofile.kp_bytes_in + kp.Kprofile.kp_bytes_out) in
     let ratio = if bytes = 0.0 then Float.infinity else flops /. bytes in
     Printf.printf "custom strategy: %.1f weighted flops per transferred byte\n" ratio;
-    if ratio >= threshold then Ok [ "gpu" ] else Ok [ "cpu" ]
+    let path = if ratio >= threshold then "gpu" else "cpu" in
+    Graph.select
+      ~reasons:
+        [ Printf.sprintf "%.1f weighted flops per transferred byte -> %s" ratio path ]
+      [ path ]
 
 (* 3. compose a new flow: stock analyses, the custom task, a two-path
    branch point driven by the custom strategy *)

@@ -60,7 +60,7 @@ let () =
         let art = rep.Engine.rep_analysed in
         let learned =
           match Psa_ml.strategy model art with
-          | Ok [ b ] -> b
+          | Ok { Graph.sel_paths = [ b ]; _ } -> b
           | Ok _ | Error _ -> "?"
         in
         let informed = rep.Engine.rep_decision.Psa.dec_path in

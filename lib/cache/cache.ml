@@ -235,18 +235,40 @@ module Make (V : SPEC) = struct
 
   let cond = Condition.create ()
 
-  let st = ref zero_stats
+  (* Per-kind tallies live in the process-wide metrics registry (one
+     counter per field, named "cache.<kind>.<field>") so `--explain` and
+     bench JSON read cache behaviour through the same API as every other
+     subsystem; [stats] assembles the legacy record from them. *)
+  let metric field = Obs.Metrics.counter (Printf.sprintf "cache.%s.%s" V.kind field)
 
-  let bump f =
-    Mutex.lock lock;
-    st := f !st;
-    Mutex.unlock lock
+  let c_mem_hits = metric "mem_hits"
+
+  let c_disk_hits = metric "disk_hits"
+
+  let c_misses = metric "misses"
+
+  let c_waits = metric "waits"
+
+  let c_errors = metric "errors"
+
+  let c_evictions = metric "evictions"
+
+  let c_bytes_read = metric "bytes_read"
+
+  let c_bytes_written = metric "bytes_written"
 
   let stats () =
-    Mutex.lock lock;
-    let s = !st in
-    Mutex.unlock lock;
-    s
+    let v = Obs.Metrics.Counter.value in
+    {
+      mem_hits = v c_mem_hits;
+      disk_hits = v c_disk_hits;
+      misses = v c_misses;
+      waits = v c_waits;
+      errors = v c_errors;
+      evictions = v c_evictions;
+      bytes_read = v c_bytes_read;
+      bytes_written = v c_bytes_written;
+    }
 
   let clear_memory_locked () =
     (* keep Pending slots: waiters are parked on them *)
@@ -267,8 +289,13 @@ module Make (V : SPEC) = struct
   let reset () =
     Mutex.lock lock;
     clear_memory_locked ();
-    st := zero_stats;
-    Mutex.unlock lock
+    Mutex.unlock lock;
+    List.iter
+      (fun c -> Obs.Metrics.Counter.set c 0)
+      [
+        c_mem_hits; c_disk_hits; c_misses; c_waits; c_errors; c_evictions;
+        c_bytes_read; c_bytes_written;
+      ]
 
   let () =
     Mutex.lock registry_lock;
@@ -294,18 +321,14 @@ module Make (V : SPEC) = struct
   let compute_and_store key compute =
     match compute () with
     | v ->
-      bump (fun s -> { s with misses = s.misses + 1 });
+      Obs.Metrics.Counter.incr c_misses;
       if enabled () then begin
         let payload = Marshal.to_string v [] in
         match disk_store ~kind:V.kind ~version:V.version ~key payload with
-        | -1 -> bump (fun s -> { s with errors = s.errors + 1 })
+        | -1 -> Obs.Metrics.Counter.incr c_errors
         | evicted ->
-          bump (fun s ->
-              {
-                s with
-                evictions = s.evictions + evicted;
-                bytes_written = s.bytes_written + String.length payload;
-              })
+          Obs.Metrics.Counter.add c_evictions evicted;
+          Obs.Metrics.Counter.add c_bytes_written (String.length payload)
       end;
       publish key v;
       v
@@ -315,47 +338,53 @@ module Make (V : SPEC) = struct
       Printexc.raise_with_backtrace e bt
 
   let find_or_compute ?on_disk_hit ~key compute =
-    Mutex.lock lock;
-    let waited = ref false in
-    let rec claim () =
-      match Hashtbl.find_opt table key with
-      | Some (Ready v) ->
-        st := { !st with mem_hits = !st.mem_hits + 1 };
-        Mutex.unlock lock;
-        `Done v
-      | Some Pending ->
-        if not !waited then begin
-          waited := true;
-          st := { !st with waits = !st.waits + 1 }
-        end;
-        Condition.wait cond lock;
-        claim ()
-      | None ->
-        Hashtbl.replace table key Pending;
-        Mutex.unlock lock;
-        `Compute
-    in
-    match claim () with
-    | `Done v -> v
-    | `Compute ->
-      (match disk_find ~kind:V.kind ~version:V.version ~key with
-       | Hit payload ->
-         (match (Marshal.from_string payload 0 : V.value) with
-          | v ->
-            bump (fun s ->
-                {
-                  s with
-                  disk_hits = s.disk_hits + 1;
-                  bytes_read = s.bytes_read + String.length payload;
-                });
-            (match on_disk_hit with Some f -> f v | None -> ());
-            publish key v;
-            v
-          | exception _ ->
-            bump (fun s -> { s with errors = s.errors + 1 });
-            compute_and_store key compute)
-       | Miss -> compute_and_store key compute
-       | Error_miss ->
-         bump (fun s -> { s with errors = s.errors + 1 });
-         compute_and_store key compute)
+    Obs.Trace.with_span ~name:("cache:" ^ V.kind) ~kind:Obs.Trace.Cache_lookup
+      (fun sp ->
+        let outcome o = Obs.Trace.add_attr sp "outcome" (Obs.Trace.Str o) in
+        Mutex.lock lock;
+        let waited = ref false in
+        let rec claim () =
+          match Hashtbl.find_opt table key with
+          | Some (Ready v) ->
+            Obs.Metrics.Counter.incr c_mem_hits;
+            Mutex.unlock lock;
+            `Done v
+          | Some Pending ->
+            if not !waited then begin
+              waited := true;
+              Obs.Metrics.Counter.incr c_waits
+            end;
+            Condition.wait cond lock;
+            claim ()
+          | None ->
+            Hashtbl.replace table key Pending;
+            Mutex.unlock lock;
+            `Compute
+        in
+        match claim () with
+        | `Done v ->
+          outcome "mem-hit";
+          v
+        | `Compute ->
+          (match disk_find ~kind:V.kind ~version:V.version ~key with
+           | Hit payload ->
+             (match (Marshal.from_string payload 0 : V.value) with
+              | v ->
+                Obs.Metrics.Counter.incr c_disk_hits;
+                Obs.Metrics.Counter.add c_bytes_read (String.length payload);
+                (match on_disk_hit with Some f -> f v | None -> ());
+                publish key v;
+                outcome "disk-hit";
+                v
+              | exception _ ->
+                Obs.Metrics.Counter.incr c_errors;
+                outcome "miss";
+                compute_and_store key compute)
+           | Miss ->
+             outcome "miss";
+             compute_and_store key compute
+           | Error_miss ->
+             Obs.Metrics.Counter.incr c_errors;
+             outcome "miss";
+             compute_and_store key compute))
 end

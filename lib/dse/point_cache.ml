@@ -71,18 +71,32 @@ let stable_ks ~(kp : Kprofile.t) (ks : Kstatic.t) =
 
 let point_key ctx point = ctx ^ "." ^ string_of_int point
 
+(* Every point evaluation runs inside a [Dse_point] span — with or
+   without the cache — so traces show the sweep shape either way. *)
+let spanned ~tag eval point =
+  Obs.Trace.with_span
+    ~attrs:[ ("point", Obs.Trace.Int point) ]
+    ~name:tag ~kind:Obs.Trace.Dse_point
+    (fun _ -> eval point)
+
 let scores ~tag ctx eval =
-  if not (Cache.enabled ()) then eval
+  if not (Cache.enabled ()) then spanned ~tag eval
   else
     let ctx = ctx_key ~tag ctx in
     fun point ->
-      Score.find_or_compute ~key:(point_key ctx point) (fun () -> eval point)
+      spanned ~tag
+        (fun point ->
+          Score.find_or_compute ~key:(point_key ctx point) (fun () -> eval point))
+        point
 
 let resources ~tag ctx eval =
-  if not (Cache.enabled ()) then eval
+  if not (Cache.enabled ()) then spanned ~tag eval
   else
     let ctx = ctx_key ~tag ctx in
     fun point ->
-      Resources.find_or_compute ~key:(point_key ctx point) (fun () -> eval point)
+      spanned ~tag
+        (fun point ->
+          Resources.find_or_compute ~key:(point_key ctx point) (fun () -> eval point))
+        point
 
 let stats () = Cache.(add_stats (Score.stats ()) (Resources.stats ()))

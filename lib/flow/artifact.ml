@@ -27,6 +27,7 @@ type t = {
   art_reference_output : string list option;
   art_design : design_state option;
   art_log : string list;
+  art_prov : Prov.step list;
 }
 
 let create app ~workload =
@@ -45,12 +46,15 @@ let create app ~workload =
     art_reference_output = None;
     art_design = None;
     art_log = [];
+    art_prov = [];
   }
 
 let machine_config t =
   { Machine.default_config with overrides = App.machine_overrides t.art_workload }
 
 let log t line = { t with art_log = t.art_log @ [ line ] }
+
+let add_prov t step = { t with art_prov = t.art_prov @ [ step ] }
 
 let logf t fmt = Printf.ksprintf (log t) fmt
 

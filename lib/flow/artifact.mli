@@ -35,6 +35,7 @@ type t = {
   art_reference_output : string list option;
   art_design : design_state option;
   art_log : string list;             (** chronological task log *)
+  art_prov : Prov.step list;         (** provenance trail (see {!Prov}) *)
 }
 
 val create : App.t -> workload:(string * int) list -> t
@@ -46,6 +47,9 @@ val log : t -> string -> t
 (** Append a line to the task log. *)
 
 val logf : t -> ('a, unit, string, t) format4 -> 'a
+
+val add_prov : t -> Prov.step -> t
+(** Append a provenance step to the trail. *)
 
 val kernel_exn : t -> string
 (** @raise Failure when no kernel has been extracted yet. *)

@@ -10,6 +10,7 @@ type t = {
   d_loc_added_pct : float;
   d_valid : bool;
   d_log : string list;
+  d_prov : Prov.step list;
 }
 
 let of_outcome ~app ~reference_program ~baseline_s ~reference_output
@@ -46,6 +47,7 @@ let of_outcome ~app ~reference_program ~baseline_s ~reference_output
           Loc_count.added_pct ~reference:reference_program ~design:art.Artifact.art_program;
         d_valid = valid;
         d_log = art.Artifact.art_log;
+        d_prov = art.Artifact.art_prov;
       }
 
 let label t = Target.label t.d_target

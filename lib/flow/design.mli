@@ -18,6 +18,7 @@ type t = {
   d_loc_added_pct : float;
   d_valid : bool;                   (** output matches the reference within tolerance *)
   d_log : string list;
+  d_prov : Prov.step list;          (** provenance trail ([psaflow --why]) *)
 }
 
 val of_outcome :

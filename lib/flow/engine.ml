@@ -10,16 +10,28 @@ type report = {
   rep_designs : Design.t list;
 }
 
+let flow_span name app f =
+  Obs.Trace.with_span
+    ~attrs:[ ("app", Obs.Trace.Str app.App.app_name) ]
+    ~name ~kind:Obs.Trace.Flow
+    (fun _ -> f ())
+
 let run ?psa_config ?workload ~mode app =
+  flow_span ("flow " ^ app.App.app_name) app @@ fun () ->
   let workload = Option.value workload ~default:app.App.app_eval_overrides in
   let art0 = Artifact.create app ~workload in
-  let* analysed_outcomes = Graph.run Pipeline.target_independent art0 in
+  let* analysed_outcomes =
+    flow_span "target-independent analysis" app (fun () ->
+        Graph.run Pipeline.target_independent art0)
+  in
   let* analysed =
     match analysed_outcomes with
     | [ oc ] -> Ok oc.Graph.oc_artifact
     | _ -> Error "target-independent pipeline must produce exactly one artifact"
   in
-  let* decision = Psa.decide ?config:psa_config analysed in
+  let* decision =
+    flow_span "psa decide" app (fun () -> Psa.decide ?config:psa_config analysed)
+  in
   let* baseline_s =
     match analysed.Artifact.art_t_cpu_single with
     | Some t -> Ok t
@@ -30,9 +42,13 @@ let run ?psa_config ?workload ~mode app =
     | Some o -> Ok o
     | None -> Error "analysis did not capture the reference output"
   in
-  let* outcomes = Graph.run (Pipeline.branch_a ?psa_config mode) analysed in
+  let* outcomes =
+    flow_span "branch fan-out" app (fun () ->
+        Graph.run (Pipeline.branch_a ?psa_config mode) analysed)
+  in
   let reference_program = App.program app in
   let* designs =
+    flow_span "assemble designs" app @@ fun () ->
     let folded =
       List.fold_left
         (fun acc oc ->
@@ -110,7 +126,11 @@ let run_budgeted ?psa_config ?workload ?(pricing = Cost.default_pricing) ~budget
   in
   let reference_program = App.program app in
   let try_branch branch =
-    let select _ = Ok [ branch ] in
+    let select _ =
+      Graph.select
+        ~reasons:[ Printf.sprintf "budget feedback loop forcing branch %s" branch ]
+        [ branch ]
+    in
     let node = Graph.with_select (Pipeline.branch_a Pipeline.Informed) ~branch:"A" select in
     match Graph.run node analysed with
     | Error _ -> { at_branch = branch; at_design = None; at_cost = None; at_within = false }

@@ -1,3 +1,8 @@
+type selection = {
+  sel_paths : string list;
+  sel_reasons : string list;
+}
+
 type node =
   | Task of Task.t
   | Seq of node list
@@ -5,7 +10,7 @@ type node =
 
 and branch_point = {
   bp_name : string;
-  bp_select : Artifact.t -> (string list, string) result;
+  bp_select : Artifact.t -> (selection, string) result;
   bp_paths : (string * node) list;
 }
 
@@ -16,8 +21,10 @@ type outcome = {
 
 let ( let* ) = Result.bind
 
+let select ?(reasons = []) paths = Ok { sel_paths = paths; sel_reasons = reasons }
+
 (* recognised physically by [run_node]: take every path of the branch *)
-let select_all _art = Ok ([] : string list)
+let select_all _art = Ok { sel_paths = []; sel_reasons = [] }
 
 (* Concatenate per-element results in input order, surfacing the first
    error in input order — the same answer the old sequential
@@ -46,31 +53,50 @@ let rec run_node node (oc : outcome) : (outcome list, string) result =
     in
     List.fold_left step (Ok [ oc ]) nodes
   | Branch bp ->
-    let* chosen =
-      if bp.bp_select == select_all then Ok (List.map fst bp.bp_paths)
-      else bp.bp_select oc.oc_artifact
-    in
-    let* available =
-      let missing = List.filter (fun c -> not (List.mem_assoc c bp.bp_paths)) chosen in
-      if missing = [] then Ok chosen
-      else
-        Error
-          (Printf.sprintf "branch %s: strategy chose unknown path(s) %s" bp.bp_name
-             (String.concat ", " missing))
-    in
-    concat_results
-      (Util.Pool.map
-         (fun path_name ->
-           let node = List.assoc path_name bp.bp_paths in
-           let tagged =
-             {
-               oc_path = oc.oc_path @ [ (bp.bp_name, path_name) ];
-               oc_artifact =
-                 Artifact.logf oc.oc_artifact "<branch %s -> %s>" bp.bp_name path_name;
-             }
-           in
-           run_node node tagged)
-         available)
+    Obs.Trace.with_span ~name:("branch " ^ bp.bp_name) ~kind:Obs.Trace.Branch
+      (fun sp ->
+        let all = List.map fst bp.bp_paths in
+        let* sel =
+          if bp.bp_select == select_all then
+            Ok { sel_paths = all; sel_reasons = [] }
+          else bp.bp_select oc.oc_artifact
+        in
+        let chosen = sel.sel_paths in
+        let* available =
+          let missing = List.filter (fun c -> not (List.mem_assoc c bp.bp_paths)) chosen in
+          if missing = [] then Ok chosen
+          else
+            Error
+              (Printf.sprintf "branch %s: strategy chose unknown path(s) %s" bp.bp_name
+                 (String.concat ", " missing))
+        in
+        Obs.Trace.add_attr sp "chosen" (Obs.Trace.Str (String.concat "," available));
+        concat_results
+          (Util.Pool.map
+             (fun path_name ->
+               let node = List.assoc path_name bp.bp_paths in
+               let art =
+                 Artifact.logf oc.oc_artifact "<branch %s -> %s>" bp.bp_name path_name
+               in
+               let art =
+                 Artifact.add_prov art
+                   (Prov.Sbranch
+                      {
+                        sb_name = bp.bp_name;
+                        sb_taken = path_name;
+                        sb_alternatives = all;
+                        sb_chosen = available;
+                        sb_reasons = sel.sel_reasons;
+                      })
+               in
+               let tagged =
+                 {
+                   oc_path = oc.oc_path @ [ (bp.bp_name, path_name) ];
+                   oc_artifact = art;
+                 }
+               in
+               run_node node tagged)
+             available))
 
 let run node art = run_node node { oc_path = []; oc_artifact = art }
 

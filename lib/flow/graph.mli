@@ -7,6 +7,14 @@
     one per reached leaf, each tagged with the branch decisions on its
     path (Fig. 1). *)
 
+(** What a PSA strategy decided at a branch point: the paths to take (in
+    preference order) and the analysis facts that justified them, which
+    flow into each outcome's provenance trail ({!Prov.Sbranch}). *)
+type selection = {
+  sel_paths : string list;
+  sel_reasons : string list;
+}
+
 type node =
   | Task of Task.t
   | Seq of node list
@@ -14,7 +22,7 @@ type node =
 
 and branch_point = {
   bp_name : string;                        (** e.g. "A", "B", "C" *)
-  bp_select : Artifact.t -> (string list, string) result;
+  bp_select : Artifact.t -> (selection, string) result;
       (** PSA strategy: names of paths to take, in preference order *)
   bp_paths : (string * node) list;
 }
@@ -30,13 +38,16 @@ val run : node -> Artifact.t -> (outcome list, string) result
     whole run (analysis/codegen failures are flow bugs); a branch strategy
     may select zero paths, pruning that artifact. *)
 
-val select_all : Artifact.t -> (string list, string) result
+val select : ?reasons:string list -> string list -> (selection, string) result
+(** Convenience constructor for strategy results. *)
+
+val select_all : Artifact.t -> (selection, string) result
 (** Distinguished strategy recognised by {!run}: take every path of the
     branch (the paper's "uninformed" mode, and the implementation's
     default at device-level branch points B and C, which "automatically
     select both paths"). *)
 
-val with_select : node -> branch:string -> (Artifact.t -> (string list, string) result) -> node
+val with_select : node -> branch:string -> (Artifact.t -> (selection, string) result) -> node
 (** Replace the strategy of the named branch point (how the evaluation
     swaps informed/uninformed at branch point A). *)
 

@@ -1,0 +1,48 @@
+type cache_status = Hit | Miss | Bypass
+
+type step =
+  | Stask of {
+      st_name : string;
+      st_kind : string;
+      st_scope : string;
+      st_dynamic : bool;
+      st_cache : cache_status;
+    }
+  | Sbranch of {
+      sb_name : string;
+      sb_taken : string;
+      sb_alternatives : string list;
+      sb_chosen : string list;
+      sb_reasons : string list;
+    }
+  | Sdse of {
+      sd_tag : string;
+      sd_points : int;
+      sd_best : string;
+    }
+
+let cache_status_label = function
+  | Hit -> "cache hit"
+  | Miss -> "cache miss"
+  | Bypass -> "uncached"
+
+let render steps =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iteri
+    (fun i step ->
+      match step with
+      | Stask s ->
+        line "%2d. task   %s [%s%s] scope=%s (%s)" (i + 1) s.st_name s.st_kind
+          (if s.st_dynamic then ", dyn" else "")
+          s.st_scope
+          (cache_status_label s.st_cache)
+      | Sbranch b ->
+        line "%2d. branch %s -> %s (offered: %s; selected: %s)" (i + 1) b.sb_name
+          b.sb_taken
+          (String.concat ", " b.sb_alternatives)
+          (String.concat ", " b.sb_chosen);
+        List.iter (fun r -> line "      - %s" r) b.sb_reasons
+      | Sdse d -> line "%2d. dse    %s: %d points -> %s" (i + 1) d.sd_tag d.sd_points d.sd_best)
+    steps;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Flow provenance: the ordered trail of what produced a design.
+
+    Each artifact accrues one step per task application, branch decision
+    and DSE sweep on its path; {!Design.t} carries the finished trail and
+    [psaflow --why] renders it.  Steps hold only strings and scalars so
+    they marshal stably into the task cache (see {!Task_cache.project},
+    which blanks the trail out of cache keys). *)
+
+type cache_status =
+  | Hit  (** served from the evaluation cache (memory or disk tier) *)
+  | Miss  (** computed and stored *)
+  | Bypass  (** cache disabled or task class not cached *)
+
+type step =
+  | Stask of {
+      st_name : string;
+      st_kind : string;  (** Fig. 4 class letter: A, T, CG, O *)
+      st_scope : string;
+      st_dynamic : bool;
+      st_cache : cache_status;
+    }
+  | Sbranch of {
+      sb_name : string;  (** branch point, e.g. "A" *)
+      sb_taken : string;  (** the path this artifact followed *)
+      sb_alternatives : string list;  (** every path the branch offered *)
+      sb_chosen : string list;  (** all paths the strategy selected *)
+      sb_reasons : string list;  (** analysis facts justifying the choice *)
+    }
+  | Sdse of {
+      sd_tag : string;  (** sweep identity, e.g. "cpu-threads" *)
+      sd_points : int;  (** design points examined *)
+      sd_best : string;  (** winning configuration, human-readable *)
+    }
+
+val cache_status_label : cache_status -> string
+
+val render : step list -> string
+(** One line per step, stable across runs (no timings, no ids). *)

@@ -86,5 +86,5 @@ let decide ?(config = default_config) (art : Artifact.t) =
 let informed ?config art =
   match decide ?config art with
   | Error _ as e -> e
-  | Ok { dec_path = "none"; _ } -> Ok []
-  | Ok d -> Ok [ d.dec_path ]
+  | Ok ({ dec_path = "none"; _ } as d) -> Graph.select ~reasons:d.dec_reasons []
+  | Ok d -> Graph.select ~reasons:d.dec_reasons [ d.dec_path ]

@@ -33,9 +33,10 @@ val decide : ?config:config -> Artifact.t -> (decision, string) result
 (** The informed strategy.  Fails when required facts are missing (the
     target-independent tasks must have run). *)
 
-val informed : ?config:config -> Artifact.t -> (string list, string) result
+val informed : ?config:config -> Artifact.t -> (Graph.selection, string) result
 (** {!decide} wrapped as a branch-point selector (empty selection for
-    "none": the flow "terminates without modifying the input"). *)
+    "none": the flow "terminates without modifying the input"); the
+    decision trail rides along as the selection's reasons. *)
 
 val path_names : string list
 (** ["cpu"; "gpu"; "fpga"] — branch point A's paths. *)

@@ -138,6 +138,10 @@ let predict model features =
 let strategy model art =
   match features_of art with
   | Error _ as e -> (match e with Error m -> Error m | Ok _ -> assert false)
-  | Ok ft -> Ok [ predict model ft ]
+  | Ok ft ->
+    let branch = predict model ft in
+    Graph.select
+      ~reasons:[ Printf.sprintf "learned 1-NN strategy chose %s" branch ]
+      [ branch ]
 
 let labels model = model.m_labels

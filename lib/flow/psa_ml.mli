@@ -44,7 +44,7 @@ val train : example list -> (model, string) result
 
 val predict : model -> features -> string
 
-val strategy : model -> Artifact.t -> (string list, string) result
+val strategy : model -> Artifact.t -> (Graph.selection, string) result
 (** The learned selector, pluggable at branch point A via
     {!Graph.with_select} or {!Pipeline.branch_a}. *)
 

@@ -33,6 +33,22 @@ let decision_text (rep : Engine.report) =
 let log_text (rep : Engine.report) =
   String.concat "\n" rep.Engine.rep_analysed.Artifact.art_log ^ "\n"
 
+(* Deliberately timing-free: the same seed and flow must render
+   byte-identical text whatever the cache temperature or job count, so
+   only the per-step cache statuses (legitimately run-dependent) vary
+   between cold and warm runs of the same command. *)
+let why_text (rep : Engine.report) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (d : Design.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "why %s (%s):\n" (Target.short d.Design.d_target)
+           (Target.device_name d.Design.d_target));
+      Buffer.add_string buf (Prov.render d.Design.d_prov);
+      Buffer.add_char buf '\n')
+    rep.Engine.rep_designs;
+  Buffer.contents buf
+
 let summary_line (rep : Engine.report) =
   let best = Engine.best_design rep in
   Printf.sprintf "%-28s mode=%-10s branch=%-5s best=%s" rep.Engine.rep_app.App.app_name

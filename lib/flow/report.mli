@@ -10,5 +10,12 @@ val decision_text : Engine.report -> string
 val log_text : Engine.report -> string
 (** The analysed artifact's task log. *)
 
+val why_text : Engine.report -> string
+(** Per-design provenance trails ([psaflow --why]): ordered tasks with
+    cache status, branch decisions with their reasons, DSE sweeps with
+    point counts.  Timing-free, so a given flow renders deterministically
+    regardless of parallelism; only cache statuses differ between cold
+    and warm runs. *)
+
 val summary_line : Engine.report -> string
 (** One line: app, chosen branch, best design and speedup. *)

@@ -52,6 +52,10 @@ let instances_of pool = function
   | Rfpga -> pool.fpga_instances
 
 let run ?(pricing = Cost.default_pricing) ~policy ~pool ~alternatives jobs =
+  Obs.Trace.with_span
+    ~attrs:[ ("jobs", Obs.Trace.Int (List.length jobs)) ]
+    ~name:"schedule" ~kind:Obs.Trace.Flow
+  @@ fun _ ->
   let capacity =
     pool.cpu_instances + pool.gpu_instances + pool.fpga_instances
   in

@@ -5,7 +5,8 @@ module C = Cache.Make (struct
 
   let kind = "task"
 
-  let version = 1
+  (* v2: Artifact.t gained [art_prov]; older marshalled layouts must miss *)
+  let version = 2
 end)
 
 (* Only the expensive task classes are cached: dynamic tasks run the
@@ -85,6 +86,9 @@ let project (art : Artifact.t) =
       art_kprofile = Option.map t_kp art.Artifact.art_kprofile;
       art_design = Option.map t_design art.Artifact.art_design;
       art_log = List.filter tag_line art.Artifact.art_log;
+      (* the trail differs between cold and warm runs (cache statuses);
+         it must never influence a key *)
+      art_prov = [];
     } )
 
 let backend_tag () = match Machine.default_backend () with `Ast -> 0 | `Compiled -> 1
@@ -103,23 +107,65 @@ let key_of (task : Task.t) art =
           on content only *)
        [ Marshal.No_sharing ])
 
+let prov_step (task : Task.t) status =
+  Prov.Stask
+    {
+      st_name = task.Task.name;
+      st_kind = Task.kind_letter task.Task.kind;
+      st_scope = Task.scope_label task.Task.scope;
+      st_dynamic = task.Task.dynamic;
+      st_cache = status;
+    }
+
+(* Drop the first [k] steps: splits a cached artifact's trail into the
+   prefix that mirrors this input's trail and the steps the task itself
+   appended (e.g. {!Prov.Sdse}).  Trails are structurally determined by
+   the tag subsequence in the key, so equal keys imply equal prefix
+   lengths even across processes. *)
+let rec drop k = function
+  | l when k <= 0 -> l
+  | [] -> []
+  | _ :: tl -> drop (k - 1) tl
+
 let apply (task : Task.t) art =
-  if not (Cache.enabled () && cacheable task) then Task.apply task art
-  else
-    let key = key_of task art in
-    match
-      C.find_or_compute ~key
-        ~on_disk_hit:(fun out ->
-          (* the loaded artifact carries another process's ids; move the
-             counter past them so later transforms cannot collide *)
-          Ast.reserve_ids (Ast.max_id out.Artifact.art_program))
-        (fun () ->
-          match Task.apply task art with
-          | Ok out -> out
-          | Error e -> raise (Task_failed e))
-    with
-    | out -> Ok out
-    | exception Task_failed e -> Error e
+  Obs.Trace.with_span
+    ~attrs:[ ("kind", Obs.Trace.Str (Task.kind_letter task.Task.kind)) ]
+    ~name:task.Task.name ~kind:Obs.Trace.Task
+    (fun sp ->
+      let finish status (out : Artifact.t) =
+        Obs.Trace.add_attr sp "cache" (Obs.Trace.Str (Prov.cache_status_label status));
+        Artifact.add_prov out (prov_step task status)
+      in
+      if not (Cache.enabled () && cacheable task) then
+        Result.map (finish Prov.Bypass) (Task.apply task art)
+      else
+        let key = key_of task art in
+        let computed = ref false in
+        match
+          C.find_or_compute ~key
+            ~on_disk_hit:(fun out ->
+              (* the loaded artifact carries another process's ids; move the
+                 counter past them so later transforms cannot collide *)
+              Ast.reserve_ids (Ast.max_id out.Artifact.art_program))
+            (fun () ->
+              computed := true;
+              match Task.apply task art with
+              | Ok out -> out
+              | Error e -> raise (Task_failed e))
+        with
+        | out ->
+          if !computed then Ok (finish Prov.Miss out)
+          else
+            (* the cached trail records the *first* run's cache statuses;
+               splice this run's input trail onto the task-added suffix *)
+            let suffix =
+              drop (List.length art.Artifact.art_prov) out.Artifact.art_prov
+            in
+            let out =
+              { out with Artifact.art_prov = art.Artifact.art_prov @ suffix }
+            in
+            Ok (finish Prov.Hit out)
+        | exception Task_failed e -> Error e)
 
 let stats () = C.stats ()
 

@@ -320,12 +320,21 @@ let omp_num_threads_dse =
           ds_kprofile = Some kp;
         }
       in
+      let art' =
+        Artifact.logf
+          { art with Artifact.art_program = r.Threads_dse.td_program;
+            art_design = Some ds }
+          "selected %d threads (est. %.3g s)" r.Threads_dse.td_threads
+          r.Threads_dse.td_estimate.Cpu_model.ce_time_s
+      in
       Ok
-        (Artifact.logf
-           { art with Artifact.art_program = r.Threads_dse.td_program;
-             art_design = Some ds }
-           "selected %d threads (est. %.3g s)" r.Threads_dse.td_threads
-           r.Threads_dse.td_estimate.Cpu_model.ce_time_s))
+        (Artifact.add_prov art'
+           (Prov.Sdse
+              {
+                sd_tag = "cpu-threads";
+                sd_points = List.length r.Threads_dse.td_sweep;
+                sd_best = Printf.sprintf "%d threads" r.Threads_dse.td_threads;
+              })))
 
 (* ---- GPU (HIP) tasks ---- *)
 
@@ -474,14 +483,24 @@ let gpu_blocksize_dse (spec : Device.gpu_spec) =
             ds_feasible = r.Blocksize_dse.bd_estimate.Gpu_model.ge_launchable;
           }
         in
+        let art' =
+          Artifact.logf
+            { art with Artifact.art_program = r.Blocksize_dse.bd_program;
+              art_design = Some ds }
+            "blocksize %d (est. %.3g s, occupancy %.0f%%, %d regs/thread)"
+            r.Blocksize_dse.bd_blocksize r.Blocksize_dse.bd_estimate.Gpu_model.ge_time_s
+            (100.0 *. r.Blocksize_dse.bd_estimate.Gpu_model.ge_occupancy)
+            r.Blocksize_dse.bd_estimate.Gpu_model.ge_regs_per_thread
+        in
         Ok
-          (Artifact.logf
-             { art with Artifact.art_program = r.Blocksize_dse.bd_program;
-               art_design = Some ds }
-             "blocksize %d (est. %.3g s, occupancy %.0f%%, %d regs/thread)"
-             r.Blocksize_dse.bd_blocksize r.Blocksize_dse.bd_estimate.Gpu_model.ge_time_s
-             (100.0 *. r.Blocksize_dse.bd_estimate.Gpu_model.ge_occupancy)
-             r.Blocksize_dse.bd_estimate.Gpu_model.ge_regs_per_thread)
+          (Artifact.add_prov art'
+             (Prov.Sdse
+                {
+                  sd_tag = "gpu-blocksize";
+                  sd_points = List.length r.Blocksize_dse.bd_sweep;
+                  sd_best =
+                    Printf.sprintf "blocksize %d" r.Blocksize_dse.bd_blocksize;
+                }))
       | _, _, _ -> Error "profile the HIP design before the blocksize DSE")
 
 (* ---- FPGA (oneAPI) tasks ---- *)
@@ -601,6 +620,18 @@ let fpga_unroll_until_overmap_dse (spec : Device.fpga_spec) =
         in
         let art' =
           { art with Artifact.art_program = r.Unroll_dse.ud_program; art_design = Some ds }
+        in
+        let art' =
+          Artifact.add_prov art'
+            (Prov.Sdse
+               {
+                 sd_tag = "fpga-unroll";
+                 sd_points = List.length r.Unroll_dse.ud_trace;
+                 sd_best =
+                   (match r.Unroll_dse.ud_unroll with
+                    | Some u -> Printf.sprintf "unroll %d" u
+                    | None -> "overmapped at unroll 1");
+               })
         in
         if feasible then
           Ok

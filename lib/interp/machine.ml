@@ -83,43 +83,49 @@ let set_default_backend b = Atomic.set default_backend_ref b
 
 type exec_stats = { exec_runs : int; exec_steps : int; exec_seconds : float }
 
-let stats_mu = Mutex.create ()
-let stats = ref { exec_runs = 0; exec_steps = 0; exec_seconds = 0.0 }
+(* Backed by the process-wide metrics registry so interpreter throughput
+   shows up next to cache and bench metrics without extra plumbing. *)
+let m_runs = Obs.Metrics.counter "interp.runs"
+
+let m_steps = Obs.Metrics.counter "interp.steps"
+
+let m_seconds = Obs.Metrics.gauge "interp.seconds"
 
 let exec_stats () =
-  Mutex.lock stats_mu;
-  let s = !stats in
-  Mutex.unlock stats_mu;
-  s
+  {
+    exec_runs = Obs.Metrics.Counter.value m_runs;
+    exec_steps = Obs.Metrics.Counter.value m_steps;
+    exec_seconds = Obs.Metrics.Gauge.value m_seconds;
+  }
 
 let reset_exec_stats () =
-  Mutex.lock stats_mu;
-  stats := { exec_runs = 0; exec_steps = 0; exec_seconds = 0.0 };
-  Mutex.unlock stats_mu
+  Obs.Metrics.Counter.set m_runs 0;
+  Obs.Metrics.Counter.set m_steps 0;
+  Obs.Metrics.Gauge.set m_seconds 0.0
 
 let record_run steps seconds =
-  Mutex.lock stats_mu;
-  let s = !stats in
-  stats :=
-    {
-      exec_runs = s.exec_runs + 1;
-      exec_steps = s.exec_steps + steps;
-      exec_seconds = s.exec_seconds +. seconds;
-    };
-  Mutex.unlock stats_mu
+  Obs.Metrics.Counter.incr m_runs;
+  Obs.Metrics.Counter.add m_steps steps;
+  Obs.Metrics.Gauge.add m_seconds seconds
 
 (* ---- execution ---- *)
 
 let run ?(config = default_config) ?backend (program : Ast.program) : result =
   let backend = match backend with Some b -> b | None -> default_backend () in
-  let t0 = Unix.gettimeofday () in
-  let finish (r : result) =
-    record_run r.counters.Counters.steps (Unix.gettimeofday () -. t0);
-    r
-  in
-  match backend with
-  | `Ast -> finish (Walker.run config program)
-  | `Compiled -> finish (Compile.run config program)
+  Obs.Trace.with_span
+    ~attrs:[ ("backend", Obs.Trace.Str (backend_name backend)) ]
+    ~name:"interp-run" ~kind:Obs.Trace.Interp_run
+    (fun sp ->
+      let t0 = Obs.Monotonic.now_s () in
+      let finish (r : result) =
+        let steps = r.counters.Counters.steps in
+        record_run steps (Obs.Monotonic.now_s () -. t0);
+        Obs.Trace.add_attr sp "steps" (Obs.Trace.Int steps);
+        r
+      in
+      match backend with
+      | `Ast -> finish (Walker.run config program)
+      | `Compiled -> finish (Compile.run config program))
 
 let find_loop_stats (r : result) sid = List.assoc_opt sid r.loop_stats
 

@@ -1,0 +1,72 @@
+(** Process-wide metrics registry: named counters, gauges and histograms
+    with atomic updates.
+
+    Instruments are created on first use and live for the process; looking
+    up an existing name returns the same instrument (a name registered as
+    one instrument class cannot be re-registered as another).  All update
+    paths are safe to call concurrently from pool workers. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+
+  val set : t -> int -> unit
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val add : t -> float -> unit
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0..100]; linear interpolation between
+      order statistics; [nan] when empty. *)
+end
+
+val counter : string -> Counter.t
+(** @raise Invalid_argument if the name names a non-counter instrument. *)
+
+val gauge : string -> Gauge.t
+
+val histogram : string -> Histogram.t
+
+(** A point-in-time reading of one instrument. *)
+type value =
+  | Count of int
+  | Value of float
+  | Summary of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+    }
+
+val snapshot : unit -> (string * value) list
+(** All registered instruments, sorted by name. *)
+
+val find : string -> value option
+
+val reset : unit -> unit
+(** Zero every instrument (registrations are kept). *)

@@ -1,0 +1,5 @@
+let t0 = Unix.gettimeofday ()
+
+let now_s () = Unix.gettimeofday () -. t0
+
+let now_us () = (Unix.gettimeofday () -. t0) *. 1e6

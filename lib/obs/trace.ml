@@ -1,0 +1,310 @@
+type kind =
+  | Task
+  | Branch
+  | Dse_point
+  | Interp_run
+  | Cache_lookup
+  | Pool
+  | Flow
+  | Section
+
+let cat_of_kind = function
+  | Task -> "task"
+  | Branch -> "branch"
+  | Dse_point -> "dse-point"
+  | Interp_run -> "interp-run"
+  | Cache_lookup -> "cache-lookup"
+  | Pool -> "pool"
+  | Flow -> "flow"
+  | Section -> "section"
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  sp_live : bool;
+  sp_name : string;
+  sp_cat : string;
+  sp_ts_b : float;
+  sp_seq_b : int;
+  mutable sp_ts_e : float;
+  mutable sp_seq_e : int;
+  mutable sp_attrs : (string * attr) list;
+}
+
+(* Shared by every [with_span] call while tracing is off; never recorded. *)
+let dummy =
+  {
+    sp_live = false;
+    sp_name = "";
+    sp_cat = "";
+    sp_ts_b = 0.0;
+    sp_seq_b = 0;
+    sp_ts_e = 0.0;
+    sp_seq_e = 0;
+    sp_attrs = [];
+  }
+
+(* One buffer per domain, owned exclusively by that domain while it runs;
+   the registry (under [reg_mu]) lets the exporting domain reach buffers
+   whose owner has since exited (pool domains are short-lived).  [b_born]
+   orders buffers that reuse a domain id: ids are recycled after a domain
+   exits, so a track can be fed by several buffers, never concurrently. *)
+type buffer = {
+  b_tid : int;
+  b_born : int;
+  mutable b_spans : span list;  (* completed spans, most recent first *)
+  mutable b_last_ts : float;
+  mutable b_seq : int;
+}
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let reg_mu = Mutex.create ()
+
+let buffers : buffer list ref = ref []
+
+let born_counter = Atomic.make 0
+
+let new_buffer () =
+  let b =
+    {
+      b_tid = (Domain.self () :> int);
+      b_born = Atomic.fetch_and_add born_counter 1;
+      b_spans = [];
+      b_last_ts = 0.0;
+      b_seq = 0;
+    }
+  in
+  Mutex.lock reg_mu;
+  buffers := b :: !buffers;
+  Mutex.unlock reg_mu;
+  b
+
+(* [start] bumps the epoch instead of touching other domains' buffers; a
+   domain holding a stale DLS buffer silently re-registers a fresh one on
+   its next span. *)
+let epoch = Atomic.make 0
+
+let key : (int * buffer) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (Atomic.get epoch, new_buffer ()))
+
+let get_buffer () =
+  let e, b = Domain.DLS.get key in
+  let cur = Atomic.get epoch in
+  if e = cur then b
+  else begin
+    let b = new_buffer () in
+    Domain.DLS.set key (cur, b);
+    b
+  end
+
+let start () =
+  Mutex.lock reg_mu;
+  buffers := [];
+  Mutex.unlock reg_mu;
+  Atomic.incr epoch;
+  Atomic.set enabled_flag true
+
+let stop () = Atomic.set enabled_flag false
+
+(* Non-decreasing per buffer: gettimeofday can tie (or step back); the
+   clamp keeps every track's timestamps monotonic. *)
+let tick b =
+  let t = Monotonic.now_us () in
+  let t = if t > b.b_last_ts then t else b.b_last_ts in
+  b.b_last_ts <- t;
+  t
+
+let next_seq b =
+  let s = b.b_seq in
+  b.b_seq <- s + 1;
+  s
+
+let with_span ?(attrs = []) ~name ~kind f =
+  if not (Atomic.get enabled_flag) then f dummy
+  else begin
+    let b = get_buffer () in
+    let sp =
+      {
+        sp_live = true;
+        sp_name = name;
+        sp_cat = cat_of_kind kind;
+        sp_ts_b = tick b;
+        sp_seq_b = next_seq b;
+        sp_ts_e = 0.0;
+        sp_seq_e = 0;
+        sp_attrs = attrs;
+      }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        sp.sp_ts_e <- tick b;
+        sp.sp_seq_e <- next_seq b;
+        b.b_spans <- sp :: b.b_spans)
+      (fun () -> f sp)
+  end
+
+let add_attr sp k v = if sp.sp_live then sp.sp_attrs <- (k, v) :: sp.sp_attrs
+
+type event = {
+  ev_ph : [ `B | `E ];
+  ev_name : string;
+  ev_cat : string;
+  ev_tid : int;
+  ev_ts : float;
+  ev_attrs : (string * attr) list;
+}
+
+(* Merge: per buffer, spans expand to (seq, event) pairs sorted by seq —
+   balanced by with_span's stack discipline; buffers sharing a tid are
+   concatenated in birth order (a reused domain id means strictly later
+   wall-clock), and a final clamp makes each track's timestamps
+   non-decreasing across the buffer seam. *)
+let events () =
+  Mutex.lock reg_mu;
+  let bufs = !buffers in
+  Mutex.unlock reg_mu;
+  let bufs =
+    List.sort
+      (fun a b ->
+        if a.b_tid <> b.b_tid then compare a.b_tid b.b_tid
+        else compare a.b_born b.b_born)
+      bufs
+  in
+  let track_events b =
+    List.concat_map
+      (fun sp ->
+        [
+          ( sp.sp_seq_b,
+            {
+              ev_ph = `B;
+              ev_name = sp.sp_name;
+              ev_cat = sp.sp_cat;
+              ev_tid = b.b_tid;
+              ev_ts = sp.sp_ts_b;
+              ev_attrs = List.rev sp.sp_attrs;
+            } );
+          ( sp.sp_seq_e,
+            {
+              ev_ph = `E;
+              ev_name = sp.sp_name;
+              ev_cat = sp.sp_cat;
+              ev_tid = b.b_tid;
+              ev_ts = sp.sp_ts_e;
+              ev_attrs = [];
+            } );
+        ])
+      b.b_spans
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let clamp_track evs =
+    let last = ref neg_infinity in
+    List.map
+      (fun ev ->
+        let ts = if ev.ev_ts > !last then ev.ev_ts else !last in
+        last := ts;
+        { ev with ev_ts = ts })
+      evs
+  in
+  let rec by_tid = function
+    | [] -> []
+    | b :: rest ->
+      let same, others = List.partition (fun b' -> b'.b_tid = b.b_tid) rest in
+      clamp_track (List.concat_map track_events (b :: same)) :: by_tid others
+  in
+  List.concat (by_tid bufs)
+
+(* ---- JSON ---- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+let add_number buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.3f" f)
+
+let add_attr_value buf = function
+  | Str s -> add_json_string buf s
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_number buf f
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let add_args buf attrs =
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_attr_value buf v)
+    attrs;
+  Buffer.add_char buf '}'
+
+let export_json buf =
+  let evs = events () in
+  let tids =
+    List.sort_uniq compare (List.map (fun ev -> ev.ev_tid) evs)
+  in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n"
+  in
+  List.iter
+    (fun tid ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}}"
+           tid tid))
+    tids;
+  List.iter
+    (fun ev ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf "{\"ph\":\"%s\",\"name\":"
+           (match ev.ev_ph with `B -> "B" | `E -> "E"));
+      add_json_string buf ev.ev_name;
+      Buffer.add_string buf ",\"cat\":";
+      add_json_string buf ev.ev_cat;
+      Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d,\"ts\":" ev.ev_tid);
+      add_number buf ev.ev_ts;
+      if ev.ev_attrs <> [] then add_args buf ev.ev_attrs;
+      Buffer.add_char buf '}')
+    evs;
+  Buffer.add_string buf "\n]}\n"
+
+let write_file path =
+  let buf = Buffer.create 65536 in
+  export_json buf;
+  match open_out_bin path with
+  | exception Sys_error e -> Error e
+  | oc ->
+    (match Buffer.output_buffer oc (buf : Buffer.t) with
+     | () ->
+       close_out oc;
+       Ok ()
+     | exception Sys_error e ->
+       close_out_noerr oc;
+       Error e)

@@ -1,0 +1,71 @@
+(** Span tracer with Chrome trace-event JSON export.
+
+    Spans record begin/end events with process-anchored timestamps
+    ({!Monotonic}) and the domain id of the recording domain.  Each domain
+    appends to its own buffer (no locking on the hot path beyond one
+    atomic read), so {!Util.Pool} workers trace freely; buffers are merged
+    when the trace is exported.  When tracing is disabled, {!with_span}
+    costs one atomic load and runs its body against a shared dummy span.
+
+    Event ordering is reconstructed from per-buffer sequence numbers, not
+    timestamps: a span's begin and end events carry the sequence values
+    they were recorded at, so the exported stream is balanced by the stack
+    discipline of [with_span] even when clock resolution makes sibling
+    spans collide on the same timestamp.  Timestamps are clamped to be
+    non-decreasing per domain track. *)
+
+type kind =
+  | Task  (** one flow-task application *)
+  | Branch  (** branch-point selection + fan-out *)
+  | Dse_point  (** one DSE point evaluation *)
+  | Interp_run  (** one interpreter execution *)
+  | Cache_lookup  (** one find_or_compute round trip *)
+  | Pool  (** one work item on a pool worker *)
+  | Flow  (** engine phases (analysis, decide, fan-out, designs) *)
+  | Section  (** bench sections *)
+
+val cat_of_kind : kind -> string
+(** Chrome [cat] string: ["task"], ["branch"], ["dse-point"],
+    ["interp-run"], ["cache-lookup"], ["pool"], ["flow"], ["section"]. *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+type span
+
+val enabled : unit -> bool
+
+val start : unit -> unit
+(** Discard previously recorded spans and start recording. *)
+
+val stop : unit -> unit
+(** Stop recording; recorded spans stay available for export. *)
+
+val with_span : ?attrs:(string * attr) list -> name:string -> kind:kind -> (span -> 'a) -> 'a
+(** Run the body inside a span.  The span closes when the body returns or
+    raises.  When tracing is off the body runs against a dummy span and
+    nothing is recorded. *)
+
+val add_attr : span -> string -> attr -> unit
+(** Attach an attribute to a live span (e.g. a step count known only
+    after the work ran).  No-op on the dummy span. *)
+
+(** A merged begin/end event, for tests and validation. *)
+type event = {
+  ev_ph : [ `B | `E ];
+  ev_name : string;
+  ev_cat : string;
+  ev_tid : int;
+  ev_ts : float;  (** microseconds, non-decreasing per [ev_tid] *)
+  ev_attrs : (string * attr) list;
+}
+
+val events : unit -> event list
+(** All recorded events, grouped by domain track; within a track, events
+    are in recording order with non-decreasing timestamps. *)
+
+val export_json : Buffer.t -> unit
+(** Append the Chrome trace-event JSON document ([traceEvents] array plus
+    thread-name metadata) to the buffer. *)
+
+val write_file : string -> (unit, string) result
+(** Export to a file; [Error] on I/O failure. *)

@@ -1,0 +1,253 @@
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> bad "expected %c at offset %d, found %c" c st.pos c'
+  | None -> bad "expected %c at offset %d, found end of input" c st.pos
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else bad "invalid literal at offset %d" st.pos
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> bad "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some '"' -> Buffer.add_char buf '"'; advance st; go ()
+       | Some '\\' -> Buffer.add_char buf '\\'; advance st; go ()
+       | Some '/' -> Buffer.add_char buf '/'; advance st; go ()
+       | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+       | Some 'r' -> Buffer.add_char buf '\r'; advance st; go ()
+       | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+       | Some 'b' -> Buffer.add_char buf '\b'; advance st; go ()
+       | Some 'f' -> Buffer.add_char buf '\012'; advance st; go ()
+       | Some 'u' ->
+         advance st;
+         if st.pos + 4 > String.length st.src then bad "truncated \\u escape";
+         let hex = String.sub st.src st.pos 4 in
+         st.pos <- st.pos + 4;
+         (match int_of_string_opt ("0x" ^ hex) with
+          | None -> bad "invalid \\u escape %S" hex
+          | Some code ->
+            (* decoded byte-wise; enough for the ASCII traces we emit *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%s" hex));
+         go ()
+       | _ -> bad "invalid escape at offset %d" st.pos)
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c when is_num_char c -> true | _ -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> bad "invalid number %S at offset %d" s start
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> bad "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        expect st '"';
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev ((k, v) :: acc)
+        | _ -> bad "expected , or } at offset %d" st.pos
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | _ -> bad "expected , or ] at offset %d" st.pos
+      in
+      List (elements [])
+    end
+  | Some '"' ->
+    advance st;
+    Str (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then Error "trailing garbage after JSON value"
+    else Ok v
+  | exception Bad msg -> Error msg
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+(* ---- validation ---- *)
+
+type summary = {
+  su_events : int;
+  su_tids : int list;
+  su_cats : (string * int) list;
+}
+
+let field_str k ev = match member k ev with Some (Str s) -> Some s | _ -> None
+
+let field_num k ev = match member k ev with Some (Num f) -> Some f | _ -> None
+
+let validate doc =
+  match member "traceEvents" doc with
+  | Some (List evs) ->
+    (* per-tid open-span stack and last timestamp *)
+    let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+    let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    let cats : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let n_events = ref 0 in
+    let check ev =
+      match field_str "ph" ev with
+      | Some "M" | None -> Ok ()
+      | Some (("B" | "E") as ph) -> (
+        incr n_events;
+        match field_num "tid" ev, field_num "ts" ev, field_str "name" ev with
+        | None, _, _ -> Error "event without tid"
+        | _, None, _ -> Error "event without ts"
+        | _, _, None -> Error "event without name"
+        | Some tid, Some ts, Some name ->
+          let tid = int_of_float tid in
+          let prev = Option.value (Hashtbl.find_opt last_ts tid) ~default:neg_infinity in
+          if ts < prev then
+            Error
+              (Printf.sprintf "tid %d: ts %.3f decreases (previous %.3f)" tid ts prev)
+          else begin
+            Hashtbl.replace last_ts tid ts;
+            let stack = Option.value (Hashtbl.find_opt stacks tid) ~default:[] in
+            if ph = "B" then begin
+              Hashtbl.replace stacks tid (name :: stack);
+              Ok ()
+            end
+            else
+              match stack with
+              | [] -> Error (Printf.sprintf "tid %d: E %S with no open span" tid name)
+              | top :: rest when top = name ->
+                Hashtbl.replace stacks tid rest;
+                (match field_str "cat" ev with
+                 | Some cat ->
+                   Hashtbl.replace cats cat
+                     (1 + Option.value (Hashtbl.find_opt cats cat) ~default:0)
+                 | None -> ());
+                Ok ()
+              | top :: _ ->
+                Error
+                  (Printf.sprintf "tid %d: E %S closes open span %S (interleaved)" tid
+                     name top)
+          end)
+      | Some ph -> Error (Printf.sprintf "unsupported event phase %S" ph)
+    in
+    let rec go = function
+      | [] ->
+        let unbalanced =
+          Hashtbl.fold
+            (fun tid stack acc -> if stack = [] then acc else tid :: acc)
+            stacks []
+        in
+        if unbalanced <> [] then
+          Error
+            (Printf.sprintf "unbalanced spans left open on tid(s) %s"
+               (String.concat ", "
+                  (List.map string_of_int (List.sort compare unbalanced))))
+        else
+          Ok
+            {
+              su_events = !n_events;
+              su_tids =
+                List.sort compare (Hashtbl.fold (fun tid _ acc -> tid :: acc) last_ts []);
+              su_cats =
+                List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) cats []);
+            }
+      | ev :: rest -> (match check ev with Ok () -> go rest | Error _ as e -> e)
+    in
+    go evs
+  | Some _ -> Error "traceEvents is not an array"
+  | None -> Error "no traceEvents member"
+
+let validate_string s = Result.bind (parse s) validate

@@ -1,0 +1,30 @@
+(** Minimal JSON parser and Chrome-trace validator.
+
+    Shared by the test suite and [bench/tracecheck.exe]: parse a trace
+    file, then check that every domain track is balanced (each E closes
+    the most recent B with the same name) and that timestamps are
+    non-decreasing per track. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+
+val member : string -> json -> json option
+
+(** What a valid trace contained. *)
+type summary = {
+  su_events : int;  (** B/E events (metadata excluded) *)
+  su_tids : int list;  (** distinct domain tracks, sorted *)
+  su_cats : (string * int) list;  (** complete-span count per category, sorted *)
+}
+
+val validate : json -> (summary, string) result
+(** Check the [traceEvents] of a parsed trace document. *)
+
+val validate_string : string -> (summary, string) result

@@ -46,12 +46,21 @@ let parallel_run f input extra =
   let n = Array.length input in
   let results = Array.make n None in
   let next = Atomic.make 0 in
+  let traced = Obs.Trace.enabled () in
+  let apply i x =
+    if not traced then f x
+    else
+      Obs.Trace.with_span
+        ~attrs:[ ("item", Obs.Trace.Int i); ("of", Obs.Trace.Int n) ]
+        ~name:"pool-item" ~kind:Obs.Trace.Pool
+        (fun _ -> f x)
+  in
   let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         let slot =
-          match f input.(i) with
+          match apply i input.(i) with
           | v -> Ok v
           | exception e -> Error (e, Printexc.get_raw_backtrace ())
         in

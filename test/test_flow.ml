@@ -39,7 +39,7 @@ let branch name paths select = Graph.Branch { Graph.bp_name = name; bp_select = 
 let test_graph_branch_select_one () =
   let node =
     branch "A" [ ("x", Graph.Task (tag "x")); ("y", Graph.Task (tag "y")) ]
-      (fun _ -> Ok [ "y" ])
+      (fun _ -> Graph.select [ "y" ])
   in
   match Graph.run node (dummy_artifact ()) with
   | Ok [ oc ] ->
@@ -56,20 +56,20 @@ let test_graph_branch_select_all () =
   | Error e -> Alcotest.fail e
 
 let test_graph_branch_unknown_path () =
-  let node = branch "A" [ ("x", Graph.Task (tag "x")) ] (fun _ -> Ok [ "zz" ]) in
+  let node = branch "A" [ ("x", Graph.Task (tag "x")) ] (fun _ -> Graph.select [ "zz" ]) in
   match Graph.run node (dummy_artifact ()) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown path must error"
 
 let test_graph_branch_empty_selection_prunes () =
-  let node = branch "A" [ ("x", Graph.Task (tag "x")) ] (fun _ -> Ok []) in
+  let node = branch "A" [ ("x", Graph.Task (tag "x")) ] (fun _ -> Graph.select []) in
   match Graph.run node (dummy_artifact ()) with
   | Ok [] -> ()
   | _ -> Alcotest.fail "empty selection should prune"
 
 let test_graph_nested_branches () =
   let inner = branch "B" [ ("p", Graph.Task (tag "p")); ("q", Graph.Task (tag "q")) ] Graph.select_all in
-  let node = branch "A" [ ("x", inner) ] (fun _ -> Ok [ "x" ]) in
+  let node = branch "A" [ ("x", inner) ] (fun _ -> Graph.select [ "x" ]) in
   match Graph.run node (dummy_artifact ()) with
   | Ok outcomes ->
     checki "two leaves" 2 (List.length outcomes);
@@ -82,7 +82,7 @@ let test_graph_nested_branches () =
 let test_graph_with_select () =
   let node =
     branch "A" [ ("x", Graph.Task (tag "x")); ("y", Graph.Task (tag "y")) ]
-      (fun _ -> Ok [ "x" ])
+      (fun _ -> Graph.select [ "x" ])
   in
   let node = Graph.with_select node ~branch:"A" Graph.select_all in
   match Graph.run node (dummy_artifact ()) with
@@ -516,7 +516,7 @@ let test_ml_strategy_pluggable () =
   let examples = ml_examples () in
   let model = Result.get_ok (Psa_ml.train examples) in
   match Psa_ml.strategy model (analysed Kmeans.app) with
-  | Ok [ branch ] -> checks "kmeans stays on cpu" "cpu" branch
+  | Ok { Graph.sel_paths = [ branch ]; _ } -> checks "kmeans stays on cpu" "cpu" branch
   | Ok _ -> Alcotest.fail "one branch expected"
   | Error e -> Alcotest.fail e
 

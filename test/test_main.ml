@@ -15,4 +15,5 @@ let () =
       ("apps", Test_apps.suite);
       ("flow", Test_flow.suite);
       ("properties", Test_props.suite);
+      ("obs", Test_obs.suite);
     ]
