@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-quick bench-compare bench-warm-cold trace-check clean
+.PHONY: all check test bench bench-quick bench-compare bench-warm-cold trace-check fault-check doc clean
 
 all:
 	dune build @all
@@ -40,6 +40,33 @@ trace-check:
 	dune exec bench/tracecheck.exe -- trace.json \
 	  --require-kinds task,branch,dse-point,interp-run,cache-lookup \
 	  --require-tids 2
+
+# resilience gate: inject a fault into the FPGA codegen task and check
+# that the run degrades gracefully -- the surviving branches still emit
+# designs, the process exits with the "partial" code (3), and the span
+# trace of the degraded run is still well-formed
+fault-check:
+	dune build bin/psaflow.exe bench/tracecheck.exe
+	@rc=0; dune exec --no-build bin/psaflow.exe -- run nbody --quick --jobs 4 --cache off \
+	  --faults "task:FPGA/Generate oneAPI Design" --trace fault-trace.json || rc=$$?; \
+	if [ "$$rc" -ne 3 ]; then echo "fault-check: expected partial exit code 3, got $$rc"; exit 1; fi; \
+	echo "fault-check: partial exit code 3 as expected"
+	dune exec --no-build bench/tracecheck.exe -- fault-trace.json \
+	  --require-kinds task,branch,dse-point,interp-run,cache-lookup \
+	  --require-tids 2
+
+# API documentation (odoc): fails on any odoc warning in lib/flow or
+# lib/obs, whose public interfaces are the documented API surface.
+# Skips gracefully when odoc is not installed (opam install odoc).
+doc:
+	@command -v odoc >/dev/null 2>&1 || { \
+	  echo "doc: odoc not installed (opam install odoc); skipping"; exit 0; }; \
+	dune build @doc 2> doc-warnings.log; st=$$?; \
+	cat doc-warnings.log; \
+	if [ $$st -ne 0 ]; then exit $$st; fi; \
+	if grep -E 'lib/(flow|obs)/' doc-warnings.log >/dev/null 2>&1; then \
+	  echo "doc: odoc warnings in lib/flow or lib/obs (see above)"; exit 1; fi; \
+	echo "doc: API docs in _build/default/_doc/_html"
 
 clean:
 	dune clean

@@ -221,6 +221,10 @@ let run_warm_cold cold_path warm_path =
    | Some _ | None -> report "warm run has no disk hits (cache not exercised)");
   (match cache_stat warm "errors" with
    | Some e when e > 0.0 -> Printf.printf "note  warm run logged %.0f cache errors\n" e
+   | _ -> ());
+  (match cache_stat warm "corrupt" with
+   | Some e when e > 0.0 ->
+     Printf.printf "note  warm run evicted %.0f corrupted cache entries\n" e
    | _ -> ())
 
 (* ---- seed-baseline regression gate ---- *)

@@ -21,6 +21,7 @@
      main.exe --json FILE     dump per-section wall-clock times as JSON
      main.exe --interp B      default interpreter backend: ast | compiled
      main.exe --cache D       evaluation-cache directory (default .psa-cache; off = disabled)
+     main.exe --faults SPEC   arm the deterministic fault-injection harness
      main.exe --trace FILE    write a Chrome trace-event span trace of the run
      main.exe fig5 table1 fig6 ablation micro interp    any subset, in any order *)
 
@@ -61,6 +62,16 @@ let () =
   | None -> Cache.set_dir (Some ".psa-cache")
   | Some "off" -> Cache.set_dir None
   | Some dir -> Cache.set_dir (Some dir)
+
+let () =
+  match opt_value "--faults" with
+  | None -> ()
+  | Some spec -> (
+    match Util.Faultsim.parse spec with
+    | Ok s -> Util.Faultsim.arm s
+    | Error msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      exit 2)
 
 let json_file = opt_value "--json"
 
@@ -124,13 +135,14 @@ let write_json path ~total =
     \    \"misses\": %d,\n\
     \    \"waits\": %d,\n\
     \    \"errors\": %d,\n\
+    \    \"corrupt\": %d,\n\
     \    \"evictions\": %d,\n\
     \    \"bytes_read\": %d,\n\
     \    \"bytes_written\": %d\n\
     \  },\n"
     (Cache.enabled ()) s.Cache.mem_hits s.Cache.disk_hits s.Cache.misses
-    s.Cache.waits s.Cache.errors s.Cache.evictions s.Cache.bytes_read
-    s.Cache.bytes_written;
+    s.Cache.waits s.Cache.errors s.Cache.corrupt s.Cache.evictions
+    s.Cache.bytes_read s.Cache.bytes_written;
   (* flat name -> number map: compare.ml's parser has no array support,
      so histograms are flattened into .count/.p50/.p90/.p99 entries *)
   let metrics =

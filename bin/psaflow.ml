@@ -88,9 +88,44 @@ let cache_arg =
   in
   Arg.(value & opt string ".psa-cache" & info [ "cache" ] ~docv:"DIR|off" ~doc)
 
+let strict_arg =
+  let doc =
+    "Fail fast: the first task failure aborts the whole run (exit 1) instead \
+     of pruning that branch path and continuing with the surviving designs."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let faults_arg =
+  let doc =
+    "Arm the deterministic fault-injection harness with $(docv): \
+     comma-separated rules $(b,task:SITE), $(b,cache:KIND) or \
+     $(b,pool:worker), each optionally suffixed $(b,@N) (fire only on the \
+     N-th matching occurrence) and/or $(b,%P) (fire with probability P, \
+     seeded), plus $(b,seed=N). Task sites are $(i,SCOPE/NAME) as printed \
+     by $(b,psaflow tasks), matched by substring. Example: $(b,--faults \
+     'task:FPGA/Generate oneAPI Design@1,seed=7')."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
 let apply_cache = function
   | "off" -> Cache.set_dir None
   | dir -> Cache.set_dir (Some dir)
+
+(* Exit codes of `psaflow run`: 0 all designs ok, 1 flow failed (or
+   --strict hit a task failure), 2 bad --faults spec, 3 partial (some
+   branch paths pruned, at least one design), 4 none (every path pruned). *)
+let exit_partial = 3
+
+let exit_none = 4
+
+let apply_faults = function
+  | None -> Ok ()
+  | Some spec -> (
+    match Util.Faultsim.parse spec with
+    | Ok s ->
+      Util.Faultsim.arm s;
+      Ok ()
+    | Error msg -> Error msg)
 
 let apply_jobs = function Some n -> Util.Pool.set_default_jobs n | None -> ()
 
@@ -147,15 +182,21 @@ let print_cache_stats () =
     let s = Cache.stats () in
     Printf.printf
       "\nevaluation cache (%s): %d memory hits, %d disk hits, %d misses, %d \
-       single-flight waits, %d errors, %d evictions, %d bytes read, %d bytes \
+       single-flight waits, %d errors%s, %d evictions, %d bytes read, %d bytes \
        written\n"
       dir s.Cache.mem_hits s.Cache.disk_hits s.Cache.misses s.Cache.waits
-      s.Cache.errors s.Cache.evictions s.Cache.bytes_read s.Cache.bytes_written;
+      s.Cache.errors
+      (if s.Cache.corrupt > 0 then Printf.sprintf ", %d corrupt" s.Cache.corrupt
+       else "")
+      s.Cache.evictions s.Cache.bytes_read s.Cache.bytes_written;
     List.iter
       (fun (kind, (k : Cache.stats)) ->
         if k.Cache.mem_hits + k.Cache.disk_hits + k.Cache.misses > 0 then
-          Printf.printf "  %-6s %4d mem, %4d disk, %4d miss\n" kind
-            k.Cache.mem_hits k.Cache.disk_hits k.Cache.misses)
+          Printf.printf "  %-6s %4d mem, %4d disk, %4d miss%s\n" kind
+            k.Cache.mem_hits k.Cache.disk_hits k.Cache.misses
+            (if k.Cache.corrupt > 0 then
+               Printf.sprintf ", %d corrupt" k.Cache.corrupt
+             else ""))
       (Cache.stats_by_kind ())
 
 let find_app slug =
@@ -210,64 +251,87 @@ let emit_designs dir (rep : Engine.report) =
     rep.Engine.rep_designs
 
 let run_cmd =
-  let run slug file scale mode quick explain why emit diff jobs interp cache trace =
+  let run slug file scale mode quick explain why emit diff jobs interp cache
+      strict faults trace =
     apply_jobs jobs;
     apply_interp interp;
     apply_cache cache;
-    with_trace trace @@ fun () ->
-    match (if file then app_of_file slug ~scale else find_app slug) with
+    match apply_faults faults with
     | Error msg ->
       prerr_endline msg;
-      1
-    | Ok app ->
-      let workload =
-        if quick then app.App.app_test_overrides else app.App.app_eval_overrides
-      in
-      (match Engine.run ~workload ~mode app with
-       | Error msg ->
-         Printf.eprintf "flow failed: %s\n" msg;
-         1
-       | Ok rep ->
-         Printf.printf "%s - %s mode, workload %s\n\n" app.App.app_name
-           (Pipeline.mode_name mode)
-           (String.concat ", "
-              (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) workload));
-         print_string (Report.decision_text rep);
-         Printf.printf "\nbaseline (single-thread CPU hotspot): %.4g s\n\n"
-           rep.Engine.rep_baseline_s;
-         print_string (Report.design_table rep);
-         if why then begin
-           print_newline ();
-           print_string (Report.why_text rep)
-         end;
-         if explain then begin
-           print_newline ();
-           print_string (Report.log_text rep);
-           print_interp_stats ();
-           print_cache_stats ();
-           print_metrics ()
-         end;
-         (match emit with Some dir -> emit_designs dir rep | None -> ());
-         if diff then begin
-           let reference = Pretty.program_to_string (App.program app) in
-           List.iter
-             (fun (d : Design.t) ->
-               Printf.printf "\n--- reference\n+++ %s\n%s"
-                 (Design.label d)
-                 (Util.Diff.unified ~old_text:reference
-                    (Pretty.program_to_string d.Design.d_program)))
-             rep.Engine.rep_designs
-         end;
-         0)
+      2
+    | Ok () -> (
+      with_trace trace @@ fun () ->
+      match (if file then app_of_file slug ~scale else find_app slug) with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok app ->
+        let workload =
+          if quick then app.App.app_test_overrides else app.App.app_eval_overrides
+        in
+        (match Engine.run ~workload ~strict ~mode app with
+         | Error msg ->
+           Printf.eprintf "flow failed: %s\n" msg;
+           1
+         | Ok rep ->
+           Printf.printf "%s - %s mode, workload %s\n\n" app.App.app_name
+             (Pipeline.mode_name mode)
+             (String.concat ", "
+                (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) workload));
+           print_string (Report.decision_text rep);
+           Printf.printf "\nbaseline (single-thread CPU hotspot): %.4g s\n\n"
+             rep.Engine.rep_baseline_s;
+           print_string (Report.design_table rep);
+           if rep.Engine.rep_failures <> [] then begin
+             print_newline ();
+             print_string (Report.failures_text rep)
+           end;
+           if why then begin
+             print_newline ();
+             print_string (Report.why_text rep)
+           end;
+           if explain then begin
+             print_newline ();
+             print_string (Report.log_text rep);
+             print_interp_stats ();
+             print_cache_stats ();
+             print_metrics ()
+           end;
+           (match emit with Some dir -> emit_designs dir rep | None -> ());
+           if diff then begin
+             let reference = Pretty.program_to_string (App.program app) in
+             List.iter
+               (fun (d : Design.t) ->
+                 Printf.printf "\n--- reference\n+++ %s\n%s"
+                   (Design.label d)
+                   (Util.Diff.unified ~old_text:reference
+                      (Pretty.program_to_string d.Design.d_program)))
+               rep.Engine.rep_designs
+           end;
+           if rep.Engine.rep_failures = [] then 0
+           else if rep.Engine.rep_designs <> [] then exit_partial
+           else exit_none))
   in
   let doc =
     "Run the PSA-flow on one benchmark (or, with --file, on any mini-C++ \
      source) and print the evaluated designs."
   in
-  Cmd.v (Cmd.info "run" ~doc)
+  let exits =
+    Cmd.Exit.info 1 ~doc:"the flow failed outright (or $(b,--strict) aborted it)."
+    :: Cmd.Exit.info 2 ~doc:"invalid $(b,--faults) specification."
+    :: Cmd.Exit.info exit_partial
+         ~doc:
+           "partial success: task failures pruned some branch paths, but at \
+            least one design was produced."
+    :: Cmd.Exit.info exit_none
+         ~doc:"total failure: every branch path was pruned; no design survived."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "run" ~doc ~exits)
     Term.(const run $ app_arg $ file_arg $ scale_arg $ mode_arg $ quick_arg
           $ explain_arg $ why_arg $ emit_arg $ diff_arg $ jobs_arg $ interp_arg
-          $ cache_arg $ trace_arg)
+          $ cache_arg $ strict_arg $ faults_arg $ trace_arg)
 
 let apps_cmd =
   let run () =

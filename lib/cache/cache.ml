@@ -4,6 +4,7 @@ type stats = {
   misses : int;
   waits : int;
   errors : int;
+  corrupt : int;
   evictions : int;
   bytes_read : int;
   bytes_written : int;
@@ -16,6 +17,7 @@ let zero_stats =
     misses = 0;
     waits = 0;
     errors = 0;
+    corrupt = 0;
     evictions = 0;
     bytes_read = 0;
     bytes_written = 0;
@@ -28,6 +30,7 @@ let add_stats a b =
     misses = a.misses + b.misses;
     waits = a.waits + b.waits;
     errors = a.errors + b.errors;
+    corrupt = a.corrupt + b.corrupt;
     evictions = a.evictions + b.evictions;
     bytes_read = a.bytes_read + b.bytes_read;
     bytes_written = a.bytes_written + b.bytes_written;
@@ -172,6 +175,19 @@ let disk_find ~kind ~version ~key =
            then raise Exit;
            let len = in_channel_length ic - pos_in ic in
            let payload = really_input_string ic len in
+           let payload =
+             (* Injected cache faults flip a payload byte after the read,
+                so the genuine digest check below rejects the entry and
+                the genuine eviction path removes it. *)
+             if Util.Faultsim.fire Util.Faultsim.Cache_site ~site:kind then
+               if len = 0 then raise Exit
+               else begin
+                 let b = Bytes.of_string payload in
+                 Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+                 Bytes.to_string b
+               end
+             else payload
+           in
            if Digest.string payload <> payload_md5 then raise Exit;
            payload
          with
@@ -251,6 +267,8 @@ module Make (V : SPEC) = struct
 
   let c_errors = metric "errors"
 
+  let c_corrupt = metric "corrupt"
+
   let c_evictions = metric "evictions"
 
   let c_bytes_read = metric "bytes_read"
@@ -265,6 +283,7 @@ module Make (V : SPEC) = struct
       misses = v c_misses;
       waits = v c_waits;
       errors = v c_errors;
+      corrupt = v c_corrupt;
       evictions = v c_evictions;
       bytes_read = v c_bytes_read;
       bytes_written = v c_bytes_written;
@@ -293,8 +312,8 @@ module Make (V : SPEC) = struct
     List.iter
       (fun c -> Obs.Metrics.Counter.set c 0)
       [
-        c_mem_hits; c_disk_hits; c_misses; c_waits; c_errors; c_evictions;
-        c_bytes_read; c_bytes_written;
+        c_mem_hits; c_disk_hits; c_misses; c_waits; c_errors; c_corrupt;
+        c_evictions; c_bytes_read; c_bytes_written;
       ]
 
   let () =
@@ -377,14 +396,19 @@ module Make (V : SPEC) = struct
                 outcome "disk-hit";
                 v
               | exception _ ->
-                Obs.Metrics.Counter.incr c_errors;
-                outcome "miss";
+                (* unmarshalling failure: the payload digest matched but
+                   the bytes do not decode — still a corrupt entry, never
+                   a hit *)
+                Obs.Metrics.Counter.incr c_corrupt;
+                outcome "corrupt";
                 compute_and_store key compute)
            | Miss ->
              outcome "miss";
              compute_and_store key compute
            | Error_miss ->
-             Obs.Metrics.Counter.incr c_errors;
-             outcome "miss";
+             (* corruption-evicted mid-run: count under corrupt, not
+                errors, so hit/miss accounting stays truthful *)
+             Obs.Metrics.Counter.incr c_corrupt;
+             outcome "corrupt";
              compute_and_store key compute))
 end

@@ -27,14 +27,36 @@
     Values cross the disk boundary via [Marshal], so cached value types
     must be closure-free.  Values served from the in-memory tier are
     physically shared between requesters and must be treated as
-    read-only (the same caveat as {!Memo}). *)
+    read-only (the same caveat as {!Memo}).
+
+    {2 Key versioning invariant}
+
+    Every instance carries a {!SPEC.version}; an entry is only ever
+    replayed under the exact [(kind, version)] it was recorded with.
+    Whenever the cached value type, the serialization, or the semantics
+    of the computation change, the version {e must} be bumped — stale
+    entries then read as plain misses (never as corruption) and age out
+    via eviction.  Keys themselves must already encode every input the
+    computation depends on; the version covers what keys cannot: the
+    meaning of the computation.
+
+    {2 Failure accounting}
+
+    A disk entry that fails its digest or header validation, or that no
+    longer unmarshals, is {e corruption}: the entry is deleted, the
+    lookup is recomputed, and the per-kind [cache.<kind>.corrupt]
+    counter is incremented — it is never reported as a hit.  [errors]
+    is reserved for failed writes.  Deterministic read corruption can be
+    injected with {!Util.Faultsim} ([--faults cache:<kind>]) to exercise
+    this path. *)
 
 type stats = {
   mem_hits : int;        (** served from the in-memory tier *)
   disk_hits : int;       (** served from the on-disk tier *)
   misses : int;          (** computed by the caller *)
   waits : int;           (** single-flight: blocked on another worker's computation *)
-  errors : int;          (** corrupted/mismatched disk entries treated as misses, and failed writes *)
+  errors : int;          (** failed disk writes *)
+  corrupt : int;         (** corrupted/mismatched disk entries, evicted and recomputed *)
   evictions : int;       (** disk entries removed by the size cap *)
   bytes_read : int;      (** payload bytes unmarshalled from disk *)
   bytes_written : int;   (** payload bytes written to disk *)

@@ -3,7 +3,17 @@
     An artifact carries the evolving program, the workload, every fact the
     analysis tasks have accrued, and (once a branch has specialised it) the
     state of the target-specific design.  Tasks are pure functions from
-    artifact to artifact; branch-point strategies read the facts. *)
+    artifact to artifact; branch-point strategies read the facts.
+
+    {2 Determinism invariant}
+
+    An artifact is a pure function of [(app, workload, flow path)].  Every
+    field — including the "timing" facts like [art_t_cpu_single], which
+    come from deterministic interpretation and analytic device models, not
+    wall-clock measurement — is reproducible bit-for-bit, and nothing
+    records scheduling, domain ids, or real time.  This is what lets flow
+    outputs stay byte-identical at any [--jobs] level and lets the
+    evaluation cache replay artifacts safely across runs. *)
 
 (** Target-specific design state, filled in along a branch. *)
 type design_state = {

@@ -8,6 +8,7 @@ type report = {
   rep_decision : Psa.decision;
   rep_baseline_s : float;
   rep_designs : Design.t list;
+  rep_failures : Graph.failure list;
 }
 
 let flow_span name app f =
@@ -16,7 +17,30 @@ let flow_span name app f =
     ~name ~kind:Obs.Trace.Flow
     (fun _ -> f ())
 
-let run ?psa_config ?workload ~mode app =
+(* An assemble-phase failure (design validation, feasibility modelling)
+   prunes its outcome exactly as a task failure would: record a terminal
+   Sfailed step on the outcome's trail and keep the siblings. *)
+let assemble_failure (oc : Graph.outcome) (f : Resilience.failure) =
+  let sfailed =
+    Prov.Sfailed
+      {
+        sf_task = "Assemble Design";
+        sf_class = Resilience.class_label f.Resilience.f_class;
+        sf_attempts = f.Resilience.f_attempts;
+        sf_msg = f.Resilience.f_msg;
+      }
+  in
+  let art = Artifact.add_prov oc.Graph.oc_artifact sfailed in
+  {
+    Graph.fl_path = oc.Graph.oc_path;
+    fl_failure = f;
+    fl_prov = art.Artifact.art_prov;
+  }
+
+let assemble_site (oc : Graph.outcome) =
+  "assemble/" ^ String.concat "/" (List.map snd oc.Graph.oc_path)
+
+let run ?psa_config ?workload ?(strict = false) ~mode app =
   flow_span ("flow " ^ app.App.app_name) app @@ fun () ->
   let workload = Option.value workload ~default:app.App.app_eval_overrides in
   let art0 = Artifact.create app ~workload in
@@ -42,24 +66,41 @@ let run ?psa_config ?workload ~mode app =
     | Some o -> Ok o
     | None -> Error "analysis did not capture the reference output"
   in
-  let* outcomes =
+  (* The resilience step budget (when the policy arms one) covers the
+     branch fan-out only: a blown budget there prunes one path.  The
+     target-independent phase and design assembly run uncapped — they
+     have no sibling paths to fall back on. *)
+  let* outcomes, pruned =
     flow_span "branch fan-out" app (fun () ->
-        Graph.run (Pipeline.branch_a ?psa_config mode) analysed)
+        Resilience.with_step_cap (fun () ->
+            let node = Pipeline.branch_a ?psa_config mode in
+            if strict then
+              Result.map (fun ocs -> (ocs, [])) (Graph.run node analysed)
+            else
+              Result.map
+                (fun r -> (r.Graph.rr_outcomes, r.Graph.rr_pruned))
+                (Graph.run_tolerant node analysed)))
   in
   let reference_program = App.program app in
-  let* designs =
+  let* designs, pruned =
     flow_span "assemble designs" app @@ fun () ->
     let folded =
       List.fold_left
         (fun acc oc ->
-          let* acc = acc in
-          let* d =
-            Design.of_outcome ~app ~reference_program ~baseline_s ~reference_output oc
-          in
-          Ok (d :: acc))
-        (Ok []) outcomes
+          let* designs, pruned = acc in
+          match
+            Resilience.supervise ~site:(assemble_site oc) (fun () ->
+                Design.of_outcome ~app ~reference_program ~baseline_s
+                  ~reference_output oc)
+          with
+          | Ok d -> Ok (d :: designs, pruned)
+          | Error f when not strict ->
+            Ok (designs, assemble_failure oc f :: pruned)
+          | Error f -> Error f.Resilience.f_msg)
+        (Ok ([], List.rev pruned))
+        outcomes
     in
-    Result.map List.rev folded
+    Result.map (fun (ds, fs) -> (List.rev ds, List.rev fs)) folded
   in
   Ok
     {
@@ -70,6 +111,7 @@ let run ?psa_config ?workload ~mode app =
       rep_decision = decision;
       rep_baseline_s = baseline_s;
       rep_designs = designs;
+      rep_failures = pruned;
     }
 
 let best_design report =

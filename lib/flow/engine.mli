@@ -3,7 +3,25 @@
 
     The informed mode reproduces the paper's "Informed" experiments
     (branch point A decides one target); the uninformed mode takes every
-    path, generating all five designs. *)
+    path, generating all five designs.
+
+    {2 Failure model}
+
+    By default the engine is {e fault-tolerant}: a task failure during
+    the branch fan-out (after {!Resilience} retries) prunes only the
+    branch path that hit it — surviving paths still produce designs, and
+    each pruned path is reported in [rep_failures] with a provenance
+    trail ending in {!Prov.Sfailed}.  With [~strict:true] any failure
+    aborts the run ([psaflow run --strict]).  The target-independent
+    phase is always fail-fast: there is exactly one path, so nothing
+    survives pruning it.
+
+    {2 Determinism invariant}
+
+    With no faults injected and no failures, the report — designs,
+    trails, logs — is byte-identical at every [--jobs] level and for
+    both values of [~strict]; parallel scheduling is never observable in
+    outputs. *)
 
 type report = {
   rep_app : App.t;
@@ -13,15 +31,19 @@ type report = {
   rep_decision : Psa.decision;        (** Fig. 3 strategy verdict (also computed in uninformed mode, for reporting) *)
   rep_baseline_s : float;             (** single-thread CPU hotspot time *)
   rep_designs : Design.t list;        (** in branch order *)
+  rep_failures : Graph.failure list;  (** pruned paths: fan-out failures in branch order, then assemble failures *)
 }
 
 val run :
   ?psa_config:Psa.config ->
   ?workload:(string * int) list ->
+  ?strict:bool ->
   mode:Pipeline.mode ->
   App.t ->
   (report, string) result
-(** Default workload: the app's evaluation workload. *)
+(** Default workload: the app's evaluation workload.  [~strict] (default
+    [false]) restores fail-fast: the first task failure aborts the run
+    instead of pruning its branch. *)
 
 val best_design : report -> Design.t option
 (** Fastest feasible design (the paper's "Auto-Selected" bar under the

@@ -19,6 +19,17 @@ type outcome = {
   oc_artifact : Artifact.t;
 }
 
+type failure = {
+  fl_path : (string * string) list;
+  fl_failure : Resilience.failure;
+  fl_prov : Prov.step list;
+}
+
+type run_result = {
+  rr_outcomes : outcome list;
+  rr_pruned : failure list;
+}
+
 let ( let* ) = Result.bind
 
 let select ?(reasons = []) paths = Ok { sel_paths = paths; sel_reasons = reasons }
@@ -26,32 +37,71 @@ let select ?(reasons = []) paths = Ok { sel_paths = paths; sel_reasons = reasons
 (* recognised physically by [run_node]: take every path of the branch *)
 let select_all _art = Ok { sel_paths = []; sel_reasons = [] }
 
-(* Concatenate per-element results in input order, surfacing the first
-   error in input order — the same answer the old sequential
-   short-circuiting fold produced, but linear (no [acc @ outs]) and
+(* Concatenate per-element (outcomes, failures) results in input order,
+   surfacing the first error in input order — the same answer a
+   sequential short-circuiting fold would produce, but linear and
    applicable to an already-computed list of results. *)
 let concat_results results =
   let folded =
     List.fold_left
       (fun acc r ->
-        let* acc = acc in
-        let* outs = r in
-        Ok (outs :: acc))
-      (Ok []) results
+        let* ocs, fls = acc in
+        let* outs, fails = r in
+        Ok (outs :: ocs, fails :: fls))
+      (Ok ([], []))
+      results
   in
-  Result.map (fun groups -> List.concat (List.rev groups)) folded
+  Result.map
+    (fun (ocs, fls) ->
+      (List.concat (List.rev ocs), List.concat (List.rev fls)))
+    folded
 
-let rec run_node node (oc : outcome) : (outcome list, string) result =
+(* Every task application crosses one supervised boundary.  In tolerant
+   mode a final failure prunes this artifact's path: the outcome
+   disappears from the result, and a terminal [Prov.Sfailed] step is
+   recorded on the failure's trail for `--why`.  In fail-fast mode the
+   failure aborts the run with the task's own error message, exactly as
+   the unsupervised executor did. *)
+let rec run_node ~tolerant node (oc : outcome) :
+    (outcome list * failure list, string) result =
   match node with
-  | Task t ->
-    let* art = Task_cache.apply t oc.oc_artifact in
-    Ok [ { oc with oc_artifact = art } ]
+  | Task t -> (
+    match
+      Resilience.supervise ~site:(Task.site t) (fun () ->
+          Task_cache.apply t oc.oc_artifact)
+    with
+    | Ok art -> Ok ([ { oc with oc_artifact = art } ], [])
+    | Error f when tolerant ->
+      let art =
+        Artifact.add_prov oc.oc_artifact
+          (Prov.Sfailed
+             {
+               sf_task = t.Task.name;
+               sf_class = Resilience.class_label f.Resilience.f_class;
+               sf_attempts = f.Resilience.f_attempts;
+               sf_msg = f.Resilience.f_msg;
+             })
+      in
+      Ok
+        ( [],
+          [
+            {
+              fl_path = oc.oc_path;
+              fl_failure = f;
+              fl_prov = art.Artifact.art_prov;
+            };
+          ] )
+    | Error f -> Error f.Resilience.f_msg)
   | Seq nodes ->
     let step acc node =
-      let* outcomes = acc in
-      concat_results (Util.Pool.map (fun oc -> run_node node oc) outcomes)
+      let* outcomes, fails = acc in
+      let* outs, fails' =
+        concat_results
+          (Util.Pool.map (fun oc -> run_node ~tolerant node oc) outcomes)
+      in
+      Ok (outs, fails @ fails')
     in
-    List.fold_left step (Ok [ oc ]) nodes
+    List.fold_left step (Ok ([ oc ], [])) nodes
   | Branch bp ->
     Obs.Trace.with_span ~name:("branch " ^ bp.bp_name) ~kind:Obs.Trace.Branch
       (fun sp ->
@@ -95,10 +145,16 @@ let rec run_node node (oc : outcome) : (outcome list, string) result =
                    oc_artifact = art;
                  }
                in
-               run_node node tagged)
+               run_node ~tolerant node tagged)
              available))
 
-let run node art = run_node node { oc_path = []; oc_artifact = art }
+let run node art =
+  Result.map fst (run_node ~tolerant:false node { oc_path = []; oc_artifact = art })
+
+let run_tolerant node art =
+  Result.map
+    (fun (ocs, fails) -> { rr_outcomes = ocs; rr_pruned = fails })
+    (run_node ~tolerant:true node { oc_path = []; oc_artifact = art })
 
 let rec with_select node ~branch select =
   match node with

@@ -32,11 +32,39 @@ type outcome = {
   oc_artifact : Artifact.t;
 }
 
+(** A path pruned by a task failure during a tolerant run. *)
+type failure = {
+  fl_path : (string * string) list;
+      (** branch decisions taken before the failure *)
+  fl_failure : Resilience.failure;
+  fl_prov : Prov.step list;
+      (** the pruned path's trail, ending in its {!Prov.Sfailed} step *)
+}
+
+type run_result = {
+  rr_outcomes : outcome list;  (** surviving paths, in branch order *)
+  rr_pruned : failure list;  (** pruned paths, in branch order *)
+}
+
 val run : node -> Artifact.t -> (outcome list, string) result
-(** Execute the flow.  A sequence threads each outcome through the
-    remaining nodes; a branch fans out.  The first task error aborts the
-    whole run (analysis/codegen failures are flow bugs); a branch strategy
-    may select zero paths, pruning that artifact. *)
+(** Execute the flow fail-fast.  A sequence threads each outcome through
+    the remaining nodes; a branch fans out.  The first task failure (in
+    input order, after {!Resilience} retries are exhausted) aborts the
+    whole run with the task's error message; a branch strategy may select
+    zero paths, pruning that artifact.
+
+    Determinism invariant: outcomes are returned in branch-definition
+    order regardless of the parallel schedule, so [run] at any [--jobs]
+    level returns exactly the sequential result. *)
+
+val run_tolerant : node -> Artifact.t -> (run_result, string) result
+(** Like {!run}, but a task failure prunes only the artifact that hit it:
+    the failing path is dropped from [rr_outcomes] and recorded in
+    [rr_pruned] with a trail ending in {!Prov.Sfailed}, while sibling
+    branch paths continue.  Structural errors (a strategy selecting an
+    unknown path) still abort — they are flow bugs, not task faults.
+    With no failures, [rr_outcomes] is byte-identical to what {!run}
+    returns. *)
 
 val select : ?reasons:string list -> string list -> (selection, string) result
 (** Convenience constructor for strategy results. *)

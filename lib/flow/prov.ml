@@ -20,6 +20,12 @@ type step =
       sd_points : int;
       sd_best : string;
     }
+  | Sfailed of {
+      sf_task : string;
+      sf_class : string;
+      sf_attempts : int;
+      sf_msg : string;
+    }
 
 let cache_status_label = function
   | Hit -> "cache hit"
@@ -43,6 +49,11 @@ let render steps =
           (String.concat ", " b.sb_alternatives)
           (String.concat ", " b.sb_chosen);
         List.iter (fun r -> line "      - %s" r) b.sb_reasons
-      | Sdse d -> line "%2d. dse    %s: %d points -> %s" (i + 1) d.sd_tag d.sd_points d.sd_best)
+      | Sdse d -> line "%2d. dse    %s: %d points -> %s" (i + 1) d.sd_tag d.sd_points d.sd_best
+      | Sfailed f ->
+        line "%2d. failed %s (%s after %d attempt%s) — branch pruned" (i + 1)
+          f.sf_task f.sf_class f.sf_attempts
+          (if f.sf_attempts = 1 then "" else "s");
+        line "      ! %s" f.sf_msg)
     steps;
   Buffer.contents buf

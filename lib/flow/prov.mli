@@ -31,6 +31,17 @@ type step =
       sd_points : int;  (** design points examined *)
       sd_best : string;  (** winning configuration, human-readable *)
     }
+  | Sfailed of {
+      sf_task : string;  (** the task that gave up *)
+      sf_class : string;  (** {!Resilience.class_label} of the failure *)
+      sf_attempts : int;  (** attempts consumed before pruning *)
+      sf_msg : string;  (** underlying error message *)
+    }
+      (** Terminal step of a pruned branch: the task failed after its
+          retry budget, so no design was produced on this path.  Recorded
+          by tolerant runs ({!Graph.run_tolerant}); never present in a
+          trail that produced a design, and never cached (failed task
+          applications are not stored in the task cache). *)
 
 val cache_status_label : cache_status -> string
 

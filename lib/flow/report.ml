@@ -37,6 +37,11 @@ let log_text (rep : Engine.report) =
    byte-identical text whatever the cache temperature or job count, so
    only the per-step cache statuses (legitimately run-dependent) vary
    between cold and warm runs of the same command. *)
+let pruned_label (f : Graph.failure) =
+  match f.Graph.fl_path with
+  | [] -> f.Graph.fl_failure.Resilience.f_site
+  | path -> String.concat "/" (List.map snd path)
+
 let why_text (rep : Engine.report) =
   let buf = Buffer.create 1024 in
   List.iter
@@ -47,6 +52,30 @@ let why_text (rep : Engine.report) =
       Buffer.add_string buf (Prov.render d.Design.d_prov);
       Buffer.add_char buf '\n')
     rep.Engine.rep_designs;
+  (* pruned paths render after the designs, so a failure-free report is
+     byte-identical to one produced before failures existed *)
+  List.iter
+    (fun (f : Graph.failure) ->
+      Buffer.add_string buf
+        (Printf.sprintf "why %s (pruned):\n" (pruned_label f));
+      Buffer.add_string buf (Prov.render f.Graph.fl_prov);
+      Buffer.add_char buf '\n')
+    rep.Engine.rep_failures;
+  Buffer.contents buf
+
+let failures_text (rep : Engine.report) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (f : Graph.failure) ->
+      let fl = f.Graph.fl_failure in
+      Buffer.add_string buf
+        (Printf.sprintf "pruned %-18s %s at %s after %d attempt%s: %s\n"
+           (pruned_label f)
+           (Resilience.class_label fl.Resilience.f_class)
+           fl.Resilience.f_site fl.Resilience.f_attempts
+           (if fl.Resilience.f_attempts = 1 then "" else "s")
+           fl.Resilience.f_msg))
+    rep.Engine.rep_failures;
   Buffer.contents buf
 
 let summary_line (rep : Engine.report) =

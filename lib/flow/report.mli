@@ -13,9 +13,14 @@ val log_text : Engine.report -> string
 val why_text : Engine.report -> string
 (** Per-design provenance trails ([psaflow --why]): ordered tasks with
     cache status, branch decisions with their reasons, DSE sweeps with
-    point counts.  Timing-free, so a given flow renders deterministically
-    regardless of parallelism; only cache statuses differ between cold
-    and warm runs. *)
+    point counts.  Pruned paths (if any) follow the designs, each trail
+    ending in its {!Prov.Sfailed} step.  Timing-free, so a given flow
+    renders deterministically regardless of parallelism; only cache
+    statuses differ between cold and warm runs. *)
+
+val failures_text : Engine.report -> string
+(** One line per pruned path: where it failed, the failure class,
+    attempts consumed, and the error.  Empty for a clean run. *)
 
 val summary_line : Engine.report -> string
 (** One line: app, chosen branch, best design and speedup. *)

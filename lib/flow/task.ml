@@ -19,11 +19,6 @@ type t = {
 let make ~name ~kind ~scope ?(dynamic = false) run =
   { name; kind; scope; dynamic; run }
 
-let apply t art =
-  match t.run art with
-  | Ok art' -> Ok (Artifact.logf art' "[%s]" t.name)
-  | Error msg -> Error (Printf.sprintf "%s: %s" t.name msg)
-
 let kind_letter = function
   | Analysis -> "A"
   | Transform -> "T"
@@ -37,3 +32,13 @@ let scope_label = function
   | Gpu_scope -> "GPU"
   | Gpu_device d -> "GPU-" ^ d
   | Cpu_omp -> "CPU-OMP"
+
+let site t = scope_label t.scope ^ "/" ^ t.name
+
+let apply t art =
+  if Util.Faultsim.fire Util.Faultsim.Task_site ~site:(site t) then
+    Error (Printf.sprintf "%s: injected fault" t.name)
+  else
+    match t.run art with
+    | Ok art' -> Ok (Artifact.logf art' "[%s]" t.name)
+    | Error msg -> Error (Printf.sprintf "%s: %s" t.name msg)

@@ -30,9 +30,20 @@ val make :
 
 val apply : t -> Artifact.t -> (Artifact.t, string) result
 (** Run the task, appending its name to the artifact log on success and
-    prefixing it to the error on failure. *)
+    prefixing it to the error on failure.  This is also the fault
+    boundary: an armed {!Util.Faultsim} rule matching the task's
+    {!site} makes the application fail without running it (cached
+    applications that never reach [apply] are not faultable — the cache
+    is authoritative for work it has already validated). *)
 
 val kind_letter : kind -> string
 (** "A" / "T" / "CG" / "O", the Fig. 4 classification letters. *)
 
 val scope_label : scope -> string
+(** "T-INDEP", "FPGA", "FPGA-A10", "GPU", "GPU-2080", "CPU-OMP", ... *)
+
+val site : t -> string
+(** ["<scope_label>/<name>"] — the name supervised task boundaries and
+    fault-injection rules match against, unique per task instance in the
+    flow (e.g. ["FPGA/Generate oneAPI Design"], ["GPU-2080/Block-size
+    DSE"]). *)

@@ -108,9 +108,28 @@ let record_run steps seconds =
   Obs.Metrics.Counter.add m_steps steps;
   Obs.Metrics.Gauge.add m_seconds seconds
 
+(* ---- resilience step cap ---- *)
+
+(* When armed (flow resilience policies with a per-task step budget),
+   every run's max_steps is clamped to this value.  A capped run that
+   completes is identical to the uncapped run — the cap only affects
+   whether Step_limit_exceeded fires — so the cap does not belong in
+   memoization keys and capped results replay safely. *)
+let the_step_cap : int option Atomic.t = Atomic.make None
+
+let set_step_cap c = Atomic.set the_step_cap (Option.map (max 1) c)
+
+let step_cap () = Atomic.get the_step_cap
+
+let effective_config config =
+  match Atomic.get the_step_cap with
+  | None -> config
+  | Some cap -> { config with max_steps = min config.max_steps cap }
+
 (* ---- execution ---- *)
 
 let run ?(config = default_config) ?backend (program : Ast.program) : result =
+  let config = effective_config config in
   let backend = match backend with Some b -> b | None -> default_backend () in
   Obs.Trace.with_span
     ~attrs:[ ("backend", Obs.Trace.Str (backend_name backend)) ]

@@ -4,7 +4,14 @@
     Instruments are created on first use and live for the process; looking
     up an existing name returns the same instrument (a name registered as
     one instrument class cannot be re-registered as another).  All update
-    paths are safe to call concurrently from pool workers. *)
+    paths are safe to call concurrently from pool workers.
+
+    Metrics are write-only from the flow's point of view: library code
+    updates instruments but never branches on their values, so the
+    registry cannot perturb flow results.  Counter totals (e.g.
+    [flow.retries], [cache.<kind>.disk_hits]) may legitimately differ
+    between [--jobs] levels or cold/warm cache runs even though the flow
+    outputs are byte-identical. *)
 
 module Counter : sig
   type t

@@ -5,7 +5,12 @@
     relative to process start, which keeps trace timestamps small and
     makes every subsystem measure wall-clock from the same source.
     Per-domain monotonicity of trace timestamps is enforced separately
-    by clamping in {!Trace}. *)
+    by clamping in {!Trace}.
+
+    This clock is for {e observation only} — span timestamps, bench
+    section timings, and the advisory wall-clock deadlines of the flow's
+    resilience policy.  Flow results never depend on it: deterministic
+    timeouts use interpreter step budgets instead. *)
 
 val now_s : unit -> float
 (** Seconds since process start. *)

@@ -12,7 +12,25 @@
     they were recorded at, so the exported stream is balanced by the stack
     discipline of [with_span] even when clock resolution makes sibling
     spans collide on the same timestamp.  Timestamps are clamped to be
-    non-decreasing per domain track. *)
+    non-decreasing per domain track.
+
+    {2 Span nesting rules}
+
+    - Spans {e strictly nest} within a domain track: {!with_span} is the
+      only way to open one, so a span closes after every span opened
+      inside its body ([E] events close the most recent open [B] with the
+      same name — what {!Trace_json.validate} checks).
+    - A span begins and ends on the domain that opened it.  Work handed
+      to {!Util.Pool} workers opens {e new} spans on the worker's track;
+      a span never migrates between tracks, so per-track balance holds
+      even under work stealing.
+    - A span closes exactly once, including when the body raises.
+    - {!add_attr} only mutates a live (un-closed) span; attributes become
+      visible on the span's [E] event.
+
+    Tracing never influences flow results: spans carry no data back into
+    the computation, so enabling or disabling the tracer leaves outputs
+    byte-identical. *)
 
 type kind =
   | Task  (** one flow-task application *)

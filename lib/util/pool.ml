@@ -39,6 +39,8 @@ let rec take_spare want =
 
 let release_spare n = if n > 0 then ignore (Atomic.fetch_and_add spare n)
 
+let worker_failures = lazy (Obs.Metrics.counter "pool.worker_failures")
+
 (* Run [f] over [input] on [extra + 1] domains (the caller participates).
    Work is handed out by an atomic cursor; each slot records either the
    result or the exception (with backtrace) of its element. *)
@@ -55,24 +57,39 @@ let parallel_run f input extra =
         ~name:"pool-item" ~kind:Obs.Trace.Pool
         (fun _ -> f x)
   in
+  let capture i x =
+    match apply i x with
+    | v -> Ok v
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
   let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        let slot =
-          match apply i input.(i) with
-          | v -> Ok v
-          | exception e -> Error (e, Printexc.get_raw_backtrace ())
-        in
-        results.(i) <- Some slot;
+        (* Injected pool faults kill the worker between claiming an item
+           and computing it — the worst spot: the item is lost unless the
+           recovery scan below picks it up. *)
+        if Faultsim.fire Faultsim.Pool_site ~site:"worker" then
+          raise (Faultsim.Crash (Printf.sprintf "pool worker died on item %d" i));
+        results.(i) <- Some (capture i input.(i));
         loop ()
       end
     in
-    loop ()
+    try loop ()
+    with Faultsim.Crash _ ->
+      Obs.Metrics.Counter.incr (Lazy.force worker_failures)
   in
   let domains = List.init extra (fun _ -> Domain.spawn worker) in
   worker ();
   List.iter Domain.join domains;
+  (* Recover items lost to crashed workers: recompute them inline, in
+     input order, so results stay byte-identical even under pool faults. *)
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some _ -> ()
+      | None -> results.(i) <- Some (capture i input.(i)))
+    results;
   (* Re-raise the first failure in input order, as a sequential map
      would have surfaced it. *)
   Array.iter

@@ -13,7 +13,24 @@
     paths in parallel — can never oversubscribe the machine or deadlock:
     when no spare domain is available the map simply degrades to the
     sequential path.  With [set_default_jobs 1] every call takes the
-    sequential path, which is the reference semantics. *)
+    sequential path, which is the reference semantics.
+
+    {2 Determinism invariant}
+
+    For a pure [f], the value returned by [map f xs] is the same for
+    every job count — input order is preserved, the first failure in
+    input order wins, and work-stealing order is never observable.  The
+    rest of the repo relies on this: [psaflow run --jobs N] must emit
+    byte-identical output for every [N].
+
+    {2 Worker failure}
+
+    A worker killed by an injected pool fault ({!Faultsim.Crash}, armed
+    via [--faults pool:worker]) is not fatal: after the surviving
+    workers drain the queue, any work item lost with the dead worker is
+    recomputed inline by the submitting domain, in input order, so the
+    result is still byte-identical to the fault-free run.  Each death
+    increments the [pool.worker_failures] counter. *)
 
 type t
 (** A pool descriptor: a requested degree of parallelism. *)

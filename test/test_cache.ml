@@ -96,7 +96,10 @@ let test_corrupted_entry_is_a_miss () =
       Cache.clear_memory ();
       checki "recomputed" 7 (Ints.find_or_compute ~key:"c" (compute 7));
       checki "two computations" 2 !count;
-      check "errors counted" true ((Ints.stats ()).Cache.errors >= 1);
+      let s = Ints.stats () in
+      check "corruption counted" true (s.Cache.corrupt >= 1);
+      checki "not a hit, not a write error" 0 s.Cache.errors;
+      checki "no disk hit from the corrupted entry" 0 s.Cache.disk_hits;
       (* the recompute rewrote a valid entry *)
       Cache.clear_memory ();
       checki "disk hit after rewrite" 7 (Ints.find_or_compute ~key:"c" (compute 0));
@@ -124,7 +127,8 @@ let test_version_mismatch_is_a_miss () =
       copy (entry_path ~version:1 ~key:"v") (entry_path ~version:2 ~key:"v");
       checki "recomputed under v2" 11 (Ints_v2.find_or_compute ~key:"v" (compute 11));
       checki "two computations" 2 !count;
-      check "mismatch counted as error" true ((Ints_v2.stats ()).Cache.errors >= 1))
+      check "mismatch counted as corruption" true
+        ((Ints_v2.stats ()).Cache.corrupt >= 1))
 
 let test_relabelled_key_is_a_miss () =
   with_cache_dir (fun _dir ->

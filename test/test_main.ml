@@ -14,6 +14,7 @@ let () =
       ("dse", Test_dse.suite);
       ("apps", Test_apps.suite);
       ("flow", Test_flow.suite);
+      ("resilience", Test_resilience.suite);
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);
     ]
