@@ -14,11 +14,13 @@
    - every wall-clock section present in both files may regress by at
      most 20% (lower is better);
    - every "statements_per_sec" entry present in both files may regress
-     by at most 20% (higher is better);
+     by at most 10% per backend (higher is better);
    - the current compiled-backend throughput must be at least 3x the
-     baseline walker throughput (the committed seed baseline was produced
-     with --interp ast, so its "ast" entry is the pre-compilation
-     interpreter on the recording host).
+     baseline walker throughput (the committed seed's "ast" entry is the
+     reference tree walker on the recording host);
+   - the current vm-backend throughput must be at least 3x the current
+     compiled-backend throughput (the superinstruction VM's reason to
+     exist on the DSE hot path).
 
    Exit status 1 on any violation, 0 otherwise.  The JSON reader below is
    a minimal recursive-descent parser for the subset bench emits (objects,
@@ -159,6 +161,10 @@ let num_members j =
 
 let tolerance = 0.20
 
+(* throughput is measured over tens of millions of statements, so it is
+   far less noisy than wall-clock sections: gate each backend tighter *)
+let throughput_tolerance = 0.10
+
 (* sections this fast are dominated by scheduling noise; report but never
    gate on them *)
 let section_floor_s = 0.05
@@ -265,11 +271,12 @@ let run_regressions current_path baseline_path =
       match List.assoc_opt name cur_tp with
       | None -> ()
       | Some cur_sps ->
-        if base_sps > 0.0 && cur_sps < base_sps *. (1.0 -. tolerance) then
+        if base_sps > 0.0 && cur_sps < base_sps *. (1.0 -. throughput_tolerance)
+        then
           report "throughput %-8s %.2e -> %.2e stmts/s (%.0f%%, limit -%.0f%%)" name
             base_sps cur_sps
             ((cur_sps /. base_sps -. 1.0) *. 100.0)
-            (tolerance *. 100.0)
+            (throughput_tolerance *. 100.0)
         else
           Printf.printf "ok    throughput %-8s %.2e -> %.2e stmts/s\n" name base_sps
             cur_sps)
@@ -281,6 +288,16 @@ let run_regressions current_path baseline_path =
      if ratio < 3.0 then
        report "compiled backend only %.2fx the seed walker (needs >= 3x)" ratio
      else Printf.printf "ok    compiled backend %.2fx the seed walker (>= 3x)\n" ratio
+   | _ -> ());
+  (* and the VM must hold its >= 3x win over the compiled closures,
+     measured within the same run so host speed cancels out *)
+  (match List.assoc_opt "compiled" cur_tp, List.assoc_opt "vm" cur_tp with
+   | Some cur_compiled, Some cur_vm when cur_compiled > 0.0 ->
+     let ratio = cur_vm /. cur_compiled in
+     if ratio < 3.0 then
+       report "vm backend only %.2fx the compiled backend (needs >= 3x)" ratio
+     else
+       Printf.printf "ok    vm backend %.2fx the compiled backend (>= 3x)\n" ratio
    | _ -> ())
 
 let () =

@@ -55,12 +55,15 @@ let jobs_arg =
 
 let interp_arg =
   let doc =
-    "Interpreter backend: $(b,compiled) (default; one-shot closure \
-     compilation) or $(b,ast) (reference tree walker). Both produce \
-     bit-identical results; ast exists as the semantic oracle and for \
+    "Interpreter backend: $(b,vm) (default; superinstruction VM over the \
+     typed flat IR), $(b,compiled) (one-shot closure compilation) or \
+     $(b,ast) (reference tree walker). All three produce bit-identical \
+     results; the slower backends exist as semantic oracles and for \
      debugging."
   in
-  let backend_conv = Arg.enum [ ("ast", `Ast); ("compiled", `Compiled) ] in
+  let backend_conv =
+    Arg.enum [ ("ast", `Ast); ("compiled", `Compiled); ("vm", `Vm) ]
+  in
   Arg.(value & opt (some backend_conv) None & info [ "interp" ] ~docv:"BACKEND" ~doc)
 
 let trace_arg =

@@ -30,8 +30,17 @@ let decision_text (rep : Engine.report) =
   Printf.sprintf "branch A decision: %s\n%s\n" d.Psa.dec_path
     (String.concat "\n" (List.map (fun r -> "  - " ^ r) d.Psa.dec_reasons))
 
+(* Every run-shaped text names the backend that interpreted the programs:
+   a pure function of process configuration, so the line is byte-identical
+   whatever the job count or cache temperature. *)
+let backend_line () =
+  Printf.sprintf "interpreter backend: %s\n"
+    (Machine.backend_name (Machine.default_backend ()))
+
 let log_text (rep : Engine.report) =
-  String.concat "\n" rep.Engine.rep_analysed.Artifact.art_log ^ "\n"
+  backend_line ()
+  ^ String.concat "\n" rep.Engine.rep_analysed.Artifact.art_log
+  ^ "\n"
 
 (* Deliberately timing-free: the same seed and flow must render
    byte-identical text whatever the cache temperature or job count, so
@@ -44,6 +53,7 @@ let pruned_label (f : Graph.failure) =
 
 let why_text (rep : Engine.report) =
   let buf = Buffer.create 1024 in
+  Buffer.add_string buf (backend_line ());
   List.iter
     (fun (d : Design.t) ->
       Buffer.add_string buf

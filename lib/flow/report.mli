@@ -8,15 +8,16 @@ val decision_text : Engine.report -> string
 (** The informed PSA decision with its reasoning trail. *)
 
 val log_text : Engine.report -> string
-(** The analysed artifact's task log. *)
+(** The analysed artifact's task log, headed by the active interpreter
+    backend ([psaflow --explain]). *)
 
 val why_text : Engine.report -> string
-(** Per-design provenance trails ([psaflow --why]): ordered tasks with
-    cache status, branch decisions with their reasons, DSE sweeps with
-    point counts.  Pruned paths (if any) follow the designs, each trail
-    ending in its {!Prov.Sfailed} step.  Timing-free, so a given flow
-    renders deterministically regardless of parallelism; only cache
-    statuses differ between cold and warm runs. *)
+(** Per-design provenance trails ([psaflow --why]): the active interpreter
+    backend, then ordered tasks with cache status, branch decisions with
+    their reasons, DSE sweeps with point counts.  Pruned paths (if any)
+    follow the designs, each trail ending in its {!Prov.Sfailed} step.
+    Timing-free, so a given flow renders deterministically regardless of
+    parallelism; only cache statuses differ between cold and warm runs. *)
 
 val failures_text : Engine.report -> string
 (** One line per pruned path: where it failed, the failure class,

@@ -92,6 +92,7 @@ type fctx = {
   c_cfg : config;
   c_funcs : (string, cfunc) Hashtbl.t;
   c_globals : (string, binding) Hashtbl.t;
+  c_plan : Ir.plan;  (* lowered loops to intercept; empty for pure `Compiled *)
   mutable c_nslots : int;
 }
 
@@ -886,6 +887,21 @@ and compile_stmt_inner ctx (venv : venv) (s : stmt) : citem * venv =
     let cmp : int -> int -> bool =
       match h.cmp with CLt -> ( < ) | CLe -> ( <= )
     in
+    (* If the lowering planned this loop, bind the plan to this function's
+       frame layout once; at runtime the guard either executes the whole
+       loop on the fast path or falls through to [run_for] untouched. *)
+    let fast =
+      match Hashtbl.find_opt ctx.c_plan s.sid with
+      | None -> None
+      | Some fl ->
+        let lookup name =
+          match lookup_var ctx venv' name with
+          | Some (Bslot (i, t)) -> Some (Fastloop.Slot i, t)
+          | Some (Bglobal (c, t)) -> Some (Fastloop.Global c, t)
+          | None -> None
+        in
+        Fastloop.prepare fl ~index_slot:slot ~lookup
+    in
     let run_for st fr (a : loop_acc) =
       let rec iterate () =
         count_branch st;
@@ -907,6 +923,11 @@ and compile_stmt_inner ctx (venv : venv) (s : stmt) : citem * venv =
       in
       iterate ()
     in
+    let run_loop st fr a =
+      match fast with
+      | Some fp when Fastloop.try_run fp st fr a -> Fnormal
+      | _ -> run_for st fr a
+    in
     let sid = s.sid in
     if ctx.c_cfg.profile_loops then
       ( Cflow
@@ -916,7 +937,7 @@ and compile_stmt_inner ctx (venv : venv) (s : stmt) : citem * venv =
             a.la_entries <- a.la_entries + 1;
             let snapshot = Counters.copy st.counters in
             fr.(slot) <- Value.Vint lo;
-            let flow = run_for st fr a in
+            let flow = run_loop st fr a in
             Counters.add_into a.la_counters (Counters.diff st.counters snapshot);
             flow),
         venv )
@@ -925,7 +946,7 @@ and compile_stmt_inner ctx (venv : venv) (s : stmt) : citem * venv =
           (fun st fr ->
             let lo = lof st fr in
             fr.(slot) <- Value.Vint lo;
-            run_for st fr (dummy_loop_acc ())),
+            run_loop st fr (dummy_loop_acc ())),
         venv )
   | Return None -> (Cflow (fun _ _ -> Freturn None), venv)
   | Return (Some e0) ->
@@ -1241,7 +1262,8 @@ type cprogram = {
 
 let empty_frame : frame = [||]
 
-let compile (cfg : config) (p : program) : cprogram =
+let compile ?(plan : Ir.plan = Hashtbl.create 0) (cfg : config) (p : program) :
+    cprogram =
   let c_funcs = Hashtbl.create 16 in
   (* pass 1: function records, so call sites (including ones inside global
      initialisers) bind directly; bodies are filled in by pass 3.
@@ -1268,7 +1290,7 @@ let compile (cfg : config) (p : program) : cprogram =
         })
     (funcs p);
   let c_globals = Hashtbl.create 16 in
-  let mk_ctx () = { c_cfg = cfg; c_funcs; c_globals; c_nslots = 0 } in
+  let mk_ctx () = { c_cfg = cfg; c_funcs; c_globals; c_plan = plan; c_nslots = 0 } in
   (* pass 2: global cells and their initialiser closures.  Each initialiser
      is compiled before its own cell is registered, so self-references and
      forward references fail with "unbound variable" like the walker's
@@ -1325,8 +1347,8 @@ let compile (cfg : config) (p : program) : cprogram =
     cp_entry_name = cfg.entry;
   }
 
-let run (config : config) (p : program) : result =
-  let cp = compile config p in
+let run ?plan (config : config) (p : program) : result =
+  let cp = compile ?plan config p in
   let st = make_state config p in
   List.iter (fun init -> init st) cp.cp_ginits;
   match cp.cp_entry with

@@ -1,0 +1,417 @@
+(* Guarded executor for {!Ir.fast_loop}: the superinstruction VM's hot
+   path.  [Compile] intercepts a planned [For] right after initialising the
+   index slot; [try_run] either executes the whole loop here — unboxed
+   register files, flat op arrays, batched step/counter accounting, bounds
+   checks verified once at the endpoints — or returns [false] without any
+   observable effect, in which case the caller falls back to the reference
+   closure loop.
+
+   Soundness discipline: everything before "commit" below is read-only on
+   interpreter state (it only scribbles on [prepared] scratch), so bailing
+   out at any point — including via the [Failure] raised by dangling
+   pointers inside [Memory] accessors — leaves the slow path to reproduce
+   the walker's behaviour exactly.  After commit the loop runs to
+   completion; the only exceptions it can raise ([Runtime_error] from
+   checked accesses and division by zero) are raised at the exact point the
+   walker would raise them, with identical state. *)
+
+open Interp_rt
+
+(* Where an external name lives in the enclosing compiled function. *)
+type source = Slot of int | Global of Value.t ref
+
+type prepared = {
+  fl : Ir.fast_loop;
+  index_slot : int;
+  var_srcs : source array;  (* per fl_vars entry *)
+  arr_srcs : source array;  (* per fl_arrs entry *)
+  (* register files and per-entry scratch, reused across entries *)
+  f : float array;
+  n : int array;
+  (* the array resolution below matches the pointers currently in the
+     frame, so re-entries with unchanged pointers can skip phases 3/5 *)
+  mutable avalid : bool;
+  (* per-array resolution: base id, pointer offset, length, name, raw data *)
+  abase : int array;
+  aoff : int array;
+  alen : int array;
+  aname : string array;
+  afdata : float array array;
+  aidata : int array array;
+  adem : bool array;  (* element type is float32: stores demote *)
+  abool : bool array;  (* element type is bool: stores normalise *)
+  (* per-cursor position/stride plus the resolved data array *)
+  cpos : int array;
+  cstep : int array;
+  cfdata : float array array;
+  cidata : int array array;
+}
+
+exception Bail
+
+(* Magnitude caps under which the affine endpoint algebra below is exact
+   (no wrap-around): |index|,|bound|,|base|,|offset| <= 2^40 and
+   |coef| <= 2^20 keep every intermediate below 2^61 < max_int. *)
+let cap = 1 lsl 40
+let coef_cap = 1 lsl 20
+
+let no_f : float array = [||]
+let no_i : int array = [||]
+
+let prepare (fl : Ir.fast_loop) ~(index_slot : int)
+    ~(lookup : string -> (source * Ast.ty) option) : prepared option =
+  let ok = ref true in
+  let dummy = Slot 0 in
+  let var_srcs =
+    Array.map
+      (fun (v : Ir.var) ->
+        match lookup v.Ir.v_name with
+        | Some (src, ty) ->
+          let want =
+            match v.Ir.v_kind with
+            | Ir.Kint -> Ast.Tint
+            | Ir.Kbool -> Ast.Tbool
+            | Ir.Kfloat Ir.Psingle -> Ast.Tfloat
+            | Ir.Kfloat Ir.Pdouble -> Ast.Tdouble
+          in
+          if ty = want then src else (ok := false; dummy)
+        | None -> (ok := false; dummy))
+      fl.Ir.fl_vars
+  in
+  let arr_srcs =
+    Array.map
+      (fun (a : Ir.arr) ->
+        match lookup a.Ir.a_name with
+        | Some (src, Ast.Tptr ety) when ety = Ir.ty_of_ety a.Ir.a_ety -> src
+        | _ -> (ok := false; dummy))
+      fl.Ir.fl_arrs
+  in
+  if not !ok then None
+  else begin
+    let na = max 1 (Array.length fl.Ir.fl_arrs) in
+    let nc = max 1 (Array.length fl.Ir.fl_cursors) in
+    Some
+      {
+        fl;
+        index_slot;
+        var_srcs;
+        arr_srcs;
+        f = Array.make (max 1 fl.Ir.fl_nf) 0.0;
+        n = Array.make (max 1 fl.Ir.fl_ni) 0;
+        avalid = false;
+        abase = Array.make na (-1);
+        aoff = Array.make na 0;
+        alen = Array.make na 0;
+        aname = Array.make na "";
+        afdata = Array.make na no_f;
+        aidata = Array.make na no_i;
+        adem = Array.map (fun (a : Ir.arr) -> a.Ir.a_ety = Ir.Efloat32) fl.Ir.fl_arrs;
+        abool = Array.map (fun (a : Ir.arr) -> a.Ir.a_ety = Ir.Ebool) fl.Ir.fl_arrs;
+        cpos = Array.make nc 0;
+        cstep = Array.make nc 0;
+        cfdata = Array.make nc no_f;
+        cidata = Array.make nc no_i;
+      }
+  end
+
+(* Loop-invariant integer expressions; [Ivar] indexes the var table and is
+   guaranteed int-kinded and unwritten by the lowering. *)
+let rec ieval p (e : Ir.iexpr) : int =
+  match e with
+  | Ir.Iconst k -> k
+  | Ir.Ivar v -> p.n.(p.fl.Ir.fl_vars.(v).Ir.v_reg)
+  | Ir.Iadd (a, b) -> ieval p a + ieval p b
+  | Ir.Isub (a, b) -> ieval p a - ieval p b
+  | Ir.Imul (a, b) -> ieval p a * ieval p b
+  | Ir.Ineg a -> -ieval p a
+
+let m1 (m : Ir.m1) (x : float) : float =
+  match m with
+  | Ir.Msqrt -> sqrt x
+  | Ir.Mrsqrt -> 1.0 /. sqrt x
+  | Ir.Msin -> sin x
+  | Ir.Mcos -> cos x
+  | Ir.Mtan -> tan x
+  | Ir.Mexp -> exp x
+  | Ir.Mlog -> log x
+  | Ir.Mtanh -> tanh x
+  | Ir.Merf -> erf_approx x
+  | Ir.Mfabs -> Float.abs x
+  | Ir.Mfloor -> Float.floor x
+  | Ir.Mceil -> Float.ceil x
+
+let m2 (m : Ir.m2) (x : float) (y : float) : float =
+  match m with
+  | Ir.Mpow -> Float.pow x y
+  | Ir.Mfmin -> Float.min x y
+  | Ir.Mfmax -> Float.max x y
+
+(* Batched counter update: [k] scaled by [times] into the live counters.
+   Mirrors the per-operation count_* calls of the reference backends. *)
+let add_scaled (t : Counters.t) (k : Ir.counts) (times : int) =
+  t.Counters.int_ops <- t.Counters.int_ops + (k.Ir.k_int_ops * times);
+  t.Counters.flops_sp_add <- t.Counters.flops_sp_add + (k.Ir.k_sp_add * times);
+  t.Counters.flops_sp_mul <- t.Counters.flops_sp_mul + (k.Ir.k_sp_mul * times);
+  t.Counters.flops_sp_div <- t.Counters.flops_sp_div + (k.Ir.k_sp_div * times);
+  t.Counters.flops_sp_special <-
+    t.Counters.flops_sp_special + (k.Ir.k_sp_special * times);
+  t.Counters.flops_dp_add <- t.Counters.flops_dp_add + (k.Ir.k_dp_add * times);
+  t.Counters.flops_dp_mul <- t.Counters.flops_dp_mul + (k.Ir.k_dp_mul * times);
+  t.Counters.flops_dp_div <- t.Counters.flops_dp_div + (k.Ir.k_dp_div * times);
+  t.Counters.flops_dp_special <-
+    t.Counters.flops_dp_special + (k.Ir.k_dp_special * times);
+  t.Counters.loads <- t.Counters.loads + (k.Ir.k_loads * times);
+  t.Counters.stores <- t.Counters.stores + (k.Ir.k_stores * times);
+  t.Counters.bytes_loaded <- t.Counters.bytes_loaded + (k.Ir.k_bytes_loaded * times);
+  t.Counters.bytes_stored <- t.Counters.bytes_stored + (k.Ir.k_bytes_stored * times);
+  t.Counters.branches <- t.Counters.branches + (k.Ir.k_branches * times)
+
+let oob p (a : int) (idx : int) (loc : Loc.t) =
+  runtime_error loc "array %s: index %d out of bounds [0,%d)" p.aname.(a) idx
+    p.alen.(a)
+
+(* Flat-array dispatch loop.  Registers and cursor positions are validated
+   by construction (lowering) and by the guard (bounds), so the only
+   runtime checks left are the ones the source semantics demand: checked
+   accesses and integer division by zero. *)
+let exec p st (ops : Ir.fop array) =
+  let f = p.f and n = p.n in
+  let len = Array.length ops in
+  for k = 0 to len - 1 do
+    match Array.unsafe_get ops k with
+    | Ir.FConst (d, x) -> f.(d) <- x
+    | Ir.IConst (d, x) -> n.(d) <- x
+    | Ir.FMov (d, a) -> f.(d) <- f.(a)
+    | Ir.IMov (d, a) -> n.(d) <- n.(a)
+    | Ir.ItoF (d, a) -> f.(d) <- float_of_int n.(a)
+    | Ir.FtoI (d, a) -> n.(d) <- int_of_float f.(a)
+    | Ir.FtoB (d, a) -> n.(d) <- (if f.(a) <> 0.0 then 1 else 0)
+    | Ir.ItoB (d, a) -> n.(d) <- (if n.(a) <> 0 then 1 else 0)
+    | Ir.FDem (d, a) -> f.(d) <- Value.demote f.(a)
+    | Ir.FAdd (d, a, b) -> f.(d) <- f.(a) +. f.(b)
+    | Ir.FSub (d, a, b) -> f.(d) <- f.(a) -. f.(b)
+    | Ir.FMul (d, a, b) -> f.(d) <- f.(a) *. f.(b)
+    | Ir.FDiv (d, a, b) -> f.(d) <- f.(a) /. f.(b)
+    | Ir.FNeg (d, a) -> f.(d) <- -.f.(a)
+    | Ir.FAddS (d, a, b) -> f.(d) <- Value.demote (f.(a) +. f.(b))
+    | Ir.FSubS (d, a, b) -> f.(d) <- Value.demote (f.(a) -. f.(b))
+    | Ir.FMulS (d, a, b) -> f.(d) <- Value.demote (f.(a) *. f.(b))
+    | Ir.FDivS (d, a, b) -> f.(d) <- Value.demote (f.(a) /. f.(b))
+    | Ir.IAdd (d, a, b) -> n.(d) <- n.(a) + n.(b)
+    | Ir.ISub (d, a, b) -> n.(d) <- n.(a) - n.(b)
+    | Ir.IMul (d, a, b) -> n.(d) <- n.(a) * n.(b)
+    | Ir.INeg (d, a) -> n.(d) <- -n.(a)
+    | Ir.IDivZ (d, a, b, loc) ->
+      let y = n.(b) in
+      if y = 0 then runtime_error loc "integer division by zero";
+      n.(d) <- n.(a) / y
+    | Ir.IModZ (d, a, b, loc) ->
+      let y = n.(b) in
+      if y = 0 then runtime_error loc "modulo by zero";
+      n.(d) <- n.(a) mod y
+    | Ir.IAbs (d, a) -> n.(d) <- abs n.(a)
+    | Ir.IMin (d, a, b) ->
+      let x = n.(a) and y = n.(b) in
+      n.(d) <- (if x < y then x else y)
+    | Ir.IMax (d, a, b) ->
+      let x = n.(a) and y = n.(b) in
+      n.(d) <- (if x > y then x else y)
+    | Ir.FMath1 (m, d, a) -> f.(d) <- m1 m f.(a)
+    | Ir.FMath1S (m, d, a) -> f.(d) <- Value.demote (m1 m f.(a))
+    | Ir.FMath2 (m, d, a, b) -> f.(d) <- m2 m f.(a) f.(b)
+    | Ir.FMath2S (m, d, a, b) -> f.(d) <- Value.demote (m2 m f.(a) f.(b))
+    | Ir.Rand d -> f.(d) <- Util.Prng.uniform st.prng
+    | Ir.FLd (d, c) -> f.(d) <- p.cfdata.(c).(p.cpos.(c))
+    | Ir.FSt (c, s) -> p.cfdata.(c).(p.cpos.(c)) <- f.(s)
+    | Ir.FStDem (c, s) -> p.cfdata.(c).(p.cpos.(c)) <- Value.demote f.(s)
+    | Ir.ILd (d, c) -> n.(d) <- p.cidata.(c).(p.cpos.(c))
+    | Ir.ISt (c, s) -> p.cidata.(c).(p.cpos.(c)) <- n.(s)
+    | Ir.IStB (c, s) -> p.cidata.(c).(p.cpos.(c)) <- (if n.(s) <> 0 then 1 else 0)
+    | Ir.FLdCk (d, a, i, loc) ->
+      let idx = p.aoff.(a) + n.(i) in
+      if idx < 0 || idx >= p.alen.(a) then oob p a idx loc;
+      f.(d) <- p.afdata.(a).(idx)
+    | Ir.FStCk (a, i, s, loc) ->
+      let idx = p.aoff.(a) + n.(i) in
+      if idx < 0 || idx >= p.alen.(a) then oob p a idx loc;
+      p.afdata.(a).(idx) <- (if p.adem.(a) then Value.demote f.(s) else f.(s))
+    | Ir.ILdCk (d, a, i, loc) ->
+      let idx = p.aoff.(a) + n.(i) in
+      if idx < 0 || idx >= p.alen.(a) then oob p a idx loc;
+      n.(d) <- p.aidata.(a).(idx)
+    | Ir.IStCk (a, i, s, loc) ->
+      let idx = p.aoff.(a) + n.(i) in
+      if idx < 0 || idx >= p.alen.(a) then oob p a idx loc;
+      p.aidata.(a).(idx) <-
+        (if p.abool.(a) then (if n.(s) <> 0 then 1 else 0) else n.(s))
+    | Ir.FLdSub (d, c, b) -> f.(d) <- p.cfdata.(c).(p.cpos.(c)) -. f.(b)
+    | Ir.FLdSub2 (d, c1, c2) ->
+      f.(d) <- p.cfdata.(c1).(p.cpos.(c1)) -. p.cfdata.(c2).(p.cpos.(c2))
+    | Ir.FLdMul (d, c, b) -> f.(d) <- p.cfdata.(c).(p.cpos.(c)) *. f.(b)
+    | Ir.FLdAdd (d, c, b) -> f.(d) <- p.cfdata.(c).(p.cpos.(c)) +. f.(b)
+    | Ir.FMulAdd (d, a, b, c) -> f.(d) <- (f.(a) *. f.(b)) +. f.(c)
+    | Ir.FAddMul (d, c, a, b) -> f.(d) <- f.(c) +. (f.(a) *. f.(b))
+    | Ir.FSubMul (d, c, a, b) -> f.(d) <- f.(c) -. (f.(a) *. f.(b))
+    | Ir.FRecip (d, a) -> f.(d) <- 1.0 /. f.(a)
+    | Ir.FRsqrt (d, a) -> f.(d) <- 1.0 /. sqrt f.(a)
+    | Ir.FAccSt (c, s) ->
+      let q = p.cfdata.(c) and i = p.cpos.(c) in
+      q.(i) <- q.(i) +. f.(s)
+    | Ir.FMulAccSt (c, a, b) ->
+      let q = p.cfdata.(c) and i = p.cpos.(c) in
+      q.(i) <- q.(i) +. (f.(a) *. f.(b))
+  done
+
+let read_src (fr : Value.t array) = function
+  | Slot i -> fr.(i)
+  | Global r -> !r
+
+let attempt p st (fr : Value.t array) (acc : loop_acc) =
+  let fl = p.fl in
+  let vars = fl.Ir.fl_vars in
+  (* 1. load external scalars, strictly typed (mismatch -> slow path) *)
+  for k = 0 to Array.length vars - 1 do
+    let v = vars.(k) in
+    match v.Ir.v_kind, read_src fr p.var_srcs.(k) with
+    | Ir.Kint, Value.Vint x -> p.n.(v.Ir.v_reg) <- x
+    | Ir.Kbool, Value.Vbool b -> p.n.(v.Ir.v_reg) <- (if b then 1 else 0)
+    | Ir.Kfloat _, Value.Vfloat (_, x) -> p.f.(v.Ir.v_reg) <- x
+    | _ -> raise Bail
+  done;
+  (* 2. trip count: the loop is [for i = lo; i </<= hi; i += step] with
+     invariant hi/step, so the iteration space is decided here once *)
+  let lo = match fr.(p.index_slot) with Value.Vint x -> x | _ -> raise Bail in
+  let hi = ieval p fl.Ir.fl_hi in
+  let step = ieval p fl.Ir.fl_step in
+  if step < 1 || step > cap then raise Bail;
+  if lo < -cap || lo > cap || hi < -cap || hi > cap then raise Bail;
+  let d = hi - lo + (if fl.Ir.fl_cle then 1 else 0) in
+  if d <= 0 then raise Bail;
+  let m = (d - 1) / step in
+  let n_iters = m + 1 in
+  let last_i = lo + (m * step) in
+  let total = n_iters * fl.Ir.fl_body_steps in
+  (* the budget must survive the whole loop; otherwise the slow path runs
+     and raises Step_limit_exceeded at the exact offending statement *)
+  if st.steps_left <= total then raise Bail;
+  (* 3. resolve arrays: exact element type, raw storage, name for errors.
+     [Memory] bases are append-only — an entry's storage is written
+     exactly once, at allocation — so a resolution stays valid for as
+     long as the frame holds the same base+offset pointer.  Re-entries
+     with unchanged pointers (the common case for an inner loop entered
+     once per outer iteration) skip the accessor calls and the alias
+     re-checks entirely. *)
+  let arrs = fl.Ir.fl_arrs in
+  let na = Array.length arrs in
+  let same = ref p.avalid in
+  for k = 0 to na - 1 do
+    match read_src fr p.arr_srcs.(k) with
+    | Value.Vptr ptr ->
+      if ptr.Value.base <> p.abase.(k) || ptr.Value.offset <> p.aoff.(k) then
+        same := false
+    | _ -> raise Bail
+  done;
+  if not !same then begin
+    p.avalid <- false;
+    for k = 0 to na - 1 do
+      let a = arrs.(k) in
+      match read_src fr p.arr_srcs.(k) with
+      | Value.Vptr ptr ->
+        let base = ptr.Value.base in
+        if Memory.elem_ty st.mem base <> Ir.ty_of_ety a.Ir.a_ety then raise Bail;
+        let off = ptr.Value.offset in
+        if off < -cap || off > cap then raise Bail;
+        p.abase.(k) <- base;
+        p.aoff.(k) <- off;
+        p.alen.(k) <- Memory.length st.mem base;
+        p.aname.(k) <- Memory.name st.mem base;
+        (match Memory.raw st.mem base with
+         | Memory.Rfloat data -> p.afdata.(k) <- data
+         | Memory.Rint data -> p.aidata.(k) <- data)
+      | _ -> raise Bail
+    done;
+    (* 3b. alias re-checks for the code-motion the lowering performed on
+       statically distinct names: hoisted loads must not alias any stored
+       array, promoted cells must not alias any other accessed array.
+       The verdict depends only on the resolved bases, so it is part of
+       the cached resolution. *)
+    Array.iter
+      (fun h ->
+        let bh = p.abase.(h) in
+        for k = 0 to na - 1 do
+          if arrs.(k).Ir.a_stored && p.abase.(k) = bh then raise Bail
+        done)
+      fl.Ir.fl_hoisted;
+    Array.iter
+      (fun pr ->
+        let bp = p.abase.(pr) in
+        for k = 0 to na - 1 do
+          if k <> pr && p.abase.(k) = bp then raise Bail
+        done)
+      fl.Ir.fl_promoted;
+    p.avalid <- true
+  end;
+  (* 4. cursors: evaluate affine endpoints; in-bounds endpoints imply every
+     iteration is in bounds (coef/base invariant, index monotone) *)
+  let cursors = fl.Ir.fl_cursors in
+  for k = 0 to Array.length cursors - 1 do
+    let c = cursors.(k) in
+    let coef = ieval p c.Ir.c_coef and base = ieval p c.Ir.c_base in
+    if coef < -coef_cap || coef > coef_cap then raise Bail;
+    if base < -cap || base > cap then raise Bail;
+    let a = c.Ir.c_arr in
+    let start = (coef * lo) + base + p.aoff.(a) in
+    let last = (coef * last_i) + base + p.aoff.(a) in
+    let lo_idx = if start < last then start else last in
+    let hi_idx = if start < last then last else start in
+    if lo_idx < 0 || hi_idx >= p.alen.(a) then raise Bail;
+    p.cpos.(k) <- start;
+    p.cstep.(k) <- coef * step;
+    p.cfdata.(k) <- p.afdata.(a);
+    p.cidata.(k) <- p.aidata.(a)
+  done;
+  (* ---- commit: from here on the fast path runs the loop to the end ---- *)
+  if total > 0 then consume_steps st total;
+  add_scaled st.counters fl.Ir.fl_per_iter n_iters;
+  add_scaled st.counters fl.Ir.fl_final 1;
+  acc.la_iterations <- acc.la_iterations + n_iters;
+  exec p st fl.Ir.fl_prologue;
+  let iref = match fl.Ir.fl_index_reg with Some r -> r | None -> -1 in
+  let body = fl.Ir.fl_body in
+  let ncur = Array.length cursors in
+  let i = ref lo in
+  for _ = 1 to n_iters do
+    if iref >= 0 then p.n.(iref) <- !i;
+    exec p st body;
+    for c = 0 to ncur - 1 do
+      p.cpos.(c) <- p.cpos.(c) + p.cstep.(c)
+    done;
+    i := !i + step
+  done;
+  exec p st fl.Ir.fl_epilogue;
+  (* write back mutated scalars with the representation [Set] maintains *)
+  for k = 0 to Array.length vars - 1 do
+    let v = vars.(k) in
+    if v.Ir.v_written then begin
+      let value =
+        match v.Ir.v_kind with
+        | Ir.Kint -> Value.Vint p.n.(v.Ir.v_reg)
+        | Ir.Kbool -> Value.Vbool (p.n.(v.Ir.v_reg) <> 0)
+        | Ir.Kfloat Ir.Psingle -> Value.Vfloat (Value.Sp, p.f.(v.Ir.v_reg))
+        | Ir.Kfloat Ir.Pdouble -> Value.Vfloat (Value.Dp, p.f.(v.Ir.v_reg))
+      in
+      match p.var_srcs.(k) with Slot s -> fr.(s) <- value | Global r -> r := value
+    end
+  done;
+  (* leave the index slot where the failing loop test read it *)
+  fr.(p.index_slot) <- Value.Vint (lo + (n_iters * step))
+
+let try_run p st (fr : Value.t array) (acc : loop_acc) : bool =
+  (* observation regions want per-access footprints: defer to the slow path *)
+  if st.active_regions <> [] then false
+  else
+    try
+      attempt p st fr acc;
+      true
+    with
+    | Bail | Failure _ -> false

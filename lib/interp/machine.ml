@@ -1,7 +1,9 @@
 (* Public interpreter façade.
 
-   Dispatches between the two backends over the shared Interp_rt core:
-   - [`Compiled] (default): Compile, the closure-compiling backend;
+   Dispatches between the three backends over the shared Interp_rt core:
+   - [`Vm] (default): the superinstruction VM — the closure compiler with
+     eligible loops lowered to the typed flat IR and run by Fastloop;
+   - [`Compiled]: Compile, the closure-compiling backend, plan-free;
    - [`Ast]: Walker, the reference tree-walker.
 
    Also keeps cumulative execution statistics (runs, interpreted
@@ -60,20 +62,21 @@ type result = Interp_rt.result = {
 
 (* ---- backend selection ---- *)
 
-type backend = [ `Ast | `Compiled ]
+type backend = [ `Ast | `Compiled | `Vm ]
 
 (* Bump when observable interpreter semantics change; memoization keys
    include this so stale cached results are never replayed. *)
 let interp_version = 2
 
-let backend_name = function `Ast -> "ast" | `Compiled -> "compiled"
+let backend_name = function `Ast -> "ast" | `Compiled -> "compiled" | `Vm -> "vm"
 
 let backend_of_string = function
   | "ast" -> Some `Ast
   | "compiled" -> Some `Compiled
+  | "vm" -> Some `Vm
   | _ -> None
 
-let default_backend_ref : backend Atomic.t = Atomic.make `Compiled
+let default_backend_ref : backend Atomic.t = Atomic.make `Vm
 
 let default_backend () = Atomic.get default_backend_ref
 
@@ -144,7 +147,8 @@ let run ?(config = default_config) ?backend (program : Ast.program) : result =
       in
       match backend with
       | `Ast -> finish (Walker.run config program)
-      | `Compiled -> finish (Compile.run config program))
+      | `Compiled -> finish (Compile.run config program)
+      | `Vm -> finish (Vm.run config program))
 
 let find_loop_stats (r : result) sid = List.assoc_opt sid r.loop_stats
 

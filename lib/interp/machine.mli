@@ -60,11 +60,14 @@ type result = {
   memory : Memory.t;                          (** final memory, for inspecting results *)
 }
 
-(** Interpreter backend: [`Compiled] lowers the AST to OCaml closures in a
-    one-shot pass before execution (slot-indexed frames, pre-resolved calls,
-    block-batched step counting); [`Ast] is the reference tree-walker.  Both
-    produce bit-identical observables. *)
-type backend = [ `Ast | `Compiled ]
+(** Interpreter backend: [`Vm] (the superinstruction VM) additionally lowers
+    eligible canonical loops to a typed flat IR executed over unboxed
+    register files with bounds-check elision, fused opcode pairs and batched
+    step/counter accounting; [`Compiled] lowers the AST to OCaml closures in
+    a one-shot pass before execution (slot-indexed frames, pre-resolved
+    calls, block-batched step counting); [`Ast] is the reference
+    tree-walker.  All three produce bit-identical observables. *)
+type backend = [ `Ast | `Compiled | `Vm ]
 
 val interp_version : int
 (** Bumped whenever observable interpreter semantics change; memoization
@@ -77,7 +80,7 @@ val backend_of_string : string -> backend option
 
 val default_backend : unit -> backend
 (** The backend used when {!run} is not given [?backend]; initially
-    [`Compiled]. *)
+    [`Vm]. *)
 
 val set_default_backend : backend -> unit
 

@@ -109,6 +109,11 @@ let store_int t ptr i n =
   | Sint a, Ast.Tbool -> a.(idx) <- (if n <> 0 then 1 else 0)
   | Sint a, _ -> a.(idx) <- n
 
+type raw = Rfloat of float array | Rint of int array
+
+let raw t base =
+  match (entry t base).storage with Sfloat a -> Rfloat a | Sint a -> Rint a
+
 let array_count t = t.count
 
 let to_float_array t base =

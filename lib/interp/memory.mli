@@ -44,6 +44,14 @@ val store_float : t -> Value.ptr -> int -> float -> unit
 val store_int : t -> Value.ptr -> int -> int -> unit
 (** Unboxed [store mem ptr i (Vint n)]. *)
 
+(** Direct view of an array's backing storage, for guarded fast paths that
+    have already verified the element type and bounds. *)
+type raw = Rfloat of float array | Rint of int array
+
+val raw : t -> int -> raw
+(** [raw mem base] exposes the live backing array (not a copy) of [base].
+    @raise Failure on a dangling base. *)
+
 val array_count : t -> int
 
 val to_float_array : t -> int -> float array

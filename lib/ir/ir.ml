@@ -1,0 +1,167 @@
+let version = 1
+
+type prec = Psingle | Pdouble
+
+type var_kind = Kint | Kbool | Kfloat of prec
+
+type var = { v_name : string; v_kind : var_kind; v_reg : int; v_written : bool }
+
+type ety = Efloat32 | Efloat64 | Eint | Ebool
+
+type arr = { a_name : string; a_ety : ety; a_stored : bool }
+
+type iexpr =
+  | Iconst of int
+  | Ivar of int
+  | Iadd of iexpr * iexpr
+  | Isub of iexpr * iexpr
+  | Imul of iexpr * iexpr
+  | Ineg of iexpr
+
+type cursor = { c_arr : int; c_coef : iexpr; c_base : iexpr }
+
+type fop =
+  | FConst of int * float
+  | IConst of int * int
+  | FMov of int * int
+  | IMov of int * int
+  | ItoF of int * int
+  | FtoI of int * int
+  | FtoB of int * int
+  | ItoB of int * int
+  | FDem of int * int
+  | FAdd of int * int * int
+  | FSub of int * int * int
+  | FMul of int * int * int
+  | FDiv of int * int * int
+  | FNeg of int * int
+  | FAddS of int * int * int
+  | FSubS of int * int * int
+  | FMulS of int * int * int
+  | FDivS of int * int * int
+  | IAdd of int * int * int
+  | ISub of int * int * int
+  | IMul of int * int * int
+  | INeg of int * int
+  | IDivZ of int * int * int * Loc.t
+  | IModZ of int * int * int * Loc.t
+  | IAbs of int * int
+  | IMin of int * int * int
+  | IMax of int * int * int
+  | FMath1 of m1 * int * int
+  | FMath1S of m1 * int * int
+  | FMath2 of m2 * int * int * int
+  | FMath2S of m2 * int * int * int
+  | Rand of int
+  | FLd of int * int
+  | FSt of int * int
+  | FStDem of int * int
+  | ILd of int * int
+  | ISt of int * int
+  | IStB of int * int
+  | FLdCk of int * int * int * Loc.t
+  | FStCk of int * int * int * Loc.t
+  | ILdCk of int * int * int * Loc.t
+  | IStCk of int * int * int * Loc.t
+  | FLdSub of int * int * int
+  | FLdSub2 of int * int * int
+  | FLdMul of int * int * int
+  | FLdAdd of int * int * int
+  | FMulAdd of int * int * int * int
+  | FAddMul of int * int * int * int
+  | FSubMul of int * int * int * int
+  | FRecip of int * int
+  | FRsqrt of int * int
+  | FAccSt of int * int
+  | FMulAccSt of int * int * int
+
+and m1 =
+  | Msqrt
+  | Mrsqrt
+  | Msin
+  | Mcos
+  | Mtan
+  | Mexp
+  | Mlog
+  | Mtanh
+  | Merf
+  | Mfabs
+  | Mfloor
+  | Mceil
+
+and m2 = Mpow | Mfmin | Mfmax
+
+type counts = {
+  mutable k_int_ops : int;
+  mutable k_sp_add : int;
+  mutable k_sp_mul : int;
+  mutable k_sp_div : int;
+  mutable k_sp_special : int;
+  mutable k_dp_add : int;
+  mutable k_dp_mul : int;
+  mutable k_dp_div : int;
+  mutable k_dp_special : int;
+  mutable k_loads : int;
+  mutable k_stores : int;
+  mutable k_bytes_loaded : int;
+  mutable k_bytes_stored : int;
+  mutable k_branches : int;
+}
+
+let zero_counts () =
+  {
+    k_int_ops = 0;
+    k_sp_add = 0;
+    k_sp_mul = 0;
+    k_sp_div = 0;
+    k_sp_special = 0;
+    k_dp_add = 0;
+    k_dp_mul = 0;
+    k_dp_div = 0;
+    k_dp_special = 0;
+    k_loads = 0;
+    k_stores = 0;
+    k_bytes_loaded = 0;
+    k_bytes_stored = 0;
+    k_branches = 0;
+  }
+
+type fast_loop = {
+  fl_sid : int;
+  fl_cle : bool;
+  fl_hi : iexpr;
+  fl_hi_ops : int;
+  fl_step : iexpr;
+  fl_step_ops : int;
+  fl_vars : var array;
+  fl_arrs : arr array;
+  fl_cursors : cursor array;
+  fl_prologue : fop array;
+  fl_body : fop array;
+  fl_epilogue : fop array;
+  fl_index_reg : int option;
+  fl_nf : int;
+  fl_ni : int;
+  fl_body_steps : int;
+  fl_per_iter : counts;
+  fl_final : counts;
+  fl_hoisted : int array;
+  fl_promoted : int array;
+}
+
+type plan = (int, fast_loop) Hashtbl.t
+
+let ety_bytes = function Efloat32 -> 4 | Efloat64 -> 8 | Eint -> 4 | Ebool -> 1
+
+let ety_of_ty = function
+  | Ast.Tfloat -> Some Efloat32
+  | Ast.Tdouble -> Some Efloat64
+  | Ast.Tint -> Some Eint
+  | Ast.Tbool -> Some Ebool
+  | Ast.Tvoid | Ast.Tptr _ -> None
+
+let ty_of_ety = function
+  | Efloat32 -> Ast.Tfloat
+  | Efloat64 -> Ast.Tdouble
+  | Eint -> Ast.Tint
+  | Ebool -> Ast.Tbool

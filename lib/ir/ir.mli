@@ -1,0 +1,230 @@
+(** Typed flat IR for the superinstruction VM backend.
+
+    The lowering pass ({!Ir_lower}) selects canonical counted [for] loops
+    whose bodies are straight-line, statically typed code and compiles each
+    into a {!fast_loop}: a flat array of register-style instructions
+    ({!fop}) over unboxed float and int register files, plus everything the
+    executing backend needs to stay observably identical to the reference
+    tree walker — per-iteration hardware-counter deltas, exact statement
+    counts for the step budget, and loop-invariant index expressions whose
+    runtime values drive bounds-check elision.
+
+    The IR is purely structural: it references variables and arrays by
+    name/id and never captures closures or runtime values, so it can be
+    built once per program, hashed into memoization keys (see {!version}),
+    and bound to a concrete frame by whichever backend executes it. *)
+
+val version : int
+(** Version of the IR semantics and instruction encoding.  Folded into
+    interpreter memoization keys alongside the backend tag so cached
+    results produced by an older lowering are never replayed. *)
+
+(** {1 Scalar bindings} *)
+
+(** Floating-point precision of a register or operation.  Single-precision
+    results are demoted through a 32-bit round trip exactly like
+    [Value.demote]. *)
+type prec = Psingle | Pdouble
+
+(** Static kind of an external scalar variable captured by a loop.
+    Booleans are carried as 0/1 integers. *)
+type var_kind = Kint | Kbool | Kfloat of prec
+
+type var = {
+  v_name : string;  (** source name, resolved against the enclosing scope *)
+  v_kind : var_kind;
+  v_reg : int;  (** register (int or float file, per [v_kind]) *)
+  v_written : bool;  (** written in the body: written back on loop exit *)
+}
+
+(** {1 Arrays and access paths} *)
+
+(** Exact element type an access site assumes; the runtime guard verifies
+    the resolved array matches before the fast path may run. *)
+type ety = Efloat32 | Efloat64 | Eint | Ebool
+
+type arr = {
+  a_name : string;
+  a_ety : ety;
+  a_stored : bool;  (** some access site stores through this array *)
+}
+
+(** Loop-invariant integer expression, evaluated once by the runtime guard
+    (trip counts, affine coefficients).  [Ivar] indexes the {!var} table
+    and must reference an int-kinded, unwritten variable; evaluation is
+    total (no division, no effects). *)
+type iexpr =
+  | Iconst of int
+  | Ivar of int
+  | Iadd of iexpr * iexpr
+  | Isub of iexpr * iexpr
+  | Imul of iexpr * iexpr
+  | Ineg of iexpr
+
+(** Affine access path: element index = [coef * i + base] for loop
+    variable [i] (the pointer's own offset is added by the guard).  Both
+    components are loop-invariant, so in-bounds endpoints imply every
+    iteration is in bounds — this is what licenses bounds-check elision. *)
+type cursor = { c_arr : int; c_coef : iexpr; c_base : iexpr }
+
+(** {1 Instructions}
+
+    Registers are indices into per-loop unboxed register files: [f]
+    (floats) and [n] (ints; booleans as 0/1).  Plain arithmetic operates
+    at double precision; [...S] variants demote the result through single
+    precision.  [Ld]/[St] address memory through a {!cursor} with no
+    per-access bounds check; [...Ck] variants take a runtime index
+    register and check bounds, raising the walker's exact out-of-bounds
+    error.  The fused superinstructions at the end collapse the opcode
+    pairs that dominate the suite's counter profile (load-sub, mul-add
+    chains, and read-modify-write accumulations). *)
+type fop =
+  (* constants and moves *)
+  | FConst of int * float
+  | IConst of int * int
+  | FMov of int * int
+  | IMov of int * int
+  (* conversions *)
+  | ItoF of int * int  (** float reg <- float_of_int (int reg) *)
+  | FtoI of int * int  (** int reg <- int_of_float (float reg) *)
+  | FtoB of int * int  (** int reg <- (float reg <> 0.) as 0/1 *)
+  | ItoB of int * int  (** int reg <- (int reg <> 0) as 0/1 *)
+  | FDem of int * int  (** float reg <- demoted float reg *)
+  (* float arithmetic (double, then single-demoted) *)
+  | FAdd of int * int * int
+  | FSub of int * int * int
+  | FMul of int * int * int
+  | FDiv of int * int * int
+  | FNeg of int * int
+  | FAddS of int * int * int
+  | FSubS of int * int * int
+  | FMulS of int * int * int
+  | FDivS of int * int * int
+  (* int arithmetic; division and modulo raise the walker's
+     divide-by-zero error at the recorded location *)
+  | IAdd of int * int * int
+  | ISub of int * int * int
+  | IMul of int * int * int
+  | INeg of int * int
+  | IDivZ of int * int * int * Loc.t
+  | IModZ of int * int * int * Loc.t
+  | IAbs of int * int
+  | IMin of int * int * int
+  | IMax of int * int * int
+  (* math intrinsics, pre-resolved to direct operations *)
+  | FMath1 of m1 * int * int
+  | FMath1S of m1 * int * int
+  | FMath2 of m2 * int * int * int
+  | FMath2S of m2 * int * int * int
+  | Rand of int  (** float reg <- next PRNG draw *)
+  (* memory, affine (bounds elided by the guard) *)
+  | FLd of int * int  (** float reg <- farray(cursor) *)
+  | FSt of int * int  (** farray(cursor) <- float reg, raw *)
+  | FStDem of int * int  (** farray(cursor) <- demoted float reg *)
+  | ILd of int * int
+  | ISt of int * int
+  | IStB of int * int  (** bool array store: normalise to 0/1 *)
+  (* memory, runtime-checked (non-affine index in an int register) *)
+  | FLdCk of int * int * int * Loc.t  (** dst, arr, idx reg, error loc *)
+  | FStCk of int * int * int * Loc.t  (** arr, idx reg, src, error loc *)
+  | ILdCk of int * int * int * Loc.t
+  | IStCk of int * int * int * Loc.t
+  (* superinstructions *)
+  | FLdSub of int * int * int  (** dst <- farray(cur) -. freg *)
+  | FLdSub2 of int * int * int  (** dst <- farray(cur1) -. farray(cur2) *)
+  | FLdMul of int * int * int  (** dst <- farray(cur) *. freg *)
+  | FLdAdd of int * int * int  (** dst <- farray(cur) +. freg *)
+  | FMulAdd of int * int * int * int  (** [(d, a, b, c)]: d <- a *. b +. c *)
+  | FAddMul of int * int * int * int  (** [(d, c, a, b)]: d <- c +. a *. b *)
+  | FSubMul of int * int * int * int  (** [(d, c, a, b)]: d <- c -. a *. b *)
+  | FRecip of int * int  (** d <- 1.0 /. a *)
+  | FRsqrt of int * int  (** d <- 1.0 /. sqrt a *)
+  | FAccSt of int * int  (** farray(cur) <- farray(cur) +. freg *)
+  | FMulAccSt of int * int * int  (** farray(cur) <- farray(cur) +. a *. b *)
+
+and m1 =
+  | Msqrt
+  | Mrsqrt
+  | Msin
+  | Mcos
+  | Mtan
+  | Mexp
+  | Mlog
+  | Mtanh
+  | Merf
+  | Mfabs
+  | Mfloor
+  | Mceil
+
+and m2 = Mpow | Mfmin | Mfmax
+
+(** {1 Counter deltas}
+
+    Mirror of the interpreter's hardware-model counters ([Counters.t]
+    minus [steps], which the step budget accounts separately).  Computed
+    statically per iteration so the executing backend can batch [n]
+    iterations' worth of counting into one update with no per-operation
+    cost. *)
+type counts = {
+  mutable k_int_ops : int;
+  mutable k_sp_add : int;
+  mutable k_sp_mul : int;
+  mutable k_sp_div : int;
+  mutable k_sp_special : int;
+  mutable k_dp_add : int;
+  mutable k_dp_mul : int;
+  mutable k_dp_div : int;
+  mutable k_dp_special : int;
+  mutable k_loads : int;
+  mutable k_stores : int;
+  mutable k_bytes_loaded : int;
+  mutable k_bytes_stored : int;
+  mutable k_branches : int;
+}
+
+val zero_counts : unit -> counts
+
+(** {1 Lowered loops} *)
+
+(** One canonical loop lowered to the flat IR.  [fl_body] executes once
+    per iteration; [fl_prologue] (hoisted constants and loop-invariant
+    loads) once per entry after the guard commits, and [fl_epilogue]
+    (write-backs of register-promoted array cells) once on normal exit.
+    [fl_hoisted] and [fl_promoted] name the arrays whose loads/cells were
+    moved out of the body; the guard re-checks at runtime that their
+    bases do not alias any conflicting access before using the fast
+    path. *)
+type fast_loop = {
+  fl_sid : int;  (** statement id of the [For] this loop was lowered from *)
+  fl_cle : bool;  (** comparison is [<=] rather than [<] *)
+  fl_hi : iexpr;
+  fl_hi_ops : int;  (** int ops counted per evaluation of the bound *)
+  fl_step : iexpr;
+  fl_step_ops : int;
+  fl_vars : var array;
+  fl_arrs : arr array;
+  fl_cursors : cursor array;
+  fl_prologue : fop array;
+  fl_body : fop array;
+  fl_epilogue : fop array;
+  fl_index_reg : int option;  (** int reg refreshed with [i] each iteration *)
+  fl_nf : int;  (** float register file size *)
+  fl_ni : int;  (** int register file size *)
+  fl_body_steps : int;  (** statements per iteration, for the step budget *)
+  fl_per_iter : counts;  (** counter delta per completed iteration *)
+  fl_final : counts;  (** delta of the one failing loop test *)
+  fl_hoisted : int array;  (** arrs with loads hoisted into the prologue *)
+  fl_promoted : int array;  (** arrs register-promoted across the loop *)
+}
+
+(** Plan for a whole program: lowered loops keyed by [For] statement id. *)
+type plan = (int, fast_loop) Hashtbl.t
+
+val ety_bytes : ety -> int
+(** Byte width of an element ([Efloat32] 4, [Efloat64] 8, [Eint] 4,
+    [Ebool] 1), matching [Ast.sizeof]. *)
+
+val ety_of_ty : Ast.ty -> ety option
+(** Scalar element types only; [None] for [void] and pointers. *)
+
+val ty_of_ety : ety -> Ast.ty

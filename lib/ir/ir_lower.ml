@@ -1,0 +1,1248 @@
+(* Lowering from the typed AST to flat fast-loop plans.
+
+   Parity discipline: every lowered operation must be observably identical
+   to what lib/interp/compile.ml's closures do for the same source node —
+   same float rounding (single-precision demotion points), same counter
+   increments, same error messages and locations, same PRNG draw order.
+   Each arm below cites the compile.ml arm it mirrors; when in doubt the
+   pass rejects the loop (raising [Reject]) and the loop simply runs on the
+   closure backend. *)
+
+open Ast
+
+exception Reject
+
+let reject () = raise Reject
+
+(* Value.demote lives in lib/interp, which depends on this library; the
+   round trip is replicated bit-for-bit. *)
+let demote32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+(* ---- invariant integer expressions ---- *)
+
+(* Smart constructors fold constants and units.  All identities hold in the
+   wrap-around ring of native ints, so simplification never changes the
+   value the guard computes. *)
+let iadd a b =
+  match a, b with
+  | Ir.Iconst x, Ir.Iconst y -> Ir.Iconst (x + y)
+  | Ir.Iconst 0, x | x, Ir.Iconst 0 -> x
+  | _ -> Ir.Iadd (a, b)
+
+let ineg = function
+  | Ir.Iconst x -> Ir.Iconst (-x)
+  | Ir.Ineg x -> x
+  | x -> Ir.Ineg x
+
+let isub a b =
+  match a, b with
+  | Ir.Iconst x, Ir.Iconst y -> Ir.Iconst (x - y)
+  | x, Ir.Iconst 0 -> x
+  | Ir.Iconst 0, x -> ineg x
+  | _ -> Ir.Isub (a, b)
+
+let imul a b =
+  match a, b with
+  | Ir.Iconst x, Ir.Iconst y -> Ir.Iconst (x * y)
+  | Ir.Iconst 0, _ | _, Ir.Iconst 0 -> Ir.Iconst 0
+  | Ir.Iconst 1, x | x, Ir.Iconst 1 -> x
+  | _ -> Ir.Imul (a, b)
+
+(* ---- per-loop lowering context ---- *)
+
+type mvar = {
+  mv_name : string;
+  mv_kind : Ir.var_kind;
+  mv_reg : int;
+  mutable mv_written : bool;
+}
+
+type marr = { ma_name : string; ma_ety : Ir.ety; mutable ma_stored : bool }
+
+(* result of lowering an expression: register plus static kind, mirroring
+   compile.ml's cexp kinds (booleans ride in int registers as 0/1) *)
+type lres = Ri of int * bool | Rf of int * Ir.prec
+
+type lctx = {
+  env : Typecheck.env;  (* scope enclosing the loop (without the index) *)
+  index : string;
+  assigned : (string, unit) Hashtbl.t;  (* scalar names assigned in body *)
+  all_locals : (string, unit) Hashtbl.t;  (* names declared in body *)
+  user_funcs : (string, unit) Hashtbl.t;
+  region_set : (int, unit) Hashtbl.t;
+  mutable nf : int;
+  mutable ni : int;
+  mutable pro : Ir.fop list;  (* reversed *)
+  mutable body : Ir.fop list;  (* reversed *)
+  cnt : Ir.counts;  (* per-iteration counter deltas of the body *)
+  vtbl : (string, int * mvar) Hashtbl.t;
+  mutable vars : mvar list;  (* reversed; id = index from front *)
+  mutable nvars : int;
+  atbl : (string, int * marr) Hashtbl.t;
+  mutable arrs : marr list;  (* reversed *)
+  mutable narrs : int;
+  mutable cursors : (int * Ir.iexpr * Ir.iexpr) list;  (* reversed *)
+  mutable ncursors : int;
+  locals : (string, lres) Hashtbl.t;
+  mutable index_reg : int option;
+  fconsts : (int64, int) Hashtbl.t;
+  iconsts : (int, int) Hashtbl.t;
+}
+
+let allocf c =
+  let r = c.nf in
+  c.nf <- r + 1;
+  r
+
+let alloci c =
+  let r = c.ni in
+  c.ni <- r + 1;
+  r
+
+let emit c op = c.body <- op :: c.body
+
+let const_f c x =
+  let key = Int64.bits_of_float x in
+  match Hashtbl.find_opt c.fconsts key with
+  | Some r -> r
+  | None ->
+    let r = allocf c in
+    c.pro <- Ir.FConst (r, x) :: c.pro;
+    Hashtbl.add c.fconsts key r;
+    r
+
+let const_i c n =
+  match Hashtbl.find_opt c.iconsts n with
+  | Some r -> r
+  | None ->
+    let r = alloci c in
+    c.pro <- Ir.IConst (r, n) :: c.pro;
+    Hashtbl.add c.iconsts n r;
+    r
+
+let index_reg c =
+  match c.index_reg with
+  | Some r -> r
+  | None ->
+    let r = alloci c in
+    c.index_reg <- Some r;
+    r
+
+let getvar c name (kind : Ir.var_kind) =
+  match Hashtbl.find_opt c.vtbl name with
+  | Some (id, mv) ->
+    if mv.mv_kind <> kind then reject ();
+    (id, mv)
+  | None ->
+    let reg = match kind with Ir.Kfloat _ -> allocf c | _ -> alloci c in
+    let mv = { mv_name = name; mv_kind = kind; mv_reg = reg; mv_written = false } in
+    let id = c.nvars in
+    c.nvars <- id + 1;
+    c.vars <- mv :: c.vars;
+    Hashtbl.add c.vtbl name (id, mv);
+    (id, mv)
+
+let getarr c name (ety : Ir.ety) =
+  match Hashtbl.find_opt c.atbl name with
+  | Some (id, ma) ->
+    if ma.ma_ety <> ety then reject ();
+    (id, ma)
+  | None ->
+    let ma = { ma_name = name; ma_ety = ety; ma_stored = false } in
+    let id = c.narrs in
+    c.narrs <- id + 1;
+    c.arrs <- ma :: c.arrs;
+    Hashtbl.add c.atbl name (id, ma);
+    (id, ma)
+
+let getcursor c aid coef base =
+  let rec find k = function
+    | [] -> None
+    | (a, co, b) :: tl -> if a = aid && co = coef && b = base then Some k else find (k - 1) tl
+  in
+  match find (c.ncursors - 1) c.cursors with
+  | Some k -> k
+  | None ->
+    let k = c.ncursors in
+    c.ncursors <- k + 1;
+    c.cursors <- (aid, coef, base) :: c.cursors;
+    k
+
+(* counter-delta helpers; mirror Interp_rt.count_int_op / count_flop *)
+let kint c = c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + 1
+
+let kflop c (p : Ir.prec) cls =
+  let t = c.cnt in
+  match p, cls with
+  | Ir.Psingle, `Add -> t.Ir.k_sp_add <- t.Ir.k_sp_add + 1
+  | Ir.Psingle, `Mul -> t.Ir.k_sp_mul <- t.Ir.k_sp_mul + 1
+  | Ir.Psingle, `Div -> t.Ir.k_sp_div <- t.Ir.k_sp_div + 1
+  | Ir.Psingle, `Special -> t.Ir.k_sp_special <- t.Ir.k_sp_special + 1
+  | Ir.Pdouble, `Add -> t.Ir.k_dp_add <- t.Ir.k_dp_add + 1
+  | Ir.Pdouble, `Mul -> t.Ir.k_dp_mul <- t.Ir.k_dp_mul + 1
+  | Ir.Pdouble, `Div -> t.Ir.k_dp_div <- t.Ir.k_dp_div + 1
+  | Ir.Pdouble, `Special -> t.Ir.k_dp_special <- t.Ir.k_dp_special + 1
+
+let kload c (ety : Ir.ety) =
+  c.cnt.Ir.k_loads <- c.cnt.Ir.k_loads + 1;
+  c.cnt.Ir.k_bytes_loaded <-
+    c.cnt.Ir.k_bytes_loaded + Ast.sizeof (Ir.ty_of_ety ety)
+
+let kstore c (ety : Ir.ety) =
+  c.cnt.Ir.k_stores <- c.cnt.Ir.k_stores + 1;
+  c.cnt.Ir.k_bytes_stored <-
+    c.cnt.Ir.k_bytes_stored + Ast.sizeof (Ir.ty_of_ety ety)
+
+(* ---- scope queries ---- *)
+
+(* true when [name] refers to something declared by the loop body (or will
+   be later in the body: use-before-declaration falls back for simplicity) *)
+let shadowed c name = Hashtbl.mem c.all_locals name
+
+(* ---- affine index extraction ----
+
+   idx(i) = coef*i + base with loop-invariant coef/base.  The op count is
+   the number of Binary/Unary int nodes the closure backend would count per
+   evaluation; both are exact in the wrap-around ring, so the guard's
+   endpoint bounds check covers every iteration (with magnitude caps at run
+   time to rule out overflow of coef*i + base itself). *)
+let rec affine c (e : expr) : (Ir.iexpr * Ir.iexpr * int) option =
+  match e.edesc with
+  | Int_lit k -> Some (Ir.Iconst 0, Ir.Iconst k, 0)
+  | Var v ->
+    if Hashtbl.mem c.locals v || shadowed c v then None
+    else if v = c.index then Some (Ir.Iconst 1, Ir.Iconst 0, 0)
+    else (
+      match Typecheck.lookup_var c.env v with
+      | Some Tint when not (Hashtbl.mem c.assigned v) ->
+        let id, _ = getvar c v Ir.Kint in
+        Some (Ir.Iconst 0, Ir.Ivar id, 0)
+      | _ -> None)
+  | Unary (Neg, a) ->
+    (match affine c a with
+     | Some (ca, ba, n) -> Some (ineg ca, ineg ba, n + 1)
+     | None -> None)
+  | Binary (Add, a, b) ->
+    (match affine c a, affine c b with
+     | Some (ca, ba, na), Some (cb, bb, nb) ->
+       Some (iadd ca cb, iadd ba bb, na + nb + 1)
+     | _ -> None)
+  | Binary (Sub, a, b) ->
+    (match affine c a, affine c b with
+     | Some (ca, ba, na), Some (cb, bb, nb) ->
+       Some (isub ca cb, isub ba bb, na + nb + 1)
+     | _ -> None)
+  | Binary (Mul, a, b) ->
+    (match affine c a, affine c b with
+     | Some (ca, ba, na), Some (cb, bb, nb) ->
+       if ca = Ir.Iconst 0 then Some (imul ba cb, imul ba bb, na + nb + 1)
+       else if cb = Ir.Iconst 0 then Some (imul ca bb, imul ba bb, na + nb + 1)
+       else None
+     | _ -> None)
+  | _ -> None
+
+(* hi/step conversion: like [affine] but with no loop-variable leaf *)
+let rec invariant c (e : expr) : Ir.iexpr * int =
+  match e.edesc with
+  | Int_lit k -> (Ir.Iconst k, 0)
+  | Var v ->
+    if Hashtbl.mem c.locals v || shadowed c v || v = c.index then reject ()
+    else (
+      match Typecheck.lookup_var c.env v with
+      | Some Tint when not (Hashtbl.mem c.assigned v) ->
+        let id, _ = getvar c v Ir.Kint in
+        (Ir.Ivar id, 0)
+      | _ -> reject ())
+  | Unary (Neg, a) ->
+    let x, n = invariant c a in
+    (ineg x, n + 1)
+  | Binary (Add, a, b) ->
+    let x, na = invariant c a in
+    let y, nb = invariant c b in
+    (iadd x y, na + nb + 1)
+  | Binary (Sub, a, b) ->
+    let x, na = invariant c a in
+    let y, nb = invariant c b in
+    (isub x y, na + nb + 1)
+  | Binary (Mul, a, b) ->
+    let x, na = invariant c a in
+    let y, nb = invariant c b in
+    (imul x y, na + nb + 1)
+  | _ -> reject ()
+
+(* ---- expression lowering ---- *)
+
+let as_int c = function
+  | Ri (r, _) -> r
+  | Rf (r, _) ->
+    let d = alloci c in
+    emit c (Ir.FtoI (d, r));
+    d
+
+let as_float c = function
+  | Rf (r, _) -> r
+  | Ri (r, _) ->
+    let d = allocf c in
+    emit c (Ir.ItoF (d, r));
+    d
+
+let as_truth c = function
+  | Ri (r, true) -> r
+  | Ri (r, false) ->
+    let d = alloci c in
+    emit c (Ir.ItoB (d, r));
+    d
+  | Rf (r, _) ->
+    let d = alloci c in
+    emit c (Ir.FtoB (d, r));
+    d
+
+let is_dp = function Rf (_, Ir.Pdouble) -> true | _ -> false
+
+let rec lexpr c (e : expr) : lres =
+  match e.edesc with
+  | Int_lit k -> Ri (const_i c k, false)
+  | Bool_lit b -> Ri (const_i c (if b then 1 else 0), true)
+  | Float_lit (x, true) -> Rf (const_f c (demote32 x), Ir.Psingle)
+  | Float_lit (x, false) -> Rf (const_f c x, Ir.Pdouble)
+  | Var v -> lvar c v
+  | Unary (Neg, a) ->
+    (match lexpr c a with
+     | Ri (r, false) ->
+       (* compile.ml Neg/Kint: count_int_op, negate *)
+       let d = alloci c in
+       emit c (Ir.INeg (d, r));
+       kint c;
+       Ri (d, false)
+     | Ri (_, true) -> reject ()  (* walker raises "negating non-number" *)
+     | Rf (r, p) ->
+       (* compile.ml Neg/Kfloat: count_flop p Cadd, no demotion *)
+       let d = allocf c in
+       emit c (Ir.FNeg (d, r));
+       kflop c p `Add;
+       Rf (d, p))
+  | Unary (Not, _) -> reject ()
+  | Binary ((And | Or), _, _) -> reject ()
+  | Binary ((Lt | Le | Gt | Ge | Eq | Ne), _, _) -> reject ()
+  | Binary (op, a, b) -> lbinary c e op a b
+  | Call (name, args) -> lcall c name args
+  | Index (base, idx) -> lindex c e base idx
+  | Cast (ty, a) -> lcast c ty a
+  | Cond _ -> reject ()
+
+and lvar c v : lres =
+  match Hashtbl.find_opt c.locals v with
+  | Some r -> r
+  | None ->
+    if shadowed c v then reject ();
+    if v = c.index then Ri (index_reg c, false)
+    else (
+      match Typecheck.lookup_var c.env v with
+      | Some Tint -> Ri ((snd (getvar c v Ir.Kint)).mv_reg, false)
+      | Some Tbool -> Ri ((snd (getvar c v Ir.Kbool)).mv_reg, true)
+      | Some Tfloat ->
+        Rf ((snd (getvar c v (Ir.Kfloat Ir.Psingle))).mv_reg, Ir.Psingle)
+      | Some Tdouble ->
+        Rf ((snd (getvar c v (Ir.Kfloat Ir.Pdouble))).mv_reg, Ir.Pdouble)
+      | Some (Tptr _) | Some Tvoid | None -> reject ())
+
+and lbinary c e op a b : lres =
+  let la = lexpr c a in
+  let lb = lexpr c b in
+  match la, lb with
+  | Ri (ra, _), Ri (rb, _) ->
+    (* compile.ml `Int/`Int arm *)
+    let d = alloci c in
+    (match op with
+     | Add -> emit c (Ir.IAdd (d, ra, rb))
+     | Sub -> emit c (Ir.ISub (d, ra, rb))
+     | Mul -> emit c (Ir.IMul (d, ra, rb))
+     | Div -> emit c (Ir.IDivZ (d, ra, rb, e.eloc))
+     | Mod -> emit c (Ir.IModZ (d, ra, rb, e.eloc))
+     | _ -> reject ());
+    kint c;
+    Ri (d, false)
+  | _ ->
+    (* float_op_prec join; Mod stays integral (compile.ml float-Mod arm) *)
+    (match op with
+     | Mod ->
+       let x = as_int c la in
+       let y = as_int c lb in
+       let d = alloci c in
+       emit c (Ir.IModZ (d, x, y, e.eloc));
+       kint c;
+       Ri (d, false)
+     | Add | Sub | Mul | Div ->
+       let p = if is_dp la || is_dp lb then Ir.Pdouble else Ir.Psingle in
+       let x = as_float c la in
+       let y = as_float c lb in
+       let d = allocf c in
+       (match op, p with
+        | Add, Ir.Pdouble -> emit c (Ir.FAdd (d, x, y))
+        | Sub, Ir.Pdouble -> emit c (Ir.FSub (d, x, y))
+        | Mul, Ir.Pdouble -> emit c (Ir.FMul (d, x, y))
+        | Div, Ir.Pdouble -> emit c (Ir.FDiv (d, x, y))
+        | Add, Ir.Psingle -> emit c (Ir.FAddS (d, x, y))
+        | Sub, Ir.Psingle -> emit c (Ir.FSubS (d, x, y))
+        | Mul, Ir.Psingle -> emit c (Ir.FMulS (d, x, y))
+        | Div, Ir.Psingle -> emit c (Ir.FDivS (d, x, y))
+        | _ -> assert false);
+       kflop c p (match op with Add | Sub -> `Add | Mul -> `Mul | _ -> `Div);
+       Rf (d, p)
+     | _ -> reject ())
+
+and lcall c name args : lres =
+  if Hashtbl.mem c.user_funcs name then reject ();
+  (* intrinsics, pre-resolved; specialisation matches compile.ml's exact
+     arities — anything else is the generic Kval fallback there, so reject *)
+  let f1 m single cls a =
+    let x = as_float c (lexpr c a) in
+    let d = allocf c in
+    emit c (if single then Ir.FMath1S (m, d, x) else Ir.FMath1 (m, d, x));
+    let p = if single then Ir.Psingle else Ir.Pdouble in
+    kflop c p cls;
+    Rf (d, p)
+  in
+  let f2 m single cls a b =
+    let x = as_float c (lexpr c a) in
+    let y = as_float c (lexpr c b) in
+    let d = allocf c in
+    emit c (if single then Ir.FMath2S (m, d, x, y) else Ir.FMath2 (m, d, x, y));
+    let p = if single then Ir.Psingle else Ir.Pdouble in
+    kflop c p cls;
+    Rf (d, p)
+  in
+  match name, args with
+  | "sqrt", [ a ] -> f1 Ir.Msqrt false `Special a
+  | "sqrtf", [ a ] -> f1 Ir.Msqrt true `Special a
+  | "rsqrt", [ a ] -> f1 Ir.Mrsqrt false `Special a
+  | "rsqrtf", [ a ] -> f1 Ir.Mrsqrt true `Special a
+  | "sin", [ a ] -> f1 Ir.Msin false `Special a
+  | "sinf", [ a ] -> f1 Ir.Msin true `Special a
+  | "cos", [ a ] -> f1 Ir.Mcos false `Special a
+  | "cosf", [ a ] -> f1 Ir.Mcos true `Special a
+  | "tan", [ a ] -> f1 Ir.Mtan false `Special a
+  | "tanf", [ a ] -> f1 Ir.Mtan true `Special a
+  | "exp", [ a ] -> f1 Ir.Mexp false `Special a
+  | "expf", [ a ] -> f1 Ir.Mexp true `Special a
+  | "log", [ a ] -> f1 Ir.Mlog false `Special a
+  | "logf", [ a ] -> f1 Ir.Mlog true `Special a
+  | "tanh", [ a ] -> f1 Ir.Mtanh false `Special a
+  | "tanhf", [ a ] -> f1 Ir.Mtanh true `Special a
+  | "erf", [ a ] -> f1 Ir.Merf false `Special a
+  | "erff", [ a ] -> f1 Ir.Merf true `Special a
+  | "fabs", [ a ] -> f1 Ir.Mfabs false `Add a
+  | "fabsf", [ a ] -> f1 Ir.Mfabs true `Add a
+  | "floor", [ a ] -> f1 Ir.Mfloor false `Add a
+  | "floorf", [ a ] -> f1 Ir.Mfloor true `Add a
+  | "ceil", [ a ] -> f1 Ir.Mceil false `Add a
+  | "ceilf", [ a ] -> f1 Ir.Mceil true `Add a
+  | "pow", [ a; b ] -> f2 Ir.Mpow false `Special a b
+  | "powf", [ a; b ] -> f2 Ir.Mpow true `Special a b
+  | "fmin", [ a; b ] -> f2 Ir.Mfmin false `Add a b
+  | "fminf", [ a; b ] -> f2 Ir.Mfmin true `Add a b
+  | "fmax", [ a; b ] -> f2 Ir.Mfmax false `Add a b
+  | "fmaxf", [ a; b ] -> f2 Ir.Mfmax true `Add a b
+  | "abs", [ a ] ->
+    let x = as_int c (lexpr c a) in
+    let d = alloci c in
+    emit c (Ir.IAbs (d, x));
+    kint c;
+    Ri (d, false)
+  | "imin", [ a; b ] ->
+    let x = as_int c (lexpr c a) in
+    let y = as_int c (lexpr c b) in
+    let d = alloci c in
+    emit c (Ir.IMin (d, x, y));
+    kint c;
+    Ri (d, false)
+  | "imax", [ a; b ] ->
+    let x = as_int c (lexpr c a) in
+    let y = as_int c (lexpr c b) in
+    let d = alloci c in
+    emit c (Ir.IMax (d, x, y));
+    kint c;
+    Ri (d, false)
+  | "rand01", [] ->
+    (* no counters; one PRNG draw, in program order *)
+    let d = allocf c in
+    emit c (Ir.Rand d);
+    Rf (d, Ir.Pdouble)
+  | _ -> reject ()
+
+and larr c (base : expr) : int * marr =
+  (* array operand: must be a plain variable of scalar-pointer type bound
+     outside the loop, so the guard can resolve it once per entry *)
+  match base.edesc with
+  | Var v ->
+    if Hashtbl.mem c.locals v || shadowed c v || v = c.index then reject ();
+    (match Typecheck.lookup_var c.env v with
+     | Some (Tptr sc) ->
+       (match Ir.ety_of_ty sc with
+        | Some ety -> getarr c v ety
+        | None -> reject ())
+     | _ -> reject ())
+  | _ -> reject ()
+
+and lindex c (e : expr) base idx : lres =
+  let aid, ma = larr c base in
+  let ety = ma.ma_ety in
+  let load_affine cur =
+    match ety with
+    | Ir.Efloat32 ->
+      let d = allocf c in
+      emit c (Ir.FLd (d, cur));
+      Rf (d, Ir.Psingle)
+    | Ir.Efloat64 ->
+      let d = allocf c in
+      emit c (Ir.FLd (d, cur));
+      Rf (d, Ir.Pdouble)
+    | Ir.Eint ->
+      let d = alloci c in
+      emit c (Ir.ILd (d, cur));
+      Ri (d, false)
+    | Ir.Ebool ->
+      (* stores normalise bool cells to 0/1, so a raw load is the walker's
+         (x <> 0) *)
+      let d = alloci c in
+      emit c (Ir.ILd (d, cur));
+      Ri (d, true)
+  in
+  let r =
+    match affine c idx with
+    | Some (coef, bse, nops) ->
+      c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + nops;
+      load_affine (getcursor c aid coef bse)
+    | None ->
+      let ii = as_int c (lexpr c idx) in
+      (match ety with
+       | Ir.Efloat32 ->
+         let d = allocf c in
+         emit c (Ir.FLdCk (d, aid, ii, e.eloc));
+         Rf (d, Ir.Psingle)
+       | Ir.Efloat64 ->
+         let d = allocf c in
+         emit c (Ir.FLdCk (d, aid, ii, e.eloc));
+         Rf (d, Ir.Pdouble)
+       | Ir.Eint ->
+         let d = alloci c in
+         emit c (Ir.ILdCk (d, aid, ii, e.eloc));
+         Ri (d, false)
+       | Ir.Ebool ->
+         let d = alloci c in
+         emit c (Ir.ILdCk (d, aid, ii, e.eloc));
+         Ri (d, true))
+  in
+  kload c ety;
+  r
+
+and lcast c ty a : lres =
+  let la = lexpr c a in
+  (* compile.ml compile_cast: no counters on any specialised cast arm *)
+  match ty with
+  | Tint -> Ri (as_int c la, false)
+  | Tbool -> Ri (as_truth c la, true)
+  | Tfloat ->
+    let x = as_float c la in
+    let d = allocf c in
+    emit c (Ir.FDem (d, x));
+    Rf (d, Ir.Psingle)
+  | Tdouble -> Rf (as_float c la, Ir.Pdouble)
+  | Tptr _ | Tvoid -> reject ()
+
+(* ---- statement lowering ---- *)
+
+let cls_of_bop = function Add | Sub -> `Add | Mul -> `Mul | _ -> `Div
+
+let binop_of_assign = function
+  | AddEq -> Add
+  | SubEq -> Sub
+  | MulEq -> Mul
+  | DivEq -> Div
+  | Set -> assert false
+
+let ldecl c (d : decl) =
+  if d.darray <> None then reject ();
+  (match d.dty with Tint | Tbool | Tfloat | Tdouble -> () | _ -> reject ());
+  if d.dname = c.index || Hashtbl.mem c.locals d.dname then reject ();
+  let e0 = match d.dinit with Some e -> e | None -> reject () in
+  (* the initialiser is lowered before the name is bound, as in the
+     closure backend's venv threading *)
+  let la = lexpr c e0 in
+  let res =
+    (* coerced_value arms: as_int / as_truth / demote to Sp / raw Dp *)
+    match d.dty with
+    | Tint ->
+      let x = as_int c la in
+      let r = alloci c in
+      emit c (Ir.IMov (r, x));
+      Ri (r, false)
+    | Tbool ->
+      let x = as_truth c la in
+      let r = alloci c in
+      emit c (Ir.IMov (r, x));
+      Ri (r, true)
+    | Tfloat ->
+      let x = as_float c la in
+      let r = allocf c in
+      emit c (Ir.FDem (r, x));
+      Rf (r, Ir.Psingle)
+    | Tdouble ->
+      let x = as_float c la in
+      let r = allocf c in
+      emit c (Ir.FMov (r, x));
+      Rf (r, Ir.Pdouble)
+    | _ -> assert false
+  in
+  Hashtbl.add c.locals d.dname res
+
+let lvar_assign c (s : stmt) v op (lr : lres) =
+  if v = c.index then reject ();
+  let target =
+    match Hashtbl.find_opt c.locals v with
+    | Some (Ri (r, b)) -> `Scalar (r, if b then Ir.Kbool else Ir.Kint)
+    | Some (Rf (r, p)) -> `Scalar (r, Ir.Kfloat p)
+    | None ->
+      if shadowed c v then reject ();
+      (match Typecheck.lookup_var c.env v with
+       | Some Tint -> `Var (getvar c v Ir.Kint)
+       | Some Tbool -> `Var (getvar c v Ir.Kbool)
+       | Some Tfloat -> `Var (getvar c v (Ir.Kfloat Ir.Psingle))
+       | Some Tdouble -> `Var (getvar c v (Ir.Kfloat Ir.Pdouble))
+       | Some (Tptr _) | Some Tvoid | None -> reject ())
+  in
+  let r, kind =
+    match target with
+    | `Scalar (r, k) -> (r, k)
+    | `Var (_, mv) ->
+      mv.mv_written <- true;
+      (mv.mv_reg, mv.mv_kind)
+  in
+  match op with
+  | Set ->
+    (* compile_var_assign Set arms: Vint (as_int) / Vbool (as_truth) /
+       Vfloat (Sp, demote) / Vfloat (Dp, as_float); no counters *)
+    (match kind with
+     | Ir.Kint ->
+       let x = as_int c lr in
+       emit c (Ir.IMov (r, x))
+     | Ir.Kbool ->
+       let x = as_truth c lr in
+       emit c (Ir.IMov (r, x))
+     | Ir.Kfloat Ir.Psingle ->
+       let x = as_float c lr in
+       emit c (Ir.FDem (r, x))
+     | Ir.Kfloat Ir.Pdouble ->
+       let x = as_float c lr in
+       emit c (Ir.FMov (r, x)))
+  | AddEq | SubEq | MulEq | DivEq ->
+    let bop = binop_of_assign op in
+    (match kind, lr with
+     | Ir.Kint, Ri (y, _) ->
+       (* rhs evaluated first (already lowered), old value read, one int
+          op; Div checks zero at s.sloc before counting *)
+       (match bop with
+        | Add -> emit c (Ir.IAdd (r, r, y))
+        | Sub -> emit c (Ir.ISub (r, r, y))
+        | Mul -> emit c (Ir.IMul (r, r, y))
+        | _ -> emit c (Ir.IDivZ (r, r, y, s.sloc)));
+       kint c
+     | Ir.Kint, Rf (y, p) ->
+       (* float compound on an int variable: flop at rhs precision, result
+          truncated back to int *)
+       let t = allocf c in
+       emit c (Ir.ItoF (t, r));
+       let u = allocf c in
+       (match bop, p with
+        | Add, Ir.Pdouble -> emit c (Ir.FAdd (u, t, y))
+        | Sub, Ir.Pdouble -> emit c (Ir.FSub (u, t, y))
+        | Mul, Ir.Pdouble -> emit c (Ir.FMul (u, t, y))
+        | Div, Ir.Pdouble -> emit c (Ir.FDiv (u, t, y))
+        | Add, Ir.Psingle -> emit c (Ir.FAddS (u, t, y))
+        | Sub, Ir.Psingle -> emit c (Ir.FSubS (u, t, y))
+        | Mul, Ir.Psingle -> emit c (Ir.FMulS (u, t, y))
+        | Div, Ir.Psingle -> emit c (Ir.FDivS (u, t, y))
+        | _ -> assert false);
+       kflop c p (cls_of_bop bop);
+       emit c (Ir.FtoI (r, u))
+     | Ir.Kbool, _ -> reject ()  (* generic cast_like arm *)
+     | Ir.Kfloat tp, _ ->
+       let p =
+         match tp, lr with
+         | Ir.Pdouble, _ -> Ir.Pdouble
+         | _, Rf (_, Ir.Pdouble) -> Ir.Pdouble
+         | _ -> Ir.Psingle
+       in
+       let y = as_float c lr in
+       let demoted_store = tp = Ir.Psingle in
+       (match bop, p with
+        | Add, Ir.Pdouble when not demoted_store -> emit c (Ir.FAdd (r, r, y))
+        | Sub, Ir.Pdouble when not demoted_store -> emit c (Ir.FSub (r, r, y))
+        | Mul, Ir.Pdouble when not demoted_store -> emit c (Ir.FMul (r, r, y))
+        | Div, Ir.Pdouble when not demoted_store -> emit c (Ir.FDiv (r, r, y))
+        | Add, Ir.Psingle -> emit c (Ir.FAddS (r, r, y))
+        | Sub, Ir.Psingle -> emit c (Ir.FSubS (r, r, y))
+        | Mul, Ir.Psingle -> emit c (Ir.FMulS (r, r, y))
+        | Div, Ir.Psingle -> emit c (Ir.FDivS (r, r, y))
+        | bop', Ir.Pdouble ->
+          (* single-precision target with a double-precision rhs: the op
+             runs at Dp and only the stored value demotes *)
+          let t = allocf c in
+          (match bop' with
+           | Add -> emit c (Ir.FAdd (t, r, y))
+           | Sub -> emit c (Ir.FSub (t, r, y))
+           | Mul -> emit c (Ir.FMul (t, r, y))
+           | _ -> emit c (Ir.FDiv (t, r, y)));
+          emit c (Ir.FDem (r, t))
+        | _ -> assert false);
+       kflop c p (cls_of_bop bop))
+
+let lindex_assign c (s : stmt) (lhs : expr) base idx op (lr : lres) =
+  let aid, ma = larr c base in
+  let ety = ma.ma_ety in
+  ma.ma_stored <- true;
+  (* value conversions belong to the rhs closure and run before the index
+     evaluates, so emit them first *)
+  match op with
+  | Set ->
+    let src =
+      match ety with
+      | Ir.Efloat32 | Ir.Efloat64 -> as_float c lr
+      | Ir.Eint -> as_int c lr
+      | Ir.Ebool -> as_truth c lr
+    in
+    (match affine c idx with
+     | Some (coef, bse, nops) ->
+       c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + nops;
+       let cur = getcursor c aid coef bse in
+       (match ety with
+        | Ir.Efloat32 -> emit c (Ir.FStDem (cur, src))
+        | Ir.Efloat64 -> emit c (Ir.FSt (cur, src))
+        | Ir.Eint -> emit c (Ir.ISt (cur, src))
+        | Ir.Ebool -> emit c (Ir.IStB (cur, src)))
+     | None ->
+       let ii = as_int c (lexpr c idx) in
+       (match ety with
+        | Ir.Efloat32 | Ir.Efloat64 -> emit c (Ir.FStCk (aid, ii, src, lhs.eloc))
+        | Ir.Eint | Ir.Ebool -> emit c (Ir.IStCk (aid, ii, src, lhs.eloc))));
+    kstore c ety
+  | AddEq | SubEq | MulEq | DivEq ->
+    let bop = binop_of_assign op in
+    (match ety with
+     | Ir.Efloat32 | Ir.Efloat64 ->
+       let p =
+         match ety, lr with
+         | Ir.Efloat64, _ -> Ir.Pdouble
+         | _, Rf (_, Ir.Pdouble) -> Ir.Pdouble
+         | _ -> Ir.Psingle
+       in
+       let y = as_float c lr in
+       let ld, st =
+         match affine c idx with
+         | Some (coef, bse, nops) ->
+           c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + nops;
+           let cur = getcursor c aid coef bse in
+           ( (fun d -> emit c (Ir.FLd (d, cur))),
+             fun srcr ->
+               emit c
+                 (if ety = Ir.Efloat32 then Ir.FStDem (cur, srcr)
+                  else Ir.FSt (cur, srcr)) )
+         | None ->
+           let ii = as_int c (lexpr c idx) in
+           ( (fun d -> emit c (Ir.FLdCk (d, aid, ii, lhs.eloc))),
+             fun srcr -> emit c (Ir.FStCk (aid, ii, srcr, lhs.eloc)) )
+       in
+       let x = allocf c in
+       ld x;
+       kload c ety;
+       let t = allocf c in
+       (match bop, p with
+        | Add, Ir.Pdouble -> emit c (Ir.FAdd (t, x, y))
+        | Sub, Ir.Pdouble -> emit c (Ir.FSub (t, x, y))
+        | Mul, Ir.Pdouble -> emit c (Ir.FMul (t, x, y))
+        | Div, Ir.Pdouble -> emit c (Ir.FDiv (t, x, y))
+        | Add, Ir.Psingle -> emit c (Ir.FAddS (t, x, y))
+        | Sub, Ir.Psingle -> emit c (Ir.FSubS (t, x, y))
+        | Mul, Ir.Psingle -> emit c (Ir.FMulS (t, x, y))
+        | Div, Ir.Psingle -> emit c (Ir.FDivS (t, x, y))
+        | _ -> assert false);
+       kflop c p (cls_of_bop bop);
+       st t;
+       kstore c ety
+     | Ir.Eint ->
+       (* compile.ml requires an int/bool-kinded rhs here *)
+       let y = match lr with Ri (y, _) -> y | Rf _ -> reject () in
+       let ld, st =
+         match affine c idx with
+         | Some (coef, bse, nops) ->
+           c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + nops;
+           let cur = getcursor c aid coef bse in
+           ( (fun d -> emit c (Ir.ILd (d, cur))),
+             fun srcr -> emit c (Ir.ISt (cur, srcr)) )
+         | None ->
+           let ii = as_int c (lexpr c idx) in
+           ( (fun d -> emit c (Ir.ILdCk (d, aid, ii, lhs.eloc))),
+             fun srcr -> emit c (Ir.IStCk (aid, ii, srcr, lhs.eloc)) )
+       in
+       let x = alloci c in
+       ld x;
+       kload c ety;
+       let t = alloci c in
+       (match bop with
+        | Add -> emit c (Ir.IAdd (t, x, y))
+        | Sub -> emit c (Ir.ISub (t, x, y))
+        | Mul -> emit c (Ir.IMul (t, x, y))
+        | _ -> emit c (Ir.IDivZ (t, x, y, s.sloc)));
+       kint c;
+       st t;
+       kstore c ety
+     | Ir.Ebool -> reject ())
+
+let lstmt c (s : stmt) =
+  if Hashtbl.mem c.region_set s.sid then reject ();
+  match s.sdesc with
+  | Decl d -> ldecl c d
+  | Assign (lhs, op, rhs) ->
+    let lr = lexpr c rhs in
+    (match lhs.edesc with
+     | Var v -> lvar_assign c s v op lr
+     | Index (b, idx) -> lindex_assign c s lhs b idx op lr
+     | _ -> reject ())
+  | Expr_stmt e -> ignore (lexpr c e)
+  | If _ | For _ | While _ | Return _ | Break | Continue | Scope _ -> reject ()
+
+(* ---- optimisation: hoisting, promotion, superinstruction fusion ---- *)
+
+(* float-register def/use counting over all sections; used to identify
+   single-definition single-use temporaries that fusion may absorb *)
+let fcounts nf ops_list =
+  let defs = Array.make (max nf 1) 0 in
+  let uses = Array.make (max nf 1) 0 in
+  let d r = defs.(r) <- defs.(r) + 1 in
+  let u r = uses.(r) <- uses.(r) + 1 in
+  List.iter
+    (List.iter (fun (op : Ir.fop) ->
+         match op with
+         | FConst (x, _) | Rand x | FLdSub2 (x, _, _) -> d x
+         | FMov (x, a) | FDem (x, a) | FNeg (x, a)
+         | FMath1 (_, x, a) | FMath1S (_, x, a)
+         | FRecip (x, a) | FRsqrt (x, a) ->
+           d x;
+           u a
+         | ItoF (x, _) | FLd (x, _) | FLdCk (x, _, _, _) -> d x
+         | FtoI (_, a) | FtoB (_, a) | FSt (_, a) | FStDem (_, a)
+         | FStCk (_, _, a, _) | FAccSt (_, a) ->
+           u a
+         | FAdd (x, a, b) | FSub (x, a, b) | FMul (x, a, b) | FDiv (x, a, b)
+         | FAddS (x, a, b) | FSubS (x, a, b) | FMulS (x, a, b) | FDivS (x, a, b)
+         | FMath2 (_, x, a, b) | FMath2S (_, x, a, b) ->
+           d x;
+           u a;
+           u b
+         | FLdSub (x, _, b) | FLdMul (x, _, b) | FLdAdd (x, _, b) ->
+           d x;
+           u b
+         | FMulAdd (x, a, b, e) | FAddMul (x, e, a, b) | FSubMul (x, e, a, b) ->
+           d x;
+           u a;
+           u b;
+           u e
+         | FMulAccSt (_, a, b) ->
+           u a;
+           u b
+         | IConst _ | IMov _ | ItoB _ | IAdd _ | ISub _ | IMul _ | INeg _
+         | IDivZ _ | IModZ _ | IAbs _ | IMin _ | IMax _ | ILd _ | ISt _
+         | IStB _ | ILdCk _ | IStCk _ ->
+           ()))
+    ops_list;
+  (defs, uses)
+
+(* substitute register [d] with [r] in the float *use* positions of [op];
+   None when [op] has no handled float-use of [d] *)
+let subst_use (op : Ir.fop) d r : Ir.fop option =
+  let hit = ref false in
+  let sh x =
+    if x = d then (
+      hit := true;
+      r)
+    else x
+  in
+  let op' : Ir.fop =
+    match op with
+    | FMov (x, a) -> FMov (x, sh a)
+    | FDem (x, a) -> FDem (x, sh a)
+    | FNeg (x, a) -> FNeg (x, sh a)
+    | FtoI (x, a) -> FtoI (x, sh a)
+    | FtoB (x, a) -> FtoB (x, sh a)
+    | FMath1 (m, x, a) -> FMath1 (m, x, sh a)
+    | FMath1S (m, x, a) -> FMath1S (m, x, sh a)
+    | FMath2 (m, x, a, b) -> FMath2 (m, x, sh a, sh b)
+    | FMath2S (m, x, a, b) -> FMath2S (m, x, sh a, sh b)
+    | FAdd (x, a, b) -> FAdd (x, sh a, sh b)
+    | FSub (x, a, b) -> FSub (x, sh a, sh b)
+    | FMul (x, a, b) -> FMul (x, sh a, sh b)
+    | FDiv (x, a, b) -> FDiv (x, sh a, sh b)
+    | FAddS (x, a, b) -> FAddS (x, sh a, sh b)
+    | FSubS (x, a, b) -> FSubS (x, sh a, sh b)
+    | FMulS (x, a, b) -> FMulS (x, sh a, sh b)
+    | FDivS (x, a, b) -> FDivS (x, sh a, sh b)
+    | FSt (cu, a) -> FSt (cu, sh a)
+    | FStDem (cu, a) -> FStDem (cu, sh a)
+    | FStCk (ar, i, a, l) -> FStCk (ar, i, sh a, l)
+    | FRecip (x, a) -> FRecip (x, sh a)
+    | FRsqrt (x, a) -> FRsqrt (x, sh a)
+    | FLdSub (x, cu, b) -> FLdSub (x, cu, sh b)
+    | FLdMul (x, cu, b) -> FLdMul (x, cu, sh b)
+    | FLdAdd (x, cu, b) -> FLdAdd (x, cu, sh b)
+    | FMulAdd (x, a, b, e) -> FMulAdd (x, sh a, sh b, sh e)
+    | FAddMul (x, e, a, b) -> FAddMul (x, sh e, sh a, sh b)
+    | FSubMul (x, e, a, b) -> FSubMul (x, sh e, sh a, sh b)
+    | FAccSt (cu, a) -> FAccSt (cu, sh a)
+    | FMulAccSt (cu, a, b) -> FMulAccSt (cu, sh a, sh b)
+    | _ -> op
+  in
+  if !hit then Some op' else None
+
+(* retarget the float destination of [op] from [d] to [r] *)
+let retarget (op : Ir.fop) d r : Ir.fop option =
+  match op with
+  | FConst (x, v) when x = d -> Some (FConst (r, v))
+  | FMov (x, a) when x = d -> Some (FMov (r, a))
+  | FDem (x, a) when x = d -> Some (FDem (r, a))
+  | FNeg (x, a) when x = d -> Some (FNeg (r, a))
+  | ItoF (x, a) when x = d -> Some (ItoF (r, a))
+  | FMath1 (m, x, a) when x = d -> Some (FMath1 (m, r, a))
+  | FMath1S (m, x, a) when x = d -> Some (FMath1S (m, r, a))
+  | FMath2 (m, x, a, b) when x = d -> Some (FMath2 (m, r, a, b))
+  | FMath2S (m, x, a, b) when x = d -> Some (FMath2S (m, r, a, b))
+  | FAdd (x, a, b) when x = d -> Some (FAdd (r, a, b))
+  | FSub (x, a, b) when x = d -> Some (FSub (r, a, b))
+  | FMul (x, a, b) when x = d -> Some (FMul (r, a, b))
+  | FDiv (x, a, b) when x = d -> Some (FDiv (r, a, b))
+  | FAddS (x, a, b) when x = d -> Some (FAddS (r, a, b))
+  | FSubS (x, a, b) when x = d -> Some (FSubS (r, a, b))
+  | FMulS (x, a, b) when x = d -> Some (FMulS (r, a, b))
+  | FDivS (x, a, b) when x = d -> Some (FDivS (r, a, b))
+  | Rand x when x = d -> Some (Rand r)
+  | FLd (x, cu) when x = d -> Some (FLd (r, cu))
+  | FLdCk (x, ar, i, l) when x = d -> Some (FLdCk (r, ar, i, l))
+  | FLdSub (x, a, b) when x = d -> Some (FLdSub (r, a, b))
+  | FLdSub2 (x, a, b) when x = d -> Some (FLdSub2 (r, a, b))
+  | FLdMul (x, a, b) when x = d -> Some (FLdMul (r, a, b))
+  | FLdAdd (x, a, b) when x = d -> Some (FLdAdd (r, a, b))
+  | FMulAdd (x, a, b, e) when x = d -> Some (FMulAdd (r, a, b, e))
+  | FAddMul (x, e, a, b) when x = d -> Some (FAddMul (r, e, a, b))
+  | FSubMul (x, e, a, b) when x = d -> Some (FSubMul (r, e, a, b))
+  | FRecip (x, a) when x = d -> Some (FRecip (r, a))
+  | FRsqrt (x, a) when x = d -> Some (FRsqrt (r, a))
+  | _ -> None
+
+(* Fusion never crosses a PRNG draw, a checked access, or a zero-checked
+   division (only adjacent ops merge, and none of those opcodes appear in
+   any pattern), so memory/effect/raise order is preserved exactly.  Fused
+   arithmetic keeps operand order — a*b+c stays (a*b)+c with the same
+   rounding — so results are bit-identical to the unfused sequence. *)
+let fuse_pass ~nf ~pro ~epi ~external_regs ~one_regs (body : Ir.fop array) :
+    Ir.fop array =
+  let body = ref (Array.to_list body) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let defs, uses = fcounts nf [ pro; !body; epi ] in
+    let temp d =
+      d < nf && (not external_regs.(d)) && defs.(d) = 1 && uses.(d) = 1
+    in
+    let rec scan acc (ops : Ir.fop list) =
+      match ops with
+      | Ir.FLd (t1, c1) :: Ir.FLd (t2, c2) :: Ir.FSub (x, a, b) :: tl
+        when a = t1 && b = t2 && t1 <> t2 && temp t1 && temp t2 ->
+        List.rev_append acc (Ir.FLdSub2 (x, c1, c2) :: tl)
+      | Ir.FLd (t, cu) :: Ir.FAdd (x, a, b) :: Ir.FSt (cu2, r) :: tl
+        when a = t && cu2 = cu && temp t && temp x && x = r && b <> t ->
+        List.rev_append acc (Ir.FAccSt (cu, b) :: tl)
+      | Ir.FLd (t, cu) :: Ir.FSub (x, a, b) :: tl when a = t && temp t && b <> t
+        ->
+        List.rev_append acc (Ir.FLdSub (x, cu, b) :: tl)
+      | Ir.FLd (t, cu) :: Ir.FAdd (x, a, b) :: tl when a = t && temp t && b <> t
+        ->
+        List.rev_append acc (Ir.FLdAdd (x, cu, b) :: tl)
+      | Ir.FLd (t, cu) :: Ir.FMul (x, a, b) :: tl when a = t && temp t && b <> t
+        ->
+        List.rev_append acc (Ir.FLdMul (x, cu, b) :: tl)
+      | Ir.FMul (t, a, b) :: Ir.FAdd (x, p, q) :: tl
+        when p = t && temp t && q <> t ->
+        List.rev_append acc (Ir.FMulAdd (x, a, b, q) :: tl)
+      | Ir.FMul (t, a, b) :: Ir.FAdd (x, p, q) :: tl
+        when q = t && temp t && p <> t ->
+        List.rev_append acc (Ir.FAddMul (x, p, a, b) :: tl)
+      | Ir.FMul (t, a, b) :: Ir.FSub (x, p, q) :: tl
+        when q = t && temp t && p <> t ->
+        List.rev_append acc (Ir.FSubMul (x, p, a, b) :: tl)
+      | Ir.FMul (t, a, b) :: Ir.FAccSt (cu, q) :: tl when q = t && temp t ->
+        List.rev_append acc (Ir.FMulAccSt (cu, a, b) :: tl)
+      | Ir.FDiv (x, o, a) :: tl when o < nf && one_regs.(o) && a <> o ->
+        List.rev_append acc (Ir.FRecip (x, a) :: tl)
+      | Ir.FMath1 (Ir.Msqrt, t, a) :: Ir.FRecip (x, q) :: tl
+        when q = t && temp t ->
+        List.rev_append acc (Ir.FRsqrt (x, a) :: tl)
+      | Ir.FMov (d, r) :: (op2 :: tl as rest) when temp d -> (
+        match subst_use op2 d r with
+        | Some op2' -> List.rev_append acc (op2' :: tl)
+        | None -> scan (Ir.FMov (d, r) :: acc) rest)
+      | op1 :: Ir.FMov (r, d) :: tl when temp d -> (
+        match retarget op1 d r with
+        | Some op1' -> List.rev_append acc (op1' :: tl)
+        | None -> scan (Ir.FMov (r, d) :: op1 :: acc) tl)
+      | op :: tl -> scan (op :: acc) tl
+      | [] -> List.rev acc
+    in
+    let body' = scan [] !body in
+    if body' <> !body then begin
+      body := body';
+      changed := true
+    end
+  done;
+  Array.of_list !body
+
+(* ---- whole-loop lowering ---- *)
+
+let plan_loop ~env ~user_funcs ~region_set (tbl : Ir.plan) (s : stmt)
+    (h : for_header) (body : block) =
+  let assigned = Hashtbl.create 8 in
+  let all_locals = Hashtbl.create 8 in
+  List.iter
+    (fun st ->
+      match st.sdesc with
+      | Assign ({ edesc = Var v; _ }, _, _) -> Hashtbl.replace assigned v ()
+      | Decl d -> Hashtbl.replace all_locals d.dname ()
+      | _ -> ())
+    body;
+  let c =
+    {
+      env;
+      index = h.index;
+      assigned;
+      all_locals;
+      user_funcs;
+      region_set;
+      nf = 0;
+      ni = 0;
+      pro = [];
+      body = [];
+      cnt = Ir.zero_counts ();
+      vtbl = Hashtbl.create 8;
+      vars = [];
+      nvars = 0;
+      atbl = Hashtbl.create 8;
+      arrs = [];
+      narrs = 0;
+      cursors = [];
+      ncursors = 0;
+      locals = Hashtbl.create 8;
+      index_reg = None;
+      fconsts = Hashtbl.create 8;
+      iconsts = Hashtbl.create 8;
+    }
+  in
+  (* hi/step are re-evaluated on every loop test/bump by the closure
+     backend; they must be invariant ints so the guard can evaluate them
+     once and derive the exact trip count *)
+  let hi, hi_ops = invariant c h.hi in
+  let step, step_ops = invariant c h.step in
+  List.iter (lstmt c) body;
+  (* per-iteration deltas: body + head test (branch, int op, hi eval) +
+     index bump (int op, step eval); the failing final test is the head
+     delta alone.  The For statement itself is charged by the enclosing
+     segment, so steps per iteration = body statement count. *)
+  let per_iter =
+    let t = c.cnt in
+    {
+      t with
+      Ir.k_int_ops = t.Ir.k_int_ops + 2 + hi_ops + step_ops;
+      Ir.k_branches = t.Ir.k_branches + 1;
+    }
+  in
+  let final = Ir.zero_counts () in
+  final.Ir.k_int_ops <- 1 + hi_ops;
+  final.Ir.k_branches <- 1;
+  let arrs = Array.of_list (List.rev c.arrs) in
+  let cursors = Array.of_list (List.rev c.cursors) in
+  let zero_coef cu =
+    let _, coef, _ = cursors.(cu) in
+    coef = Ir.Iconst 0
+  in
+  let arr_of cu =
+    let a, _, _ = cursors.(cu) in
+    a
+  in
+  let pro = ref (List.rev c.pro) in
+  let epi = ref [] in
+  (* hoist: loads through invariant cursors of arrays never stored move to
+     the prologue (guard re-checks no aliasing store can clobber them) *)
+  let hoisted = Hashtbl.create 4 in
+  let body_ops =
+    List.filter_map
+      (fun (op : Ir.fop) ->
+        match op with
+        | (FLd (_, cu) | ILd (_, cu))
+          when zero_coef cu && not arrs.(arr_of cu).ma_stored ->
+          pro := !pro @ [ op ];
+          Hashtbl.replace hoisted (arr_of cu) ();
+          None
+        | _ -> Some op)
+      (List.rev c.body)
+  in
+  (* promote: an array cell addressed only through one invariant cursor
+     becomes a register, loaded on entry and stored back on exit (guard
+     re-checks its base is distinct from every other accessed base) *)
+  let cursor_uses = Array.make (max c.ncursors 1) 0 in
+  let ck_arrs = Hashtbl.create 4 in
+  List.iter
+    (fun (op : Ir.fop) ->
+      match op with
+      | FLd (_, cu) | FSt (cu, _) | FStDem (cu, _) | ILd (_, cu) | ISt (cu, _)
+      | IStB (cu, _) ->
+        cursor_uses.(cu) <- cursor_uses.(cu) + 1
+      | FLdCk (_, a, _, _) | FStCk (a, _, _, _) | ILdCk (_, a, _, _)
+      | IStCk (a, _, _, _) ->
+        Hashtbl.replace ck_arrs a ()
+      | _ -> ())
+    body_ops;
+  let promoted = ref [] in
+  let promoted_regs = ref [] in
+  let body_ops = ref body_ops in
+  Array.iteri
+    (fun aid (ma : marr) ->
+      if ma.ma_stored && not (Hashtbl.mem ck_arrs aid) then begin
+        let cus = ref [] in
+        Array.iteri
+          (fun cu (a, _, _) ->
+            if a = aid && cursor_uses.(cu) > 0 then cus := cu :: !cus)
+          cursors;
+        match !cus with
+        | [ cu ] when zero_coef cu ->
+          let isf = match ma.ma_ety with Ir.Efloat32 | Ir.Efloat64 -> true | _ -> false in
+          let reg = if isf then allocf c else alloci c in
+          pro := !pro @ [ (if isf then Ir.FLd (reg, cu) else Ir.ILd (reg, cu)) ];
+          epi := !epi @ [ (if isf then Ir.FSt (cu, reg) else Ir.ISt (cu, reg)) ];
+          body_ops :=
+            List.map
+              (fun (op : Ir.fop) : Ir.fop ->
+                match op with
+                | FLd (d, cu') when cu' = cu -> FMov (d, reg)
+                | FSt (cu', sr) when cu' = cu -> FMov (reg, sr)
+                | FStDem (cu', sr) when cu' = cu -> FDem (reg, sr)
+                | ILd (d, cu') when cu' = cu -> IMov (d, reg)
+                | ISt (cu', sr) when cu' = cu -> IMov (reg, sr)
+                | IStB (cu', sr) when cu' = cu -> ItoB (reg, sr)
+                | _ -> op)
+              !body_ops;
+          promoted := aid :: !promoted;
+          if isf then promoted_regs := reg :: !promoted_regs
+        | _ -> ()
+      end)
+    arrs;
+  (* fusion *)
+  let external_regs = Array.make (max c.nf 1) false in
+  List.iter
+    (fun mv ->
+      match mv.mv_kind with
+      | Ir.Kfloat _ -> external_regs.(mv.mv_reg) <- true
+      | _ -> ())
+    c.vars;
+  List.iter (fun r -> external_regs.(r) <- true) !promoted_regs;
+  let one_regs = Array.make (max c.nf 1) false in
+  List.iter
+    (fun (op : Ir.fop) ->
+      match op with
+      | FConst (r, v) when v = 1.0 -> one_regs.(r) <- true
+      | _ -> ())
+    !pro;
+  let body_arr =
+    fuse_pass ~nf:c.nf ~pro:!pro ~epi:!epi ~external_regs ~one_regs
+      (Array.of_list !body_ops)
+  in
+  let fl : Ir.fast_loop =
+    {
+      fl_sid = s.sid;
+      fl_cle = h.cmp = CLe;
+      fl_hi = hi;
+      fl_hi_ops = hi_ops;
+      fl_step = step;
+      fl_step_ops = step_ops;
+      fl_vars =
+        Array.of_list
+          (List.rev_map
+             (fun mv ->
+               {
+                 Ir.v_name = mv.mv_name;
+                 v_kind = mv.mv_kind;
+                 v_reg = mv.mv_reg;
+                 v_written = mv.mv_written;
+               })
+             c.vars);
+      fl_arrs =
+        Array.map
+          (fun ma ->
+            { Ir.a_name = ma.ma_name; a_ety = ma.ma_ety; a_stored = ma.ma_stored })
+          arrs;
+      fl_cursors =
+        Array.map (fun (a, coef, base) -> { Ir.c_arr = a; c_coef = coef; c_base = base }) cursors;
+      fl_prologue = Array.of_list !pro;
+      fl_body = body_arr;
+      fl_epilogue = Array.of_list !epi;
+      fl_index_reg = c.index_reg;
+      fl_nf = c.nf;
+      fl_ni = c.ni;
+      fl_body_steps = List.length body;
+      fl_per_iter = per_iter;
+      fl_final = final;
+      fl_hoisted =
+        Array.of_list (Hashtbl.fold (fun k () acc -> k :: acc) hoisted []);
+      fl_promoted = Array.of_list !promoted;
+    }
+  in
+  Hashtbl.replace tbl s.sid fl
+
+(* ---- program walk ---- *)
+
+let decl_binding_ty (d : decl) =
+  match d.darray with Some _ -> Tptr d.dty | None -> d.dty
+
+let plan ?(region_sids = []) (p : program) : Ir.plan =
+  let tbl : Ir.plan = Hashtbl.create 16 in
+  (match Typecheck.check_program p with
+   | Error _ -> ()  (* ill-typed: run everything on the reference backends *)
+   | Ok () ->
+     let user_funcs = Hashtbl.create 8 in
+     List.iter (fun f -> Hashtbl.replace user_funcs f.fname ()) (funcs p);
+     let region_set = Hashtbl.create 8 in
+     List.iter (fun sid -> Hashtbl.replace region_set sid ()) region_sids;
+     let rec walk_block env blk =
+       ignore
+         (List.fold_left
+            (fun env s ->
+              match s.sdesc with
+              | Decl d -> Typecheck.bind env d.dname (decl_binding_ty d)
+              | If (_, b1, b2) ->
+                walk_block env b1;
+                walk_block env b2;
+                env
+              | While (_, b) ->
+                walk_block env b;
+                env
+              | Scope b ->
+                walk_block env b;
+                env
+              | For (h, body) ->
+                (try plan_loop ~env ~user_funcs ~region_set tbl s h body
+                 with Reject -> ());
+                walk_block (Typecheck.bind env h.index Tint) body;
+                env
+              | Assign _ | Expr_stmt _ | Return _ | Break | Continue -> env)
+            env blk)
+     in
+     List.iter
+       (fun f -> walk_block (Typecheck.env_for_func p f) f.fbody)
+       (funcs p));
+  tbl

@@ -1,0 +1,28 @@
+(** Lowering pass: select and compile canonical loops into {!Ir.fast_loop}s.
+
+    The pass consumes typecheck results ({!Typecheck.env_for_func},
+    {!Typecheck.lookup_var}) and walks every function body looking for
+    innermost counted [for] loops whose bodies are straight-line, statically
+    typed statements — scalar declarations with initialisers, assignments to
+    scalars and array elements, and effectful expressions built from
+    arithmetic, math intrinsics, [rand01()] and array reads.  Each eligible
+    loop is lowered to a flat instruction array over unboxed register files,
+    with affine array accesses turned into {!Ir.cursor}s (bounds checks
+    elided, verified once by the executing backend's guard), loop-invariant
+    loads hoisted, accumulator cells register-promoted, and the hottest
+    opcode pairs fused into superinstructions.
+
+    Anything the pass cannot prove eligible is simply left out of the plan:
+    the executing backend falls back to the reference closure compiler for
+    those loops, so lowering is a pure, sound optimisation with no effect on
+    observable semantics (values, step budgets, counters, error messages,
+    PRNG draws, or printed output). *)
+
+val plan : ?region_sids:int list -> Ast.program -> Ir.plan
+(** [plan ~region_sids p] lowers every eligible loop of [p], keyed by the
+    [For] statement id.  Programs that fail {!Typecheck.check_program}
+    produce an empty plan (the backends reproduce the walker's dynamic
+    behaviour instead).  [region_sids] lists statement ids instrumented as
+    observation regions ([trace_aliases] footprints): loops containing such
+    statements are not planned, and the guard additionally refuses to run
+    while any region is active. *)

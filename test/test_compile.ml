@@ -1,7 +1,9 @@
-(* Differential tests for the closure-compiled interpreter backend: the
-   compiled backend must be observably bit-identical to the reference
-   tree-walker on every program — output, counters, loop/region stats,
-   alias verdicts, final memory, and raised exceptions. *)
+(* Differential tests for the non-walker interpreter backends: the
+   closure-compiled backend and the superinstruction VM must both be
+   observably bit-identical to the reference tree-walker on every
+   program — output, counters, loop/region stats, alias verdicts, final
+   memory, and raised exceptions.  Every parity check below runs the
+   full walker/compiled/VM triangle. *)
 
 let check = Alcotest.(check bool)
 
@@ -85,7 +87,9 @@ let outcomes_equal a b =
   | _ -> false
 
 let agree ?(config = Machine.default_config) p =
-  outcomes_equal (run_backend `Ast config p) (run_backend `Compiled config p)
+  let reference = run_backend `Ast config p in
+  outcomes_equal reference (run_backend `Compiled config p)
+  && outcomes_equal reference (run_backend `Vm config p)
 
 let agree_src ?config src = agree ?config (parse src)
 
@@ -324,7 +328,7 @@ int main() {
     [ 100; 1000; 2000; 5000; 5999; 6000; 6007; 8000 ]
 
 let test_step_count_identical () =
-  (* same program, both backends complete: identical total steps *)
+  (* same program, all backends complete: identical total steps *)
   List.iter
     (fun (app : App.t) ->
       let config =
@@ -336,7 +340,9 @@ let test_step_count_identical () =
       let p = App.program app in
       let sa = (Machine.run ~config ~backend:`Ast p).Machine.counters.Counters.steps in
       let sc = (Machine.run ~config ~backend:`Compiled p).Machine.counters.Counters.steps in
-      Alcotest.(check int) (app.App.app_slug ^ " steps") sa sc)
+      let sv = (Machine.run ~config ~backend:`Vm p).Machine.counters.Counters.steps in
+      Alcotest.(check int) (app.App.app_slug ^ " steps") sa sc;
+      Alcotest.(check int) (app.App.app_slug ^ " steps (vm)") sa sv)
     Suite.all
 
 let test_recursion () =
@@ -388,12 +394,63 @@ let test_default_backend_switch () =
   check "backend names round-trip" true
     (Machine.backend_of_string (Machine.backend_name `Ast) = Some `Ast
     && Machine.backend_of_string (Machine.backend_name `Compiled) = Some `Compiled
+    && Machine.backend_of_string (Machine.backend_name `Vm) = Some `Vm
     && Machine.backend_of_string "nope" = None)
+
+(* ---- fault-injection parity across backends ---- *)
+
+(* the first line of --explain/--why names the active backend; drop it so
+   the rest of the trail can be compared byte-for-byte across backends *)
+let drop_backend_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let test_fault_report_backend_invariant () =
+  (* an injected task fault must prune the same branch with the same
+     provenance whatever backend interprets the programs: faults fire on
+     task sites, never on interpreter internals *)
+  let observe backend =
+    let saved = Machine.default_backend () in
+    Machine.set_default_backend backend;
+    Fun.protect
+      ~finally:(fun () -> Machine.set_default_backend saved)
+      (fun () ->
+        (match Util.Faultsim.parse "task:GPU-2080" with
+         | Ok spec -> Util.Faultsim.arm spec
+         | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Util.Faultsim.disarm (fun () ->
+            (* drop the in-memory task/run caches so every backend's run
+               actually interprets instead of replaying a cached result *)
+            Cache.clear_memory ();
+            match
+              Engine.run ~workload:Nbody.app.App.app_test_overrides
+                ~mode:Pipeline.Uninformed Nbody.app
+            with
+            | Error e -> Alcotest.fail e
+            | Ok rep ->
+              ( List.map
+                  (fun (d : Design.t) -> Target.short d.Design.d_target)
+                  rep.Engine.rep_designs,
+                Report.failures_text rep,
+                drop_backend_line (Report.why_text rep) )))
+  in
+  let da, fa, wa = observe `Ast in
+  let dc, fc, wc = observe `Compiled in
+  let dv, fv, wv = observe `Vm in
+  check "fault prunes a branch" true (fa <> "");
+  check "designs identical (compiled)" true (da = dc);
+  check "designs identical (vm)" true (da = dv);
+  Alcotest.(check string) "failure lines identical (compiled)" fa fc;
+  Alcotest.(check string) "failure lines identical (vm)" fa fv;
+  Alcotest.(check string) "why trails identical (compiled)" wa wc;
+  Alcotest.(check string) "why trails identical (vm)" wa wv
 
 (* ---- random-program differential property ---- *)
 
 let prop_backends_agree =
-  QCheck.Test.make ~name:"compiled backend agrees with walker on random kernels"
+  QCheck.Test.make
+    ~name:"compiled and vm backends agree with walker on random kernels"
     ~count:150 Test_props.arbitrary_program (fun src ->
       let p = parse src in
       agree ~config:(full_config p) p)
@@ -415,5 +472,7 @@ let suite =
     Alcotest.test_case "prng stream order" `Quick test_prng_stream;
     Alcotest.test_case "exec stats accumulate" `Quick test_exec_stats_accumulate;
     Alcotest.test_case "default backend switch" `Quick test_default_backend_switch;
+    Alcotest.test_case "fault report backend-invariant" `Slow
+      test_fault_report_backend_invariant;
     QCheck_alcotest.to_alcotest prop_backends_agree;
   ]
