@@ -20,7 +20,12 @@
      reference tree walker on the recording host);
    - the current vm-backend throughput must be at least 3x the current
      compiled-backend throughput (the superinstruction VM's reason to
-     exist on the DSE hot path).
+     exist on the DSE hot path);
+   - per-app VM step coverage ("vm_coverage": planned statements / total
+     statements on the evaluation workloads) must hold absolute floors on
+     the loop-nest apps — AdPredictor >= 0.9, K-Means >= 0.9, N-Body >=
+     0.99 — and no app may drop more than 0.02 below its baseline
+     coverage.
 
    Exit status 1 on any violation, 0 otherwise.  The JSON reader below is
    a minimal recursive-descent parser for the subset bench emits (objects,
@@ -169,6 +174,18 @@ let throughput_tolerance = 0.10
    gate on them *)
 let section_floor_s = 0.05
 
+(* absolute per-app floors for VM step coverage: the loop-nest lowering's
+   reason to exist is keeping these apps' hot loops on the planned path *)
+let coverage_floors =
+  [ ("AdPredictor", 0.90);
+    ("K-Means Classification", 0.90);
+    ("N-Body Simulation", 0.99)
+  ]
+
+(* coverage is deterministic, so any drop is a real planning regression;
+   the small slack only absorbs workload-mix changes between revisions *)
+let coverage_slack = 0.02
+
 let failures = ref 0
 
 let report fmt =
@@ -298,7 +315,37 @@ let run_regressions current_path baseline_path =
        report "vm backend only %.2fx the compiled backend (needs >= 3x)" ratio
      else
        Printf.printf "ok    vm backend %.2fx the compiled backend (>= 3x)\n" ratio
-   | _ -> ())
+   | _ -> ());
+  (* VM step coverage: absolute floors on the loop-nest apps ... *)
+  let cur_cov =
+    Option.fold ~none:[] ~some:num_members (member "vm_coverage" current)
+  in
+  if cur_cov <> [] then begin
+    List.iter
+      (fun (name, floor) ->
+        match List.assoc_opt name cur_cov with
+        | None -> report "vm coverage is missing app %S" name
+        | Some c ->
+          if c < floor then
+            report "vm coverage %-26s %.3f (needs >= %.2f)" name c floor
+          else Printf.printf "ok    vm coverage %-26s %.3f (>= %.2f)\n" name c floor)
+      coverage_floors;
+    (* ... and no regression against the recorded baseline for any app *)
+    let base_cov =
+      Option.fold ~none:[] ~some:num_members (member "vm_coverage" baseline)
+    in
+    List.iter
+      (fun (name, base_c) ->
+        match List.assoc_opt name cur_cov with
+        | None -> report "vm coverage dropped app %S (baseline %.3f)" name base_c
+        | Some cur_c ->
+          if cur_c < base_c -. coverage_slack then
+            report "vm coverage %-26s %.3f -> %.3f (limit -%.2f)" name base_c cur_c
+              coverage_slack
+          else if not (List.mem_assoc name coverage_floors) then
+            Printf.printf "ok    vm coverage %-26s %.3f -> %.3f\n" name base_c cur_c)
+      base_cov
+  end
 
 let () =
   (match Sys.argv with

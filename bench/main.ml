@@ -104,6 +104,10 @@ let timed name f =
    "interp" section and reported under "statements_per_sec" in the JSON *)
 let throughput : (string * float) list ref = ref []
 
+(* per-app VM step coverage (planned statements / total statements), filled
+   by the "interp" section and reported under "vm_coverage" in the JSON *)
+let vm_coverage : (string * float) list ref = ref []
+
 let write_json path ~total =
   match open_out path with
   | exception Sys_error msg ->
@@ -125,6 +129,13 @@ let write_json path ~total =
       Printf.fprintf oc "    %S: %.1f%s\n" name sps
         (if i < List.length tp - 1 then "," else ""))
     tp;
+  output_string oc "  },\n  \"vm_coverage\": {\n";
+  let cov = !vm_coverage in
+  List.iteri
+    (fun i (name, c) ->
+      Printf.fprintf oc "    %S: %.4f%s\n" name c
+        (if i < List.length cov - 1 then "," else ""))
+    cov;
   output_string oc "  },\n";
   let s = Cache.stats () in
   Printf.fprintf oc
@@ -309,17 +320,29 @@ let run_interp_throughput () =
           { Machine.default_config with
             overrides = App.machine_overrides app.App.app_eval_overrides }
         in
-        (config, App.program app))
+        (app.App.app_name, config, App.program app))
       Suite.all
   in
+  (* per-app (planned, total) statements of the Vm leg; coverage is
+     deterministic, so accumulating across reps leaves the ratio exact *)
+  let cov : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
   let measure backend =
     let steps = ref 0 in
     let t0 = Obs.Monotonic.now_s () in
     for _ = 1 to reps do
       List.iter
-        (fun (config, p) ->
+        (fun (name, config, p) ->
+          let p0 = Machine.planned_steps () in
           let r = Machine.run ~config ~backend p in
-          steps := !steps + r.Machine.counters.Counters.steps)
+          let run_steps = r.Machine.counters.Counters.steps in
+          steps := !steps + run_steps;
+          if backend = `Vm then begin
+            let planned, total =
+              Option.value (Hashtbl.find_opt cov name) ~default:(0, 0)
+            in
+            Hashtbl.replace cov name
+              (planned + (Machine.planned_steps () - p0), total + run_steps)
+          end)
         inputs
     done;
     let dt = Obs.Monotonic.now_s () -. t0 in
@@ -329,6 +352,14 @@ let run_interp_throughput () =
   let compiled_sps, _ = measure `Compiled in
   let vm_sps, _ = measure `Vm in
   throughput := [ ("ast", ast_sps); ("compiled", compiled_sps); ("vm", vm_sps) ];
+  vm_coverage :=
+    List.filter_map
+      (fun (name, _, _) ->
+        match Hashtbl.find_opt cov name with
+        | Some (planned, total) when total > 0 ->
+          Some (name, float_of_int planned /. float_of_int total)
+        | _ -> None)
+      inputs;
   let table = Util.Table.create ~headers:[ "backend"; "statements/s"; "speedup" ] in
   Util.Table.set_aligns table [ Util.Table.Left; Util.Table.Right; Util.Table.Right ];
   Util.Table.add_row table [ "ast (tree walker)"; Printf.sprintf "%.2e" ast_sps; "1.00x" ];
@@ -346,7 +377,16 @@ let run_interp_throughput () =
     reps
     (if reps = 1 then "" else "s")
     (steps / reps);
-  Util.Table.print table
+  Util.Table.print table;
+  let ctable = Util.Table.create ~headers:[ "app"; "vm step coverage" ] in
+  Util.Table.set_aligns ctable [ Util.Table.Left; Util.Table.Right ];
+  List.iter
+    (fun (name, c) -> Util.Table.add_row ctable [ name; Printf.sprintf "%.3f" c ])
+    !vm_coverage;
+  print_newline ();
+  print_endline
+    "VM step coverage - planned statements / total statements per app";
+  Util.Table.print ctable
 
 let run_ablation () =
   (* the transforms' individual contributions, on the two accelerator-won

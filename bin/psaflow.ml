@@ -154,12 +154,55 @@ let apply_interp = function
 
 let print_interp_stats () =
   let s = Machine.exec_stats () in
-  if s.Machine.exec_runs > 0 && s.Machine.exec_seconds > 0.0 then
+  if s.Machine.exec_runs > 0 && s.Machine.exec_seconds > 0.0 then begin
     Printf.printf
       "\ninterpreter (%s backend): %d runs, %d statements, %.3f s (%.3g statements/s)\n"
       (Machine.backend_name (Machine.default_backend ()))
       s.Machine.exec_runs s.Machine.exec_steps s.Machine.exec_seconds
-      (float_of_int s.Machine.exec_steps /. s.Machine.exec_seconds)
+      (float_of_int s.Machine.exec_steps /. s.Machine.exec_seconds);
+    if Machine.default_backend () = `Vm && s.Machine.exec_steps > 0 then begin
+      let planned = Machine.planned_steps () in
+      Printf.printf "vm coverage: %d / %d planned statements (%.3f)\n" planned
+        s.Machine.exec_steps
+        (float_of_int planned /. float_of_int s.Machine.exec_steps)
+    end
+  end
+
+(* Per-loop plan outcomes for --explain: what the lowering pass decided for
+   every for statement in the app, plus any loops whose plan bailed back to
+   the closure path at runtime.  Both sources are deterministic sets in
+   program order, so the output is byte-identical at any --jobs. *)
+let print_vm_plan app =
+  let report = Ir_lower.plan_report (App.program app) in
+  if report <> [] then begin
+    let bails = Machine.plan_bail_sites () in
+    Printf.printf "\nvm loop plans:\n";
+    List.iter
+      (fun (loc, outcome) ->
+        let reasons =
+          List.filter_map
+            (fun (l, r) -> if l = loc then Some r else None)
+            bails
+        in
+        let status =
+          match (outcome : Ir_lower.outcome) with
+          | Unplannable reason -> Printf.sprintf "unplannable: %s" reason
+          | Planned { levels; sites } ->
+            let shape =
+              Printf.sprintf "%d level%s, %d site%s" levels
+                (if levels = 1 then "" else "s")
+                sites
+                (if sites = 1 then "" else "s")
+            in
+            (match reasons with
+             | [] -> Printf.sprintf "planned (%s)" shape
+             | rs ->
+               Printf.sprintf "planned (%s), bailed: %s" shape
+                 (String.concat ", " rs))
+        in
+        Printf.printf "  %-32s %s\n" (Loc.to_string loc) status)
+      report
+  end
 
 let print_metrics () =
   let metrics = Obs.Metrics.snapshot () in
@@ -298,6 +341,7 @@ let run_cmd =
              print_newline ();
              print_string (Report.log_text rep);
              print_interp_stats ();
+             print_vm_plan app;
              print_cache_stats ();
              print_metrics ()
            end;

@@ -1,19 +1,23 @@
 (* Guarded executor for {!Ir.fast_loop}: the superinstruction VM's hot
    path.  [Compile] intercepts a planned [For] right after initialising the
-   index slot; [try_run] either executes the whole loop here — unboxed
-   register files, flat op arrays, batched step/counter accounting, bounds
-   checks verified once at the endpoints — or returns [false] without any
-   observable effect, in which case the caller falls back to the reference
-   closure loop.
+   root index slot; [try_run] either executes the whole nest here — unboxed
+   register files, flat op arrays, batched step/counter accounting with
+   per-site taken counters, bounds checks verified once at the endpoints of
+   every level — or returns [false] without any observable effect, in which
+   case the caller falls back to the reference closure loop.
 
    Soundness discipline: everything before "commit" below is read-only on
    interpreter state (it only scribbles on [prepared] scratch), so bailing
    out at any point — including via the [Failure] raised by dangling
    pointers inside [Memory] accessors — leaves the slow path to reproduce
-   the walker's behaviour exactly.  After commit the loop runs to
+   the walker's behaviour exactly.  After commit the nest runs to
    completion; the only exceptions it can raise ([Runtime_error] from
    checked accesses and division by zero) are raised at the exact point the
-   walker would raise them, with identical state. *)
+   walker would raise them, with identical memory, output, and PRNG state
+   (counters are added after the run, but counter state is unobservable on
+   aborted runs — only the raise identity is).  The step budget is
+   pre-checked against the statically largest possible total, so the
+   post-run [consume_steps] can never raise. *)
 
 open Interp_rt
 
@@ -28,8 +32,20 @@ type prepared = {
   (* register files and per-entry scratch, reused across entries *)
   f : float array;
   n : int array;
+  (* nest shape caches *)
+  iregs : int array;  (* per level: index register or -1 *)
+  simple : Ir.fop array option;
+      (* single-level, site-free, one-run body: tight-loop special case *)
+  (* per-entry level scratch: trip count, lo, step *)
+  trip : int array;
+  llo : int array;
+  lstep : int array;
+  (* per-site scratch: taken counter, max executions, cost delta vector *)
+  tk : int array;
+  cntmax : int array;
+  dsite : int array array;
   (* the array resolution below matches the pointers currently in the
-     frame, so re-entries with unchanged pointers can skip phases 3/5 *)
+     frame, so re-entries with unchanged pointers can skip phases 4/4b *)
   mutable avalid : bool;
   (* per-array resolution: base id, pointer offset, length, name, raw data *)
   abase : int array;
@@ -40,20 +56,75 @@ type prepared = {
   aidata : int array array;
   adem : bool array;  (* element type is float32: stores demote *)
   abool : bool array;  (* element type is bool: stores normalise *)
-  (* per-cursor position/stride plus the resolved data array *)
+  (* per-cursor position, per-level coefficient values, resolved data *)
   cpos : int array;
-  cstep : int array;
+  ccoef : int array array;
   cfdata : float array array;
   cidata : int array array;
+  (* per level: cursors with a statically nonzero coefficient there, and
+     their per-entry enter/step/exit position deltas *)
+  lev_cur : int array array;
+  enter_d : int array array;
+  step_d : int array array;
+  exit_d : int array array;
 }
 
-exception Bail
+exception Bail of string
+
+(* ---- bail-site registry (diagnostics only) ----
+
+   [--explain] reports why planned loops fell back at runtime.  Keyed by
+   (root loc, reason) so the report is a set: identical at any [--jobs],
+   because memoization/single-flight dedup makes the set of executed runs
+   identical even when their interleaving is not. *)
+
+let bail_mu = Mutex.create ()
+
+let bail_tbl : (Loc.t * string, unit) Hashtbl.t = Hashtbl.create 16
+
+let record_bail loc reason =
+  Mutex.lock bail_mu;
+  Hashtbl.replace bail_tbl (loc, reason) ();
+  Mutex.unlock bail_mu
+
+let bail_sites () : (Loc.t * string) list =
+  Mutex.lock bail_mu;
+  let l = Hashtbl.fold (fun k () acc -> k :: acc) bail_tbl [] in
+  Mutex.unlock bail_mu;
+  List.sort compare l
+
+let reset_bail_sites () =
+  Mutex.lock bail_mu;
+  Hashtbl.reset bail_tbl;
+  Mutex.unlock bail_mu
+
+(* steps executed on the fast path, for the vm.coverage metric *)
+let m_planned = Obs.Metrics.counter "vm.steps.planned"
+
+let planned_steps () = Obs.Metrics.Counter.value m_planned
 
 (* Magnitude caps under which the affine endpoint algebra below is exact
    (no wrap-around): |index|,|bound|,|base|,|offset| <= 2^40 and
-   |coef| <= 2^20 keep every intermediate below 2^61 < max_int. *)
+   |coef| <= 2^20 keep every cursor position intermediate below 2^61 <
+   max_int (re-checked cursor by cursor), and cost-walk quantities are
+   checked against 2^55 so combining them with per-site counters cannot
+   wrap either. *)
 let cap = 1 lsl 40
 let coef_cap = 1 lsl 20
+let ccap = 1 lsl 55
+
+let cadd x y =
+  let s = x + y in
+  if s > ccap || s < -ccap then raise (Bail "overflow");
+  s
+
+let cmul x y =
+  if x = 0 || y = 0 then 0
+  else begin
+    let ax = abs x and ay = abs y in
+    if ax > ccap / ay then raise (Bail "overflow");
+    x * y
+  end
 
 let no_f : float array = [||]
 let no_i : int array = [||]
@@ -86,10 +157,32 @@ let prepare (fl : Ir.fast_loop) ~(index_slot : int)
         | _ -> (ok := false; dummy))
       fl.Ir.fl_arrs
   in
-  if not !ok then None
+  if not !ok then begin
+    record_bail fl.Ir.fl_loc "binding";
+    None
+  end
   else begin
+    let nl = Array.length fl.Ir.fl_levels in
+    let ns = max 1 (Array.length fl.Ir.fl_sites) in
     let na = max 1 (Array.length fl.Ir.fl_arrs) in
     let nc = max 1 (Array.length fl.Ir.fl_cursors) in
+    let lev_cur =
+      Array.init nl (fun l ->
+          let ids = ref [] in
+          Array.iteri
+            (fun k (c : Ir.cursor) ->
+              if c.Ir.c_coefs.(l) <> Ir.Iconst 0 then ids := k :: !ids)
+            fl.Ir.fl_cursors;
+          Array.of_list (List.rev !ids))
+    in
+    let simple =
+      if nl = 1 && Array.length fl.Ir.fl_sites = 0 then
+        match (fl.Ir.fl_levels.(0)).Ir.l_body.Ir.b_items with
+        | [| Ir.Bops ops |] -> Some ops
+        | [||] -> Some [||]
+        | _ -> None
+      else None
+    in
     Some
       {
         fl;
@@ -98,6 +191,18 @@ let prepare (fl : Ir.fast_loop) ~(index_slot : int)
         arr_srcs;
         f = Array.make (max 1 fl.Ir.fl_nf) 0.0;
         n = Array.make (max 1 fl.Ir.fl_ni) 0;
+        iregs =
+          Array.map
+            (fun (l : Ir.level) ->
+              match l.Ir.l_index_reg with Some r -> r | None -> -1)
+            fl.Ir.fl_levels;
+        simple;
+        trip = Array.make nl 0;
+        llo = Array.make nl 0;
+        lstep = Array.make nl 1;
+        tk = Array.make ns 0;
+        cntmax = Array.make ns 0;
+        dsite = Array.init ns (fun _ -> Array.make 15 0);
         avalid = false;
         abase = Array.make na (-1);
         aoff = Array.make na 0;
@@ -108,13 +213,17 @@ let prepare (fl : Ir.fast_loop) ~(index_slot : int)
         adem = Array.map (fun (a : Ir.arr) -> a.Ir.a_ety = Ir.Efloat32) fl.Ir.fl_arrs;
         abool = Array.map (fun (a : Ir.arr) -> a.Ir.a_ety = Ir.Ebool) fl.Ir.fl_arrs;
         cpos = Array.make nc 0;
-        cstep = Array.make nc 0;
+        ccoef = Array.init nc (fun _ -> Array.make nl 0);
         cfdata = Array.make nc no_f;
         cidata = Array.make nc no_i;
+        lev_cur;
+        enter_d = Array.map (fun cs -> Array.make (max 1 (Array.length cs)) 0) lev_cur;
+        step_d = Array.map (fun cs -> Array.make (max 1 (Array.length cs)) 0) lev_cur;
+        exit_d = Array.map (fun cs -> Array.make (max 1 (Array.length cs)) 0) lev_cur;
       }
   end
 
-(* Loop-invariant integer expressions; [Ivar] indexes the var table and is
+(* Nest-invariant integer expressions; [Ivar] indexes the var table and is
    guaranteed int-kinded and unwritten by the lowering. *)
 let rec ieval p (e : Ir.iexpr) : int =
   match e with
@@ -146,25 +255,96 @@ let m2 (m : Ir.m2) (x : float) (y : float) : float =
   | Ir.Mfmin -> Float.min x y
   | Ir.Mfmax -> Float.max x y
 
-(* Batched counter update: [k] scaled by [times] into the live counters.
-   Mirrors the per-operation count_* calls of the reference backends. *)
-let add_scaled (t : Counters.t) (k : Ir.counts) (times : int) =
-  t.Counters.int_ops <- t.Counters.int_ops + (k.Ir.k_int_ops * times);
-  t.Counters.flops_sp_add <- t.Counters.flops_sp_add + (k.Ir.k_sp_add * times);
-  t.Counters.flops_sp_mul <- t.Counters.flops_sp_mul + (k.Ir.k_sp_mul * times);
-  t.Counters.flops_sp_div <- t.Counters.flops_sp_div + (k.Ir.k_sp_div * times);
-  t.Counters.flops_sp_special <-
-    t.Counters.flops_sp_special + (k.Ir.k_sp_special * times);
-  t.Counters.flops_dp_add <- t.Counters.flops_dp_add + (k.Ir.k_dp_add * times);
-  t.Counters.flops_dp_mul <- t.Counters.flops_dp_mul + (k.Ir.k_dp_mul * times);
-  t.Counters.flops_dp_div <- t.Counters.flops_dp_div + (k.Ir.k_dp_div * times);
-  t.Counters.flops_dp_special <-
-    t.Counters.flops_dp_special + (k.Ir.k_dp_special * times);
-  t.Counters.loads <- t.Counters.loads + (k.Ir.k_loads * times);
-  t.Counters.stores <- t.Counters.stores + (k.Ir.k_stores * times);
-  t.Counters.bytes_loaded <- t.Counters.bytes_loaded + (k.Ir.k_bytes_loaded * times);
-  t.Counters.bytes_stored <- t.Counters.bytes_stored + (k.Ir.k_bytes_stored * times);
-  t.Counters.branches <- t.Counters.branches + (k.Ir.k_branches * times)
+(* ---- static cost vectors ----
+
+   15-element vectors: index 0 is steps, 1..14 the hardware-counter fields
+   in a fixed order (see [apply_totals]).  All cost-walk arithmetic is
+   checked against [ccap] so the combination with runtime taken counters
+   below is provably exact. *)
+
+let vec_of_block (b : Ir.block) =
+  let c = b.Ir.b_cnt in
+  [|
+    b.Ir.b_steps;
+    c.Ir.k_int_ops;
+    c.Ir.k_sp_add;
+    c.Ir.k_sp_mul;
+    c.Ir.k_sp_div;
+    c.Ir.k_sp_special;
+    c.Ir.k_dp_add;
+    c.Ir.k_dp_mul;
+    c.Ir.k_dp_div;
+    c.Ir.k_dp_special;
+    c.Ir.k_loads;
+    c.Ir.k_stores;
+    c.Ir.k_bytes_loaded;
+    c.Ir.k_bytes_stored;
+    c.Ir.k_branches;
+  |]
+
+let ivec ~ints ~brs =
+  let v = Array.make 15 0 in
+  v.(1) <- ints;
+  v.(14) <- brs;
+  v
+
+let vadd_into a b = Array.iteri (fun i x -> a.(i) <- cadd a.(i) x) b
+
+let vscale k v = Array.map (fun x -> cmul k x) v
+
+(* Cost of running [b] once, assuming each site takes its else arm; the
+   per-site deltas (then cost minus else cost) and maximum execution
+   counts land in [p.dsite]/[p.cntmax].  [mult] is the statically largest
+   number of times [b] can run per nest entry.  Loop trip counts are the
+   per-entry constants already computed in [p.trip]. *)
+let rec eval_block p (b : Ir.block) (mult : int) : int array =
+  let v = vec_of_block b in
+  Array.iter
+    (fun (it : Ir.bitem) ->
+      match it with
+      | Ir.Bops _ -> ()
+      | Ir.Bsite sid ->
+        let s = p.fl.Ir.fl_sites.(sid) in
+        let et = eval_block p s.Ir.s_then mult in
+        let ee = eval_block p s.Ir.s_else mult in
+        let d = p.dsite.(sid) in
+        Array.iteri (fun i x -> d.(i) <- cadd x (-ee.(i))) et;
+        p.cntmax.(sid) <- mult;
+        vadd_into v ee
+      | Ir.Bloop lid ->
+        let lv = p.fl.Ir.fl_levels.(lid) in
+        let trip = p.trip.(lid) in
+        let inner = eval_block p lv.Ir.l_body (cmul mult trip) in
+        (* closure-loop bookkeeping: lo evaluated once per entry; each
+           iteration pays the test (1 int op + hi ops + 1 branch) and the
+           bump (1 int op + step ops); the final failing test pays
+           1 + hi ops and a branch *)
+        vadd_into v (ivec ~ints:lv.Ir.l_lo_ops ~brs:0);
+        vadd_into inner
+          (ivec ~ints:(2 + lv.Ir.l_hi_ops + lv.Ir.l_step_ops) ~brs:1);
+        vadd_into v (vscale trip inner);
+        vadd_into v (ivec ~ints:(1 + lv.Ir.l_hi_ops) ~brs:1))
+    b.Ir.b_items;
+  v
+
+(* Batched counter update at commit: static baseline plus per-site taken
+   deltas, scaled into the live counters.  Mirrors the per-operation
+   count_* calls of the reference backends. *)
+let apply_totals (t : Counters.t) (tot : int array) =
+  t.Counters.int_ops <- t.Counters.int_ops + tot.(1);
+  t.Counters.flops_sp_add <- t.Counters.flops_sp_add + tot.(2);
+  t.Counters.flops_sp_mul <- t.Counters.flops_sp_mul + tot.(3);
+  t.Counters.flops_sp_div <- t.Counters.flops_sp_div + tot.(4);
+  t.Counters.flops_sp_special <- t.Counters.flops_sp_special + tot.(5);
+  t.Counters.flops_dp_add <- t.Counters.flops_dp_add + tot.(6);
+  t.Counters.flops_dp_mul <- t.Counters.flops_dp_mul + tot.(7);
+  t.Counters.flops_dp_div <- t.Counters.flops_dp_div + tot.(8);
+  t.Counters.flops_dp_special <- t.Counters.flops_dp_special + tot.(9);
+  t.Counters.loads <- t.Counters.loads + tot.(10);
+  t.Counters.stores <- t.Counters.stores + tot.(11);
+  t.Counters.bytes_loaded <- t.Counters.bytes_loaded + tot.(12);
+  t.Counters.bytes_stored <- t.Counters.bytes_stored + tot.(13);
+  t.Counters.branches <- t.Counters.branches + tot.(14)
 
 let oob p (a : int) (idx : int) (loc : Loc.t) =
   runtime_error loc "array %s: index %d out of bounds [0,%d)" p.aname.(a) idx
@@ -216,6 +396,31 @@ let exec p st (ops : Ir.fop array) =
     | Ir.IMax (d, a, b) ->
       let x = n.(a) and y = n.(b) in
       n.(d) <- (if x > y then x else y)
+    | Ir.ICmp (op, d, a, b) ->
+      let x = n.(a) and y = n.(b) in
+      let r =
+        match op with
+        | Ir.Clt -> x < y
+        | Ir.Cle -> x <= y
+        | Ir.Cgt -> x > y
+        | Ir.Cge -> x >= y
+        | Ir.Ceq -> x = y
+        | Ir.Cne -> x <> y
+      in
+      n.(d) <- (if r then 1 else 0)
+    | Ir.FCmp (op, d, a, b) ->
+      let x = f.(a) and y = f.(b) in
+      let r =
+        match op with
+        | Ir.Clt -> x < y
+        | Ir.Cle -> x <= y
+        | Ir.Cgt -> x > y
+        | Ir.Cge -> x >= y
+        | Ir.Ceq -> x = y
+        | Ir.Cne -> x <> y
+      in
+      n.(d) <- (if r then 1 else 0)
+    | Ir.INot (d, a) -> n.(d) <- (if n.(a) <> 0 then 0 else 1)
     | Ir.FMath1 (m, d, a) -> f.(d) <- m1 m f.(a)
     | Ir.FMath1S (m, d, a) -> f.(d) <- Value.demote (m1 m f.(a))
     | Ir.FMath2 (m, d, a, b) -> f.(d) <- m2 m f.(a) f.(b)
@@ -262,45 +467,132 @@ let exec p st (ops : Ir.fop array) =
       q.(i) <- q.(i) +. (f.(a) *. f.(b))
   done
 
+(* ---- tree executor ---- *)
+
+let rec run_block p st (b : Ir.block) =
+  let items = b.Ir.b_items in
+  for k = 0 to Array.length items - 1 do
+    match Array.unsafe_get items k with
+    | Ir.Bops ops -> exec p st ops
+    | Ir.Bsite sid ->
+      let s = Array.unsafe_get p.fl.Ir.fl_sites sid in
+      if p.n.(s.Ir.s_cond) <> 0 then begin
+        p.tk.(sid) <- p.tk.(sid) + 1;
+        run_block p st s.Ir.s_then
+      end
+      else run_block p st s.Ir.s_else
+    | Ir.Bloop lid -> run_level p st lid
+  done
+
+and run_level p st lid =
+  let lv = Array.unsafe_get p.fl.Ir.fl_levels lid in
+  let cs = p.lev_cur.(lid) in
+  let en = p.enter_d.(lid) and sd = p.step_d.(lid) and ex = p.exit_d.(lid) in
+  let ncs = Array.length cs in
+  for j = 0 to ncs - 1 do
+    let c = Array.unsafe_get cs j in
+    p.cpos.(c) <- p.cpos.(c) + Array.unsafe_get en j
+  done;
+  let trip = p.trip.(lid) and step = p.lstep.(lid) in
+  let ireg = p.iregs.(lid) in
+  let body = lv.Ir.l_body in
+  let i = ref p.llo.(lid) in
+  for _ = 1 to trip do
+    if ireg >= 0 then p.n.(ireg) <- !i;
+    run_block p st body;
+    for j = 0 to ncs - 1 do
+      let c = Array.unsafe_get cs j in
+      p.cpos.(c) <- p.cpos.(c) + Array.unsafe_get sd j
+    done;
+    i := !i + step
+  done;
+  (* net out this level's contribution so re-entries (inner levels run
+     once per enclosing iteration) start from the enclosing position *)
+  for j = 0 to ncs - 1 do
+    let c = Array.unsafe_get cs j in
+    p.cpos.(c) <- p.cpos.(c) - Array.unsafe_get ex j
+  done
+
 let read_src (fr : Value.t array) = function
   | Slot i -> fr.(i)
   | Global r -> !r
 
 let attempt p st (fr : Value.t array) (acc : loop_acc) =
   let fl = p.fl in
-  let vars = fl.Ir.fl_vars in
+  let levels = fl.Ir.fl_levels in
+  let nl = Array.length levels in
+  let nsites = Array.length fl.Ir.fl_sites in
+  (* 0. per-loop profiling wants loop_stats for every level, but the fast
+     path only accounts the root: run nests on the slow path when loop
+     profiling is on (single-level plans profile exactly via [acc]) *)
+  if st.cfg.profile_loops && nl > 1 then raise (Bail "profiled");
   (* 1. load external scalars, strictly typed (mismatch -> slow path) *)
+  let vars = fl.Ir.fl_vars in
   for k = 0 to Array.length vars - 1 do
     let v = vars.(k) in
     match v.Ir.v_kind, read_src fr p.var_srcs.(k) with
     | Ir.Kint, Value.Vint x -> p.n.(v.Ir.v_reg) <- x
     | Ir.Kbool, Value.Vbool b -> p.n.(v.Ir.v_reg) <- (if b then 1 else 0)
     | Ir.Kfloat _, Value.Vfloat (_, x) -> p.f.(v.Ir.v_reg) <- x
-    | _ -> raise Bail
+    | _ -> raise (Bail "binding")
   done;
-  (* 2. trip count: the loop is [for i = lo; i </<= hi; i += step] with
-     invariant hi/step, so the iteration space is decided here once *)
-  let lo = match fr.(p.index_slot) with Value.Vint x -> x | _ -> raise Bail in
-  let hi = ieval p fl.Ir.fl_hi in
-  let step = ieval p fl.Ir.fl_step in
-  if step < 1 || step > cap then raise Bail;
-  if lo < -cap || lo > cap || hi < -cap || hi > cap then raise Bail;
-  let d = hi - lo + (if fl.Ir.fl_cle then 1 else 0) in
-  if d <= 0 then raise Bail;
-  let m = (d - 1) / step in
-  let n_iters = m + 1 in
-  let last_i = lo + (m * step) in
-  let total = n_iters * fl.Ir.fl_body_steps in
-  (* the budget must survive the whole loop; otherwise the slow path runs
-     and raises Step_limit_exceeded at the exact offending statement *)
-  if st.steps_left <= total then raise Bail;
-  (* 3. resolve arrays: exact element type, raw storage, name for errors.
+  (* 2. trip counts: every level is [for i = lo; i </<= hi; i += step]
+     with nest-invariant bounds, so the whole iteration space is decided
+     here once.  The root must run at least one iteration (a zero-trip
+     root is cheaper on the slow path); inner levels may be empty. *)
+  let root_lo =
+    match fr.(p.index_slot) with
+    | Value.Vint x -> x
+    | _ -> raise (Bail "binding")
+  in
+  for l = 0 to nl - 1 do
+    let lv = levels.(l) in
+    let lo = if l = 0 then root_lo else ieval p lv.Ir.l_lo in
+    let hi = ieval p lv.Ir.l_hi in
+    let step = ieval p lv.Ir.l_step in
+    if step < 1 || step > cap then raise (Bail "trip-count");
+    if lo < -cap || lo > cap || hi < -cap || hi > cap then
+      raise (Bail "trip-count");
+    let d = hi - lo + (if lv.Ir.l_cle then 1 else 0) in
+    let trip = if d <= 0 then 0 else ((d - 1) / step) + 1 in
+    if l = 0 && trip = 0 then raise (Bail "trip-count");
+    p.trip.(l) <- trip;
+    p.llo.(l) <- lo;
+    p.lstep.(l) <- step
+  done;
+  (* 3. cost walk: static baseline (all sites take their else arm) plus
+     per-site deltas and max execution counts; all checked arithmetic.
+     The budget must survive the statically largest possible total;
+     otherwise the slow path runs and raises Step_limit_exceeded at the
+     exact offending statement. *)
+  let t0 = p.trip.(0) in
+  let root = levels.(0) in
+  let body_once = eval_block p root.Ir.l_body t0 in
+  vadd_into body_once
+    (ivec ~ints:(2 + root.Ir.l_hi_ops + root.Ir.l_step_ops) ~brs:1);
+  let base_v = vscale t0 body_once in
+  vadd_into base_v (ivec ~ints:(1 + root.Ir.l_hi_ops) ~brs:1);
+  let max_steps = ref base_v.(0) in
+  for s = 0 to nsites - 1 do
+    let ds = p.dsite.(s).(0) in
+    if ds > 0 then max_steps := cadd !max_steps (cmul p.cntmax.(s) ds)
+  done;
+  if st.steps_left <= !max_steps then raise (Bail "budget");
+  (* 3b. overflow pre-verification: bound the absolute value of every
+     per-field total the commit phase will compute, so the unchecked
+     arithmetic there is provably exact *)
+  for i = 0 to 14 do
+    let acc = ref (abs base_v.(i)) in
+    for s = 0 to nsites - 1 do
+      acc := cadd !acc (cmul p.cntmax.(s) (abs p.dsite.(s).(i)))
+    done
+  done;
+  (* 4. resolve arrays: exact element type, raw storage, name for errors.
      [Memory] bases are append-only — an entry's storage is written
      exactly once, at allocation — so a resolution stays valid for as
      long as the frame holds the same base+offset pointer.  Re-entries
-     with unchanged pointers (the common case for an inner loop entered
-     once per outer iteration) skip the accessor calls and the alias
-     re-checks entirely. *)
+     with unchanged pointers (the common case for a nest entered many
+     times) skip the accessor calls and the alias re-checks entirely. *)
   let arrs = fl.Ir.fl_arrs in
   let na = Array.length arrs in
   let same = ref p.avalid in
@@ -309,7 +601,7 @@ let attempt p st (fr : Value.t array) (acc : loop_acc) =
     | Value.Vptr ptr ->
       if ptr.Value.base <> p.abase.(k) || ptr.Value.offset <> p.aoff.(k) then
         same := false
-    | _ -> raise Bail
+    | _ -> raise (Bail "binding")
   done;
   if not !same then begin
     p.avalid <- false;
@@ -318,9 +610,10 @@ let attempt p st (fr : Value.t array) (acc : loop_acc) =
       match read_src fr p.arr_srcs.(k) with
       | Value.Vptr ptr ->
         let base = ptr.Value.base in
-        if Memory.elem_ty st.mem base <> Ir.ty_of_ety a.Ir.a_ety then raise Bail;
+        if Memory.elem_ty st.mem base <> Ir.ty_of_ety a.Ir.a_ety then
+          raise (Bail "types");
         let off = ptr.Value.offset in
-        if off < -cap || off > cap then raise Bail;
+        if off < -cap || off > cap then raise (Bail "bounds");
         p.abase.(k) <- base;
         p.aoff.(k) <- off;
         p.alen.(k) <- Memory.length st.mem base;
@@ -328,9 +621,9 @@ let attempt p st (fr : Value.t array) (acc : loop_acc) =
         (match Memory.raw st.mem base with
          | Memory.Rfloat data -> p.afdata.(k) <- data
          | Memory.Rint data -> p.aidata.(k) <- data)
-      | _ -> raise Bail
+      | _ -> raise (Bail "binding")
     done;
-    (* 3b. alias re-checks for the code-motion the lowering performed on
+    (* 4b. alias re-checks for the code-motion the lowering performed on
        statically distinct names: hoisted loads must not alias any stored
        array, promoted cells must not alias any other accessed array.
        The verdict depends only on the resolved bases, so it is part of
@@ -339,56 +632,127 @@ let attempt p st (fr : Value.t array) (acc : loop_acc) =
       (fun h ->
         let bh = p.abase.(h) in
         for k = 0 to na - 1 do
-          if arrs.(k).Ir.a_stored && p.abase.(k) = bh then raise Bail
+          if arrs.(k).Ir.a_stored && p.abase.(k) = bh then raise (Bail "alias")
         done)
       fl.Ir.fl_hoisted;
     Array.iter
       (fun pr ->
         let bp = p.abase.(pr) in
         for k = 0 to na - 1 do
-          if k <> pr && p.abase.(k) = bp then raise Bail
+          if k <> pr && p.abase.(k) = bp then raise (Bail "alias")
         done)
       fl.Ir.fl_promoted;
     p.avalid <- true
   end;
-  (* 4. cursors: evaluate affine endpoints; in-bounds endpoints imply every
-     iteration is in bounds (coef/base invariant, index monotone) *)
+  (* 5. cursors: evaluate the affine coefficients and the separable
+     endpoint bounds — in-bounds extrema imply every reached iteration is
+     in bounds.  A cursor with a nonzero coefficient at a zero-trip level
+     is never dereferenced (every access is scoped inside that level), so
+     it skips the checks. *)
   let cursors = fl.Ir.fl_cursors in
-  for k = 0 to Array.length cursors - 1 do
-    let c = cursors.(k) in
-    let coef = ieval p c.Ir.c_coef and base = ieval p c.Ir.c_base in
-    if coef < -coef_cap || coef > coef_cap then raise Bail;
-    if base < -cap || base > cap then raise Bail;
-    let a = c.Ir.c_arr in
-    let start = (coef * lo) + base + p.aoff.(a) in
-    let last = (coef * last_i) + base + p.aoff.(a) in
-    let lo_idx = if start < last then start else last in
-    let hi_idx = if start < last then last else start in
-    if lo_idx < 0 || hi_idx >= p.alen.(a) then raise Bail;
-    p.cpos.(k) <- start;
-    p.cstep.(k) <- coef * step;
+  let ncur = Array.length cursors in
+  for k = 0 to ncur - 1 do
+    let cu = cursors.(k) in
+    let a = cu.Ir.c_arr in
+    let base = ieval p cu.Ir.c_base in
+    if base < -cap || base > cap then raise (Bail "bounds");
+    let pos0 = base + p.aoff.(a) in
+    let coefs = p.ccoef.(k) in
+    let accessed = ref true in
+    for l = 0 to nl - 1 do
+      let coef = ieval p cu.Ir.c_coefs.(l) in
+      if coef < -coef_cap || coef > coef_cap then raise (Bail "bounds");
+      coefs.(l) <- coef;
+      if cu.Ir.c_coefs.(l) <> Ir.Iconst 0 && p.trip.(l) = 0 then
+        accessed := false
+    done;
+    if !accessed then begin
+      (* The position is pos0 plus a sum of per-level terms coef*i_l,
+         each ranging over an arithmetic progression, so the extrema are
+         the sums of per-level extrema.  [mag] additionally bounds every
+         intermediate position — any subset of levels entered, the index
+         possibly one bump past its last iteration before the level's
+         exit delta nets it out — so no position computation can wrap. *)
+      let lo_b = ref pos0 and hi_b = ref pos0 in
+      let mag = ref (abs pos0) in
+      for l = 0 to nl - 1 do
+        let coef = coefs.(l) in
+        if coef <> 0 && p.trip.(l) > 0 then begin
+          let lo = p.llo.(l) and trip = p.trip.(l) and step = p.lstep.(l) in
+          let last = lo + ((trip - 1) * step) in
+          let x = coef * lo and y = coef * last in
+          lo_b := cadd !lo_b (if x < y then x else y);
+          hi_b := cadd !hi_b (if x > y then x else y);
+          let m = abs coef * (abs last + step) in
+          let m = if abs x > m then abs x else m in
+          mag := cadd !mag m
+        end
+      done;
+      if !lo_b < 0 || !hi_b >= p.alen.(a) then raise (Bail "bounds")
+    end;
+    p.cpos.(k) <- pos0;
     p.cfdata.(k) <- p.afdata.(a);
     p.cidata.(k) <- p.aidata.(a)
   done;
-  (* ---- commit: from here on the fast path runs the loop to the end ---- *)
-  if total > 0 then consume_steps st total;
-  add_scaled st.counters fl.Ir.fl_per_iter n_iters;
-  add_scaled st.counters fl.Ir.fl_final 1;
-  acc.la_iterations <- acc.la_iterations + n_iters;
-  exec p st fl.Ir.fl_prologue;
-  let iref = match fl.Ir.fl_index_reg with Some r -> r | None -> -1 in
-  let body = fl.Ir.fl_body in
-  let ncur = Array.length cursors in
-  let i = ref lo in
-  for _ = 1 to n_iters do
-    if iref >= 0 then p.n.(iref) <- !i;
-    exec p st body;
-    for c = 0 to ncur - 1 do
-      p.cpos.(c) <- p.cpos.(c) + p.cstep.(c)
-    done;
-    i := !i + step
+  (* 5b. per-level cursor deltas: entering level l at index lo adds
+     coef*lo, each bump adds coef*step, and exiting subtracts
+     coef*(lo + trip*step) — exactly what the enters and bumps summed to,
+     restoring the enclosing level's position *)
+  for l = 0 to nl - 1 do
+    let cs = p.lev_cur.(l) in
+    let en = p.enter_d.(l) and sd = p.step_d.(l) and ex = p.exit_d.(l) in
+    let lo = p.llo.(l) and trip = p.trip.(l) and step = p.lstep.(l) in
+    for j = 0 to Array.length cs - 1 do
+      let coef = p.ccoef.(cs.(j)).(l) in
+      en.(j) <- coef * lo;
+      sd.(j) <- coef * step;
+      ex.(j) <- coef * (lo + (trip * step))
+    done
   done;
+  (* ---- commit: from here on the fast path runs the nest to the end ---- *)
+  Array.fill p.tk 0 (Array.length p.tk) 0;
+  exec p st fl.Ir.fl_prologue;
+  (match p.simple with
+   | Some ops ->
+     (* single-level site-free nests keep the PR6-style tight loop *)
+     let cs = p.lev_cur.(0) in
+     let en = p.enter_d.(0) and sd = p.step_d.(0) in
+     let ncs = Array.length cs in
+     for j = 0 to ncs - 1 do
+       let c = Array.unsafe_get cs j in
+       p.cpos.(c) <- p.cpos.(c) + Array.unsafe_get en j
+     done;
+     let trip = p.trip.(0) and step = p.lstep.(0) in
+     let ireg = p.iregs.(0) in
+     let i = ref root_lo in
+     for _ = 1 to trip do
+       if ireg >= 0 then p.n.(ireg) <- !i;
+       exec p st ops;
+       for j = 0 to ncs - 1 do
+         let c = Array.unsafe_get cs j in
+         p.cpos.(c) <- p.cpos.(c) + Array.unsafe_get sd j
+       done;
+       i := !i + step
+     done
+   | None -> run_level p st 0);
   exec p st fl.Ir.fl_epilogue;
+  (* exact totals: baseline plus taken deltas; the overflow
+     pre-verification above guarantees none of this unchecked arithmetic
+     can wrap, and the budget pre-check that consume_steps cannot raise *)
+  let tot = Array.copy base_v in
+  for s = 0 to nsites - 1 do
+    let tks = p.tk.(s) in
+    if tks > 0 then begin
+      let d = p.dsite.(s) in
+      for i = 0 to 14 do
+        tot.(i) <- tot.(i) + (tks * d.(i))
+      done
+    end
+  done;
+  if tot.(0) > 0 then consume_steps st tot.(0);
+  apply_totals st.counters tot;
+  Obs.Metrics.Counter.add m_planned tot.(0);
+  acc.la_iterations <- acc.la_iterations + p.trip.(0);
   (* write back mutated scalars with the representation [Set] maintains *)
   for k = 0 to Array.length vars - 1 do
     let v = vars.(k) in
@@ -403,15 +767,23 @@ let attempt p st (fr : Value.t array) (acc : loop_acc) =
       match p.var_srcs.(k) with Slot s -> fr.(s) <- value | Global r -> r := value
     end
   done;
-  (* leave the index slot where the failing loop test read it *)
-  fr.(p.index_slot) <- Value.Vint (lo + (n_iters * step))
+  (* leave the root index slot where the failing loop test read it *)
+  fr.(p.index_slot) <- Value.Vint (root_lo + (p.trip.(0) * p.lstep.(0)))
 
 let try_run p st (fr : Value.t array) (acc : loop_acc) : bool =
   (* observation regions want per-access footprints: defer to the slow path *)
-  if st.active_regions <> [] then false
+  if st.active_regions <> [] then begin
+    record_bail p.fl.Ir.fl_loc "region";
+    false
+  end
   else
     try
       attempt p st fr acc;
       true
     with
-    | Bail | Failure _ -> false
+    | Bail r ->
+      record_bail p.fl.Ir.fl_loc r;
+      false
+    | Failure _ ->
+      record_bail p.fl.Ir.fl_loc "memory";
+      false

@@ -111,6 +111,12 @@ let record_run steps seconds =
   Obs.Metrics.Counter.add m_steps steps;
   Obs.Metrics.Gauge.add m_seconds seconds
 
+(* Statements executed on the VM's planned fast path (process-wide, like
+   exec_stats); planned / exec_steps is the vm.coverage ratio. *)
+let planned_steps = Fastloop.planned_steps
+
+let plan_bail_sites = Fastloop.bail_sites
+
 (* ---- resilience step cap ---- *)
 
 (* When armed (flow resilience policies with a per-task step budget),

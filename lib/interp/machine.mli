@@ -95,6 +95,20 @@ val exec_stats : unit -> exec_stats
 
 val reset_exec_stats : unit -> unit
 
+val planned_steps : unit -> int
+(** Statements executed on the VM backend's planned fast path, cumulative
+    across all runs in the process (backed by the [vm.steps.planned]
+    metric).  [planned_steps () / exec_steps] is the VM's step coverage:
+    the fraction of interpreted statements that ran as lowered loop-nest
+    plans rather than closures. *)
+
+val plan_bail_sites : unit -> (Loc.t * string) list
+(** Planned loops that fell back to the closure path at runtime, as a
+    sorted (root location, reason) set — reasons like ["budget"],
+    ["bounds"], ["alias"], ["trip-count"], ["profiled"], ["region"].
+    Deterministic at any [--jobs]: memoization makes the set of executed
+    runs, and therefore the set of bail sites, schedule-independent. *)
+
 val set_step_cap : int option -> unit
 (** Arm ([Some n]) or clear ([None]) a process-wide cap on [max_steps]:
     while armed, every {!run} executes with [min config.max_steps n].

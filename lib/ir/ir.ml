@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 
 type prec = Psingle | Pdouble
 
@@ -18,7 +18,9 @@ type iexpr =
   | Imul of iexpr * iexpr
   | Ineg of iexpr
 
-type cursor = { c_arr : int; c_coef : iexpr; c_base : iexpr }
+type cursor = { c_arr : int; c_coefs : iexpr array; c_base : iexpr }
+
+type cmpop = Clt | Cle | Cgt | Cge | Ceq | Cne
 
 type fop =
   | FConst of int * float
@@ -48,6 +50,9 @@ type fop =
   | IAbs of int * int
   | IMin of int * int * int
   | IMax of int * int * int
+  | ICmp of cmpop * int * int * int
+  | FCmp of cmpop * int * int * int
+  | INot of int * int
   | FMath1 of m1 * int * int
   | FMath1S of m1 * int * int
   | FMath2 of m2 * int * int * int
@@ -126,25 +131,37 @@ let zero_counts () =
     k_branches = 0;
   }
 
+type block = { b_items : bitem array; b_steps : int; b_cnt : counts }
+
+and bitem = Bops of fop array | Bsite of int | Bloop of int
+
+type site = { s_cond : int; s_then : block; s_else : block }
+
+type level = {
+  l_sid : int;
+  l_cle : bool;
+  l_lo : iexpr;
+  l_lo_ops : int;
+  l_hi : iexpr;
+  l_hi_ops : int;
+  l_step : iexpr;
+  l_step_ops : int;
+  l_index_reg : int option;
+  l_body : block;
+}
+
 type fast_loop = {
   fl_sid : int;
-  fl_cle : bool;
-  fl_hi : iexpr;
-  fl_hi_ops : int;
-  fl_step : iexpr;
-  fl_step_ops : int;
+  fl_loc : Loc.t;
+  fl_levels : level array;
+  fl_sites : site array;
   fl_vars : var array;
   fl_arrs : arr array;
   fl_cursors : cursor array;
   fl_prologue : fop array;
-  fl_body : fop array;
   fl_epilogue : fop array;
-  fl_index_reg : int option;
   fl_nf : int;
   fl_ni : int;
-  fl_body_steps : int;
-  fl_per_iter : counts;
-  fl_final : counts;
   fl_hoisted : int array;
   fl_promoted : int array;
 }

@@ -1,13 +1,16 @@
 (** Typed flat IR for the superinstruction VM backend.
 
-    The lowering pass ({!Ir_lower}) selects canonical counted [for] loops
-    whose bodies are straight-line, statically typed code and compiles each
-    into a {!fast_loop}: a flat array of register-style instructions
-    ({!fop}) over unboxed float and int register files, plus everything the
-    executing backend needs to stay observably identical to the reference
-    tree walker — per-iteration hardware-counter deltas, exact statement
-    counts for the step budget, and loop-invariant index expressions whose
-    runtime values drive bounds-check elision.
+    The lowering pass ({!Ir_lower}) selects canonical counted [for] loop
+    {e nests} — an outer loop whose inner loops have nest-invariant bounds
+    — whose bodies are statically typed code with structured control flow
+    ([if] statements and ternaries), and compiles each into a
+    {!fast_loop}: a tree of blocks over flat arrays of register-style
+    instructions ({!fop}) on unboxed float and int register files, plus
+    everything the executing backend needs to stay observably identical
+    to the reference tree walker — static per-block hardware-counter
+    deltas, per-site taken counters for the data-dependent part of the
+    accounting, and nest-invariant index expressions whose runtime values
+    drive bounds-check elision across every level.
 
     The IR is purely structural: it references variables and arrays by
     name/id and never captures closures or runtime values, so it can be
@@ -49,7 +52,7 @@ type arr = {
   a_stored : bool;  (** some access site stores through this array *)
 }
 
-(** Loop-invariant integer expression, evaluated once by the runtime guard
+(** Nest-invariant integer expression, evaluated once by the runtime guard
     (trip counts, affine coefficients).  [Ivar] indexes the {!var} table
     and must reference an int-kinded, unwritten variable; evaluation is
     total (no division, no effects). *)
@@ -61,11 +64,16 @@ type iexpr =
   | Imul of iexpr * iexpr
   | Ineg of iexpr
 
-(** Affine access path: element index = [coef * i + base] for loop
-    variable [i] (the pointer's own offset is added by the guard).  Both
-    components are loop-invariant, so in-bounds endpoints imply every
-    iteration is in bounds — this is what licenses bounds-check elision. *)
-type cursor = { c_arr : int; c_coef : iexpr; c_base : iexpr }
+(** Affine access path across the whole nest: element index =
+    [sum_l coefs.(l) * i_l + base] over the levels' loop variables (the
+    pointer's own offset is added by the guard).  All components are
+    nest-invariant, so in-bounds endpoints per level imply every reached
+    iteration is in bounds — this is what licenses bounds-check elision.
+    [c_coefs] is indexed by level id (0 = root). *)
+type cursor = { c_arr : int; c_coefs : iexpr array; c_base : iexpr }
+
+(** Comparison operator for {!fop.ICmp}/{!fop.FCmp}. *)
+type cmpop = Clt | Cle | Cgt | Cge | Ceq | Cne
 
 (** {1 Instructions}
 
@@ -75,9 +83,11 @@ type cursor = { c_arr : int; c_coef : iexpr; c_base : iexpr }
     precision.  [Ld]/[St] address memory through a {!cursor} with no
     per-access bounds check; [...Ck] variants take a runtime index
     register and check bounds, raising the walker's exact out-of-bounds
-    error.  The fused superinstructions at the end collapse the opcode
-    pairs that dominate the suite's counter profile (load-sub, mul-add
-    chains, and read-modify-write accumulations). *)
+    error.  [ICmp]/[FCmp] materialise comparison results as 0/1 ints
+    (each modelled as one integer op, like the walker).  The fused
+    superinstructions at the end collapse the opcode pairs that dominate
+    the suite's counter profile (load-sub, mul-add chains, and
+    read-modify-write accumulations). *)
 type fop =
   (* constants and moves *)
   | FConst of int * float
@@ -111,6 +121,10 @@ type fop =
   | IAbs of int * int
   | IMin of int * int * int
   | IMax of int * int * int
+  (* comparisons and boolean negation (results are 0/1 ints) *)
+  | ICmp of cmpop * int * int * int  (** [(op, d, a, b)] over int regs *)
+  | FCmp of cmpop * int * int * int  (** [(op, d, a, b)] over float regs *)
+  | INot of int * int  (** d <- 1 - truth(a) *)
   (* math intrinsics, pre-resolved to direct operations *)
   | FMath1 of m1 * int * int
   | FMath1S of m1 * int * int
@@ -162,9 +176,10 @@ and m2 = Mpow | Mfmin | Mfmax
 
     Mirror of the interpreter's hardware-model counters ([Counters.t]
     minus [steps], which the step budget accounts separately).  Computed
-    statically per iteration so the executing backend can batch [n]
-    iterations' worth of counting into one update with no per-operation
-    cost. *)
+    statically per block so the executing backend can batch a whole
+    nest's worth of counting into one update per entry: the static block
+    deltas are combined with per-level trip counts and per-site taken
+    counters by the guard's cost walk. *)
 type counts = {
   mutable k_int_ops : int;
   mutable k_sp_add : int;
@@ -184,40 +199,73 @@ type counts = {
 
 val zero_counts : unit -> counts
 
-(** {1 Lowered loops} *)
+(** {1 Lowered loop nests}
 
-(** One canonical loop lowered to the flat IR.  [fl_body] executes once
-    per iteration; [fl_prologue] (hoisted constants and loop-invariant
-    loads) once per entry after the guard commits, and [fl_epilogue]
-    (write-backs of register-promoted array cells) once on normal exit.
-    [fl_hoisted] and [fl_promoted] name the arrays whose loads/cells were
-    moved out of the body; the guard re-checks at runtime that their
-    bases do not alias any conflicting access before using the fast
-    path. *)
+    A planned nest is a tree of {!block}s.  A block's [b_cnt]/[b_steps]
+    are the {e static} cost of running the block once: straight-line ops,
+    each statement's own step, each site's branch + condition cost, and
+    each inner [For]'s own step — but {e not} site arms (dynamic, covered
+    by taken counters) or loop iterations (covered by trip counts). *)
+type block = { b_items : bitem array; b_steps : int; b_cnt : counts }
+
+(** One item of a block: a straight-line instruction run, a control-flow
+    site (index into [fl_sites]), or an inner loop (index into
+    [fl_levels]). *)
+and bitem = Bops of fop array | Bsite of int | Bloop of int
+
+(** One [if]/ternary/short-circuit site: [s_cond] is an int register
+    holding 0/1 (written by the ops preceding the site); exactly one arm
+    block runs per execution.  The executing backend counts taken
+    then-arms per site so step/op accounting stays exact when the arms
+    cost differently. *)
+type site = { s_cond : int; s_then : block; s_else : block }
+
+(** One loop level of the nest.  Level 0 is the root: its [l_lo] is
+    unused (the root's initial index value is read from the frame slot,
+    already evaluated by the enclosing compiled code) and [l_lo_ops] is
+    0.  Inner levels' bounds are nest-invariant, so every level has a
+    constant trip count for the whole entry. *)
+type level = {
+  l_sid : int;  (** statement id of the [For] this level came from *)
+  l_cle : bool;  (** comparison is [<=] rather than [<] *)
+  l_lo : iexpr;
+  l_lo_ops : int;  (** int ops counted per evaluation of the bound *)
+  l_hi : iexpr;
+  l_hi_ops : int;
+  l_step : iexpr;
+  l_step_ops : int;
+  l_index_reg : int option;  (** int reg refreshed with [i_l] each iteration *)
+  l_body : block;
+}
+
+(** One canonical loop nest lowered to the flat IR.  The root level's
+    body executes once per outer iteration; [fl_prologue] (hoisted
+    constants and nest-invariant loads) once per entry after the guard
+    commits, and [fl_epilogue] (write-backs of register-promoted array
+    cells) once on normal exit.  [fl_hoisted] and [fl_promoted] name the
+    arrays whose loads/cells were moved out of the nest; the guard
+    re-checks at runtime that their bases do not alias any conflicting
+    access before using the fast path. *)
 type fast_loop = {
-  fl_sid : int;  (** statement id of the [For] this loop was lowered from *)
-  fl_cle : bool;  (** comparison is [<=] rather than [<] *)
-  fl_hi : iexpr;
-  fl_hi_ops : int;  (** int ops counted per evaluation of the bound *)
-  fl_step : iexpr;
-  fl_step_ops : int;
+  fl_sid : int;  (** statement id of the root [For] *)
+  fl_loc : Loc.t;  (** source location of the root [For] (diagnostics) *)
+  fl_levels : level array;  (** level 0 = root *)
+  fl_sites : site array;
   fl_vars : var array;
   fl_arrs : arr array;
   fl_cursors : cursor array;
   fl_prologue : fop array;
-  fl_body : fop array;
   fl_epilogue : fop array;
-  fl_index_reg : int option;  (** int reg refreshed with [i] each iteration *)
   fl_nf : int;  (** float register file size *)
   fl_ni : int;  (** int register file size *)
-  fl_body_steps : int;  (** statements per iteration, for the step budget *)
-  fl_per_iter : counts;  (** counter delta per completed iteration *)
-  fl_final : counts;  (** delta of the one failing loop test *)
   fl_hoisted : int array;  (** arrs with loads hoisted into the prologue *)
-  fl_promoted : int array;  (** arrs register-promoted across the loop *)
+  fl_promoted : int array;  (** arrs register-promoted across the nest *)
 }
 
-(** Plan for a whole program: lowered loops keyed by [For] statement id. *)
+(** Plan for a whole program: lowered nests keyed by [For] statement id.
+    Inner loops of a planned nest also get their own independent entries,
+    so the compiled fallback path still fast-paths them when the outer
+    guard declines. *)
 type plan = (int, fast_loop) Hashtbl.t
 
 val ety_bytes : ety -> int

@@ -1,18 +1,26 @@
-(* Lowering from the typed AST to flat fast-loop plans.
+(* Lowering from the typed AST to flat fast-loop nest plans.
 
    Parity discipline: every lowered operation must be observably identical
    to what lib/interp/compile.ml's closures do for the same source node —
    same float rounding (single-precision demotion points), same counter
    increments, same error messages and locations, same PRNG draw order.
    Each arm below cites the compile.ml arm it mirrors; when in doubt the
-   pass rejects the loop (raising [Reject]) and the loop simply runs on the
-   closure backend. *)
+   pass rejects the loop (raising [Reject] with a reason) and the loop
+   simply runs on the closure backend.
+
+   Since the nest extension, a plan is a tree: the root level's block may
+   contain inner loop levels (whose bounds must be nest-invariant, so every
+   level has one trip count per entry) and control-flow sites ([if]
+   statements, ternaries and short-circuit operators, whose arms are
+   sub-blocks selected by a 0/1 condition register).  Step and counter
+   accounting stays exact because each block carries its own static cost
+   and the executor counts taken then-arms per site. *)
 
 open Ast
 
-exception Reject
+exception Reject of string
 
-let reject () = raise Reject
+let reject r = raise (Reject r)
 
 (* Value.demote lives in lib/interp, which depends on this library; the
    round trip is replicated bit-for-bit. *)
@@ -48,7 +56,33 @@ let imul a b =
   | Ir.Iconst 1, x | x, Ir.Iconst 1 -> x
   | _ -> Ir.Imul (a, b)
 
-(* ---- per-loop lowering context ---- *)
+(* sparse per-level coefficient vectors: sorted (level, iexpr) assoc lists
+   with no zero entries, merged pointwise *)
+let cneg coefs = List.map (fun (l, e) -> (l, ineg e)) coefs
+
+let rec cmerge f g xs ys =
+  match xs, ys with
+  | [], [] -> []
+  | x :: tl, [] -> x :: cmerge f g tl []
+  | [], (l, e) :: tl -> (l, g e) :: cmerge f g [] tl
+  | (la, ea) :: ta, (lb, eb) :: tb ->
+    if la < lb then (la, ea) :: cmerge f g ta ys
+    else if lb < la then (lb, g eb) :: cmerge f g xs tb
+    else (la, f ea eb) :: cmerge f g ta tb
+
+let cnorm coefs = List.filter (fun (_, e) -> e <> Ir.Iconst 0) coefs
+
+let cadd xs ys = cnorm (cmerge iadd (fun e -> e) xs ys)
+
+let csub xs ys = cnorm (cmerge isub ineg xs ys)
+
+let cscale k coefs =
+  List.filter_map
+    (fun (l, e) ->
+      match imul k e with Ir.Iconst 0 -> None | e' -> Some (l, e'))
+    coefs
+
+(* ---- per-nest lowering context ---- *)
 
 type mvar = {
   mv_name : string;
@@ -63,28 +97,39 @@ type marr = { ma_name : string; ma_ety : Ir.ety; mutable ma_stored : bool }
    compile.ml's cexp kinds (booleans ride in int registers as 0/1) *)
 type lres = Ri of int * bool | Rf of int * Ir.prec
 
+(* what a name in the body's scope currently resolves to *)
+type sym = Sindex of int  (** loop index of level [l] *) | Slocal of lres
+
 type lctx = {
-  env : Typecheck.env;  (* scope enclosing the loop (without the index) *)
-  index : string;
-  assigned : (string, unit) Hashtbl.t;  (* scalar names assigned in body *)
-  all_locals : (string, unit) Hashtbl.t;  (* names declared in body *)
+  env : Typecheck.env;  (* scope enclosing the nest (without the indexes) *)
+  assigned : (string, unit) Hashtbl.t;  (* scalars assigned anywhere in nest *)
+  all_locals : (string, unit) Hashtbl.t;  (* names declared anywhere in nest *)
   user_funcs : (string, unit) Hashtbl.t;
   region_set : (int, unit) Hashtbl.t;
+  sym : (string, sym) Hashtbl.t;  (* scoped: add shadows, remove unshadows *)
   mutable nf : int;
   mutable ni : int;
   mutable pro : Ir.fop list;  (* reversed *)
-  mutable body : Ir.fop list;  (* reversed *)
-  cnt : Ir.counts;  (* per-iteration counter deltas of the body *)
+  (* the block currently under construction *)
+  mutable cur : Ir.fop list;  (* reversed pending straight-line run *)
+  mutable items : Ir.bitem list;  (* reversed *)
+  mutable cnt : Ir.counts;
+  mutable steps : int;
+  (* nest-wide tables *)
+  mutable nlevels : int;
+  lvls : (int, Ir.level) Hashtbl.t;
+  lidx : (int, int) Hashtbl.t;  (* level id -> lazily allocated index reg *)
+  mutable sites : Ir.site list;  (* reversed; id = index from front *)
+  mutable nsites : int;
   vtbl : (string, int * mvar) Hashtbl.t;
   mutable vars : mvar list;  (* reversed; id = index from front *)
   mutable nvars : int;
   atbl : (string, int * marr) Hashtbl.t;
   mutable arrs : marr list;  (* reversed *)
   mutable narrs : int;
-  mutable cursors : (int * Ir.iexpr * Ir.iexpr) list;  (* reversed *)
+  mutable cursors : (int * (int * Ir.iexpr) list * Ir.iexpr) list;
+      (* reversed; (array id, sparse per-level coefs, base) *)
   mutable ncursors : int;
-  locals : (string, lres) Hashtbl.t;
-  mutable index_reg : int option;
   fconsts : (int64, int) Hashtbl.t;
   iconsts : (int, int) Hashtbl.t;
 }
@@ -99,7 +144,63 @@ let alloci c =
   c.ni <- r + 1;
   r
 
-let emit c op = c.body <- op :: c.body
+let emit c op = c.cur <- op :: c.cur
+
+(* ---- block construction ----
+
+   Blocks are built with an explicit save/restore stack so that site arms
+   can be lowered mid-expression (ternaries) and closed in any order that
+   respects nesting. *)
+
+type openblk = {
+  ob_cur : Ir.fop list;
+  ob_items : Ir.bitem list;
+  ob_cnt : Ir.counts;
+  ob_steps : int;
+}
+
+let open_block c =
+  let ob =
+    { ob_cur = c.cur; ob_items = c.items; ob_cnt = c.cnt; ob_steps = c.steps }
+  in
+  c.cur <- [];
+  c.items <- [];
+  c.cnt <- Ir.zero_counts ();
+  c.steps <- 0;
+  ob
+
+let flush_ops c =
+  if c.cur <> [] then begin
+    c.items <- Ir.Bops (Array.of_list (List.rev c.cur)) :: c.items;
+    c.cur <- []
+  end
+
+let close_block c ob =
+  flush_ops c;
+  let b =
+    {
+      Ir.b_items = Array.of_list (List.rev c.items);
+      b_steps = c.steps;
+      b_cnt = c.cnt;
+    }
+  in
+  c.cur <- ob.ob_cur;
+  c.items <- ob.ob_items;
+  c.cnt <- ob.ob_cnt;
+  c.steps <- ob.ob_steps;
+  b
+
+let with_block c f =
+  let ob = open_block c in
+  f ();
+  close_block c ob
+
+let add_site c cond bt be =
+  flush_ops c;
+  let id = c.nsites in
+  c.nsites <- id + 1;
+  c.sites <- { Ir.s_cond = cond; s_then = bt; s_else = be } :: c.sites;
+  c.items <- Ir.Bsite id :: c.items
 
 let const_f c x =
   let key = Int64.bits_of_float x in
@@ -120,18 +221,18 @@ let const_i c n =
     Hashtbl.add c.iconsts n r;
     r
 
-let index_reg c =
-  match c.index_reg with
+let level_index_reg c l =
+  match Hashtbl.find_opt c.lidx l with
   | Some r -> r
   | None ->
     let r = alloci c in
-    c.index_reg <- Some r;
+    Hashtbl.add c.lidx l r;
     r
 
 let getvar c name (kind : Ir.var_kind) =
   match Hashtbl.find_opt c.vtbl name with
   | Some (id, mv) ->
-    if mv.mv_kind <> kind then reject ();
+    if mv.mv_kind <> kind then reject "variable kind mismatch";
     (id, mv)
   | None ->
     let reg = match kind with Ir.Kfloat _ -> allocf c | _ -> alloci c in
@@ -145,7 +246,7 @@ let getvar c name (kind : Ir.var_kind) =
 let getarr c name (ety : Ir.ety) =
   match Hashtbl.find_opt c.atbl name with
   | Some (id, ma) ->
-    if ma.ma_ety <> ety then reject ();
+    if ma.ma_ety <> ety then reject "array element-type mismatch";
     (id, ma)
   | None ->
     let ma = { ma_name = name; ma_ety = ety; ma_stored = false } in
@@ -155,21 +256,24 @@ let getarr c name (ety : Ir.ety) =
     Hashtbl.add c.atbl name (id, ma);
     (id, ma)
 
-let getcursor c aid coef base =
+let getcursor c aid (coefs : (int * Ir.iexpr) list) base =
   let rec find k = function
     | [] -> None
-    | (a, co, b) :: tl -> if a = aid && co = coef && b = base then Some k else find (k - 1) tl
+    | (a, co, b) :: tl ->
+      if a = aid && co = coefs && b = base then Some k else find (k - 1) tl
   in
   match find (c.ncursors - 1) c.cursors with
   | Some k -> k
   | None ->
     let k = c.ncursors in
     c.ncursors <- k + 1;
-    c.cursors <- (aid, coef, base) :: c.cursors;
+    c.cursors <- (aid, coefs, base) :: c.cursors;
     k
 
 (* counter-delta helpers; mirror Interp_rt.count_int_op / count_flop *)
 let kint c = c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + 1
+
+let kbranch c = c.cnt.Ir.k_branches <- c.cnt.Ir.k_branches + 1
 
 let kflop c (p : Ir.prec) cls =
   let t = c.cnt in
@@ -193,66 +297,67 @@ let kstore c (ety : Ir.ety) =
   c.cnt.Ir.k_bytes_stored <-
     c.cnt.Ir.k_bytes_stored + Ast.sizeof (Ir.ty_of_ety ety)
 
-(* ---- scope queries ---- *)
-
-(* true when [name] refers to something declared by the loop body (or will
-   be later in the body: use-before-declaration falls back for simplicity) *)
-let shadowed c name = Hashtbl.mem c.all_locals name
-
 (* ---- affine index extraction ----
 
-   idx(i) = coef*i + base with loop-invariant coef/base.  The op count is
-   the number of Binary/Unary int nodes the closure backend would count per
-   evaluation; both are exact in the wrap-around ring, so the guard's
-   endpoint bounds check covers every iteration (with magnitude caps at run
-   time to rule out overflow of coef*i + base itself). *)
-let rec affine c (e : expr) : (Ir.iexpr * Ir.iexpr * int) option =
+   idx(i_0..i_n) = sum_l coefs_l*i_l + base with nest-invariant coefs/base.
+   The op count is the number of Binary/Unary int nodes the closure backend
+   would count per evaluation; both are exact in the wrap-around ring, so
+   the guard's per-level endpoint bounds check covers every reached
+   iteration (with magnitude caps at run time to rule out overflow of the
+   affine sum itself). *)
+let rec affine c (e : expr) : ((int * Ir.iexpr) list * Ir.iexpr * int) option =
   match e.edesc with
-  | Int_lit k -> Some (Ir.Iconst 0, Ir.Iconst k, 0)
+  | Int_lit k -> Some ([], Ir.Iconst k, 0)
   | Var v ->
-    if Hashtbl.mem c.locals v || shadowed c v then None
-    else if v = c.index then Some (Ir.Iconst 1, Ir.Iconst 0, 0)
-    else (
-      match Typecheck.lookup_var c.env v with
-      | Some Tint when not (Hashtbl.mem c.assigned v) ->
-        let id, _ = getvar c v Ir.Kint in
-        Some (Ir.Iconst 0, Ir.Ivar id, 0)
-      | _ -> None)
+    (match Hashtbl.find_opt c.sym v with
+     | Some (Sindex l) -> Some ([ (l, Ir.Iconst 1) ], Ir.Iconst 0, 0)
+     | Some (Slocal _) -> None
+     | None ->
+       if Hashtbl.mem c.all_locals v then None
+       else (
+         match Typecheck.lookup_var c.env v with
+         | Some Tint when not (Hashtbl.mem c.assigned v) ->
+           let id, _ = getvar c v Ir.Kint in
+           Some ([], Ir.Ivar id, 0)
+         | _ -> None))
   | Unary (Neg, a) ->
     (match affine c a with
-     | Some (ca, ba, n) -> Some (ineg ca, ineg ba, n + 1)
+     | Some (ca, ba, n) -> Some (cneg ca, ineg ba, n + 1)
      | None -> None)
   | Binary (Add, a, b) ->
     (match affine c a, affine c b with
      | Some (ca, ba, na), Some (cb, bb, nb) ->
-       Some (iadd ca cb, iadd ba bb, na + nb + 1)
+       Some (cadd ca cb, iadd ba bb, na + nb + 1)
      | _ -> None)
   | Binary (Sub, a, b) ->
     (match affine c a, affine c b with
      | Some (ca, ba, na), Some (cb, bb, nb) ->
-       Some (isub ca cb, isub ba bb, na + nb + 1)
+       Some (csub ca cb, isub ba bb, na + nb + 1)
      | _ -> None)
   | Binary (Mul, a, b) ->
     (match affine c a, affine c b with
      | Some (ca, ba, na), Some (cb, bb, nb) ->
-       if ca = Ir.Iconst 0 then Some (imul ba cb, imul ba bb, na + nb + 1)
-       else if cb = Ir.Iconst 0 then Some (imul ca bb, imul ba bb, na + nb + 1)
+       if ca = [] then Some (cscale ba cb, imul ba bb, na + nb + 1)
+       else if cb = [] then Some (cscale bb ca, imul ba bb, na + nb + 1)
        else None
      | _ -> None)
   | _ -> None
 
-(* hi/step conversion: like [affine] but with no loop-variable leaf *)
+(* bound conversion: like [affine] but with no loop-variable leaf — every
+   level's lo/hi/step must be invariant across the whole nest so trip
+   counts are constants per entry *)
 let rec invariant c (e : expr) : Ir.iexpr * int =
   match e.edesc with
   | Int_lit k -> (Ir.Iconst k, 0)
   | Var v ->
-    if Hashtbl.mem c.locals v || shadowed c v || v = c.index then reject ()
+    if Hashtbl.mem c.sym v || Hashtbl.mem c.all_locals v then
+      reject "non-invariant bound"
     else (
       match Typecheck.lookup_var c.env v with
       | Some Tint when not (Hashtbl.mem c.assigned v) ->
         let id, _ = getvar c v Ir.Kint in
         (Ir.Ivar id, 0)
-      | _ -> reject ())
+      | _ -> reject "non-invariant bound")
   | Unary (Neg, a) ->
     let x, n = invariant c a in
     (ineg x, n + 1)
@@ -268,7 +373,7 @@ let rec invariant c (e : expr) : Ir.iexpr * int =
     let x, na = invariant c a in
     let y, nb = invariant c b in
     (imul x y, na + nb + 1)
-  | _ -> reject ()
+  | _ -> reject "non-invariant bound"
 
 (* ---- expression lowering ---- *)
 
@@ -299,6 +404,15 @@ let as_truth c = function
 
 let is_dp = function Rf (_, Ir.Pdouble) -> true | _ -> false
 
+let cmpop_of = function
+  | Lt -> Ir.Clt
+  | Le -> Ir.Cle
+  | Gt -> Ir.Cgt
+  | Ge -> Ir.Cge
+  | Eq -> Ir.Ceq
+  | Ne -> Ir.Cne
+  | _ -> assert false
+
 let rec lexpr c (e : expr) : lres =
   match e.edesc with
   | Int_lit k -> Ri (const_i c k, false)
@@ -314,37 +428,109 @@ let rec lexpr c (e : expr) : lres =
        emit c (Ir.INeg (d, r));
        kint c;
        Ri (d, false)
-     | Ri (_, true) -> reject ()  (* walker raises "negating non-number" *)
+     | Ri (_, true) ->
+       reject "negating a boolean"  (* walker raises "negating non-number" *)
      | Rf (r, p) ->
        (* compile.ml Neg/Kfloat: count_flop p Cadd, no demotion *)
        let d = allocf c in
        emit c (Ir.FNeg (d, r));
        kflop c p `Add;
        Rf (d, p))
-  | Unary (Not, _) -> reject ()
-  | Binary ((And | Or), _, _) -> reject ()
-  | Binary ((Lt | Le | Gt | Ge | Eq | Ne), _, _) -> reject ()
+  | Unary (Not, a) ->
+    (* compile.ml Not: operand truth, count_int_op, logical negation *)
+    let t = as_truth c (lexpr c a) in
+    let d = alloci c in
+    emit c (Ir.INot (d, t));
+    kint c;
+    Ri (d, true)
+  | Binary (And, a, b) ->
+    (* compile.ml And: count_branch; if lhs truth then rhs truth else false *)
+    kbranch c;
+    let ta = as_truth c (lexpr c a) in
+    let d = alloci c in
+    let ob1 = open_block c in
+    let tb = as_truth c (lexpr c b) in
+    emit c (Ir.IMov (d, tb));
+    let bt = close_block c ob1 in
+    let ob2 = open_block c in
+    emit c (Ir.IConst (d, 0));
+    let be = close_block c ob2 in
+    add_site c ta bt be;
+    Ri (d, true)
+  | Binary (Or, a, b) ->
+    (* compile.ml Or: count_branch; if lhs truth then true else rhs truth *)
+    kbranch c;
+    let ta = as_truth c (lexpr c a) in
+    let d = alloci c in
+    let ob1 = open_block c in
+    emit c (Ir.IConst (d, 1));
+    let bt = close_block c ob1 in
+    let ob2 = open_block c in
+    let tb = as_truth c (lexpr c b) in
+    emit c (Ir.IMov (d, tb));
+    let be = close_block c ob2 in
+    add_site c ta bt be;
+    Ri (d, true)
+  | Binary ((Lt | Le | Gt | Ge | Eq | Ne) as op, a, b) ->
+    (* compile.ml compare: both operands evaluated, then one count_int_op;
+       any float operand promotes the comparison to raw doubles *)
+    let la = lexpr c a in
+    let lb = lexpr c b in
+    let cop = cmpop_of op in
+    let d = alloci c in
+    (match la, lb with
+     | Ri (x, _), Ri (y, _) -> emit c (Ir.ICmp (cop, d, x, y))
+     | _ ->
+       let x = as_float c la in
+       let y = as_float c lb in
+       emit c (Ir.FCmp (cop, d, x, y)));
+    kint c;
+    Ri (d, true)
   | Binary (op, a, b) -> lbinary c e op a b
   | Call (name, args) -> lcall c name args
   | Index (base, idx) -> lindex c e base idx
   | Cast (ty, a) -> lcast c ty a
-  | Cond _ -> reject ()
+  | Cond (cc, a, b) ->
+    (* compile.ml Cond: count_branch, evaluate cond truth, run one arm.
+       Both arms must share a specialised representation; otherwise
+       compile.ml falls back to the generic Kval arm, which we reject. *)
+    kbranch c;
+    let t = as_truth c (lexpr c cc) in
+    let ob1 = open_block c in
+    let ra = lexpr c a in
+    let ob2 = open_block c in
+    let rb = lexpr c b in
+    let res, mova, movb =
+      match ra, rb with
+      | Ri (x, ba), Ri (y, bb) when ba = bb ->
+        let d = alloci c in
+        (Ri (d, ba), Ir.IMov (d, x), Ir.IMov (d, y))
+      | Rf (x, pa), Rf (y, pb) when pa = pb ->
+        let d = allocf c in
+        (Rf (d, pa), Ir.FMov (d, x), Ir.FMov (d, y))
+      | _ -> reject "ternary arms differ in representation"
+    in
+    emit c movb;
+    let be = close_block c ob2 in
+    emit c mova;
+    let bt = close_block c ob1 in
+    add_site c t bt be;
+    res
 
 and lvar c v : lres =
-  match Hashtbl.find_opt c.locals v with
-  | Some r -> r
+  match Hashtbl.find_opt c.sym v with
+  | Some (Slocal r) -> r
+  | Some (Sindex l) -> Ri (level_index_reg c l, false)
   | None ->
-    if shadowed c v then reject ();
-    if v = c.index then Ri (index_reg c, false)
-    else (
-      match Typecheck.lookup_var c.env v with
-      | Some Tint -> Ri ((snd (getvar c v Ir.Kint)).mv_reg, false)
-      | Some Tbool -> Ri ((snd (getvar c v Ir.Kbool)).mv_reg, true)
-      | Some Tfloat ->
-        Rf ((snd (getvar c v (Ir.Kfloat Ir.Psingle))).mv_reg, Ir.Psingle)
-      | Some Tdouble ->
-        Rf ((snd (getvar c v (Ir.Kfloat Ir.Pdouble))).mv_reg, Ir.Pdouble)
-      | Some (Tptr _) | Some Tvoid | None -> reject ())
+    if Hashtbl.mem c.all_locals v then reject "use before declaration";
+    (match Typecheck.lookup_var c.env v with
+     | Some Tint -> Ri ((snd (getvar c v Ir.Kint)).mv_reg, false)
+     | Some Tbool -> Ri ((snd (getvar c v Ir.Kbool)).mv_reg, true)
+     | Some Tfloat ->
+       Rf ((snd (getvar c v (Ir.Kfloat Ir.Psingle))).mv_reg, Ir.Psingle)
+     | Some Tdouble ->
+       Rf ((snd (getvar c v (Ir.Kfloat Ir.Pdouble))).mv_reg, Ir.Pdouble)
+     | Some (Tptr _) | Some Tvoid | None -> reject "unsupported variable type")
 
 and lbinary c e op a b : lres =
   let la = lexpr c a in
@@ -359,7 +545,7 @@ and lbinary c e op a b : lres =
      | Mul -> emit c (Ir.IMul (d, ra, rb))
      | Div -> emit c (Ir.IDivZ (d, ra, rb, e.eloc))
      | Mod -> emit c (Ir.IModZ (d, ra, rb, e.eloc))
-     | _ -> reject ());
+     | _ -> reject "unsupported operator");
     kint c;
     Ri (d, false)
   | _ ->
@@ -389,10 +575,10 @@ and lbinary c e op a b : lres =
         | _ -> assert false);
        kflop c p (match op with Add | Sub -> `Add | Mul -> `Mul | _ -> `Div);
        Rf (d, p)
-     | _ -> reject ())
+     | _ -> reject "unsupported operator")
 
 and lcall c name args : lres =
-  if Hashtbl.mem c.user_funcs name then reject ();
+  if Hashtbl.mem c.user_funcs name then reject "user function call";
   (* intrinsics, pre-resolved; specialisation matches compile.ml's exact
      arities — anything else is the generic Kval fallback there, so reject *)
   let f1 m single cls a =
@@ -468,21 +654,22 @@ and lcall c name args : lres =
     let d = allocf c in
     emit c (Ir.Rand d);
     Rf (d, Ir.Pdouble)
-  | _ -> reject ()
+  | _ -> reject "unsupported intrinsic"
 
 and larr c (base : expr) : int * marr =
   (* array operand: must be a plain variable of scalar-pointer type bound
-     outside the loop, so the guard can resolve it once per entry *)
+     outside the nest, so the guard can resolve it once per entry *)
   match base.edesc with
   | Var v ->
-    if Hashtbl.mem c.locals v || shadowed c v || v = c.index then reject ();
+    if Hashtbl.mem c.sym v || Hashtbl.mem c.all_locals v then
+      reject "array shadowed by a body binding";
     (match Typecheck.lookup_var c.env v with
      | Some (Tptr sc) ->
        (match Ir.ety_of_ty sc with
         | Some ety -> getarr c v ety
-        | None -> reject ())
-     | _ -> reject ())
-  | _ -> reject ()
+        | None -> reject "unsupported element type")
+     | _ -> reject "array operand is not a plain outer variable")
+  | _ -> reject "array operand is not a plain outer variable"
 
 and lindex c (e : expr) base idx : lres =
   let aid, ma = larr c base in
@@ -510,9 +697,9 @@ and lindex c (e : expr) base idx : lres =
   in
   let r =
     match affine c idx with
-    | Some (coef, bse, nops) ->
+    | Some (coefs, bse, nops) ->
       c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + nops;
-      load_affine (getcursor c aid coef bse)
+      load_affine (getcursor c aid coefs bse)
     | None ->
       let ii = as_int c (lexpr c idx) in
       (match ety with
@@ -548,7 +735,7 @@ and lcast c ty a : lres =
     emit c (Ir.FDem (d, x));
     Rf (d, Ir.Psingle)
   | Tdouble -> Rf (as_float c la, Ir.Pdouble)
-  | Tptr _ | Tvoid -> reject ()
+  | Tptr _ | Tvoid -> reject "unsupported cast"
 
 (* ---- statement lowering ---- *)
 
@@ -561,11 +748,15 @@ let binop_of_assign = function
   | DivEq -> Div
   | Set -> assert false
 
-let ldecl c (d : decl) =
-  if d.darray <> None then reject ();
-  (match d.dty with Tint | Tbool | Tfloat | Tdouble -> () | _ -> reject ());
-  if d.dname = c.index || Hashtbl.mem c.locals d.dname then reject ();
-  let e0 = match d.dinit with Some e -> e | None -> reject () in
+let ldecl c ~added (d : decl) =
+  if d.darray <> None then reject "array declaration in body";
+  (match d.dty with
+   | Tint | Tbool | Tfloat | Tdouble -> ()
+   | _ -> reject "unsupported declaration type");
+  if Hashtbl.mem c.sym d.dname then reject "shadowing declaration";
+  let e0 =
+    match d.dinit with Some e -> e | None -> reject "uninitialised declaration"
+  in
   (* the initialiser is lowered before the name is bound, as in the
      closure backend's venv threading *)
   let la = lexpr c e0 in
@@ -594,22 +785,23 @@ let ldecl c (d : decl) =
       Rf (r, Ir.Pdouble)
     | _ -> assert false
   in
-  Hashtbl.add c.locals d.dname res
+  Hashtbl.add c.sym d.dname (Slocal res);
+  added := d.dname :: !added
 
 let lvar_assign c (s : stmt) v op (lr : lres) =
-  if v = c.index then reject ();
   let target =
-    match Hashtbl.find_opt c.locals v with
-    | Some (Ri (r, b)) -> `Scalar (r, if b then Ir.Kbool else Ir.Kint)
-    | Some (Rf (r, p)) -> `Scalar (r, Ir.Kfloat p)
+    match Hashtbl.find_opt c.sym v with
+    | Some (Sindex _) -> reject "assignment to a loop index"
+    | Some (Slocal (Ri (r, b))) -> `Scalar (r, if b then Ir.Kbool else Ir.Kint)
+    | Some (Slocal (Rf (r, p))) -> `Scalar (r, Ir.Kfloat p)
     | None ->
-      if shadowed c v then reject ();
+      if Hashtbl.mem c.all_locals v then reject "use before declaration";
       (match Typecheck.lookup_var c.env v with
        | Some Tint -> `Var (getvar c v Ir.Kint)
        | Some Tbool -> `Var (getvar c v Ir.Kbool)
        | Some Tfloat -> `Var (getvar c v (Ir.Kfloat Ir.Psingle))
        | Some Tdouble -> `Var (getvar c v (Ir.Kfloat Ir.Pdouble))
-       | Some (Tptr _) | Some Tvoid | None -> reject ())
+       | Some (Tptr _) | Some Tvoid | None -> reject "unsupported variable type")
   in
   let r, kind =
     match target with
@@ -665,7 +857,7 @@ let lvar_assign c (s : stmt) v op (lr : lres) =
         | _ -> assert false);
        kflop c p (cls_of_bop bop);
        emit c (Ir.FtoI (r, u))
-     | Ir.Kbool, _ -> reject ()  (* generic cast_like arm *)
+     | Ir.Kbool, _ -> reject "compound assignment on bool"  (* generic arm *)
      | Ir.Kfloat tp, _ ->
        let p =
          match tp, lr with
@@ -712,9 +904,9 @@ let lindex_assign c (s : stmt) (lhs : expr) base idx op (lr : lres) =
       | Ir.Ebool -> as_truth c lr
     in
     (match affine c idx with
-     | Some (coef, bse, nops) ->
+     | Some (coefs, bse, nops) ->
        c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + nops;
-       let cur = getcursor c aid coef bse in
+       let cur = getcursor c aid coefs bse in
        (match ety with
         | Ir.Efloat32 -> emit c (Ir.FStDem (cur, src))
         | Ir.Efloat64 -> emit c (Ir.FSt (cur, src))
@@ -739,9 +931,9 @@ let lindex_assign c (s : stmt) (lhs : expr) base idx op (lr : lres) =
        let y = as_float c lr in
        let ld, st =
          match affine c idx with
-         | Some (coef, bse, nops) ->
+         | Some (coefs, bse, nops) ->
            c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + nops;
-           let cur = getcursor c aid coef bse in
+           let cur = getcursor c aid coefs bse in
            ( (fun d -> emit c (Ir.FLd (d, cur))),
              fun srcr ->
                emit c
@@ -771,12 +963,16 @@ let lindex_assign c (s : stmt) (lhs : expr) base idx op (lr : lres) =
        kstore c ety
      | Ir.Eint ->
        (* compile.ml requires an int/bool-kinded rhs here *)
-       let y = match lr with Ri (y, _) -> y | Rf _ -> reject () in
+       let y =
+         match lr with
+         | Ri (y, _) -> y
+         | Rf _ -> reject "float compound on int array"
+       in
        let ld, st =
          match affine c idx with
-         | Some (coef, bse, nops) ->
+         | Some (coefs, bse, nops) ->
            c.cnt.Ir.k_int_ops <- c.cnt.Ir.k_int_ops + nops;
-           let cur = getcursor c aid coef bse in
+           let cur = getcursor c aid coefs bse in
            ( (fun d -> emit c (Ir.ILd (d, cur))),
              fun srcr -> emit c (Ir.ISt (cur, srcr)) )
          | None ->
@@ -796,20 +992,72 @@ let lindex_assign c (s : stmt) (lhs : expr) base idx op (lr : lres) =
        kint c;
        st t;
        kstore c ety
-     | Ir.Ebool -> reject ())
+     | Ir.Ebool -> reject "compound assignment on bool array")
 
-let lstmt c (s : stmt) =
-  if Hashtbl.mem c.region_set s.sid then reject ();
+(* Every statement charges one step into the enclosing block (compile.ml
+   batches one step per statement of a segment; control statements are
+   charged by the segment that contains them, and their arms/bodies carry
+   their own counts). *)
+let rec lstmt c ~added (s : stmt) =
+  if Hashtbl.mem c.region_set s.sid then reject "observation region";
+  c.steps <- c.steps + 1;
   match s.sdesc with
-  | Decl d -> ldecl c d
+  | Decl d -> ldecl c ~added d
   | Assign (lhs, op, rhs) ->
     let lr = lexpr c rhs in
     (match lhs.edesc with
      | Var v -> lvar_assign c s v op lr
      | Index (b, idx) -> lindex_assign c s lhs b idx op lr
-     | _ -> reject ())
+     | _ -> reject "unsupported assignment target")
   | Expr_stmt e -> ignore (lexpr c e)
-  | If _ | For _ | While _ | Return _ | Break | Continue | Scope _ -> reject ()
+  | If (cond, b1, b2) ->
+    (* compile.ml If: count_branch, evaluate cond truth, run one arm *)
+    kbranch c;
+    let t = as_truth c (lexpr c cond) in
+    let bt = with_block c (fun () -> lblock c b1) in
+    let be = with_block c (fun () -> lblock c b2) in
+    add_site c t bt be
+  | For (h, body) -> llevel c s h body
+  | Scope b ->
+    (* unconditional: the inner statements' cost folds into this block *)
+    lblock c b
+  | While _ -> reject "while loop"
+  | Return _ -> reject "return inside loop"
+  | Break -> reject "break"
+  | Continue -> reject "continue"
+
+and lblock c (stmts : stmt list) =
+  let added = ref [] in
+  List.iter (fun s -> lstmt c ~added s) stmts;
+  List.iter (fun n -> Hashtbl.remove c.sym n) !added
+
+and llevel c (s : stmt) (h : for_header) body =
+  let lid = c.nlevels in
+  c.nlevels <- lid + 1;
+  (* all three bounds are re-evaluated by the closure backend (lo once per
+     entry, hi per test, step per bump); they must be nest-invariant so
+     the guard can derive one trip count per level per nest entry *)
+  let lo, lo_ops = invariant c h.lo in
+  let hi, hi_ops = invariant c h.hi in
+  let step, step_ops = invariant c h.step in
+  Hashtbl.add c.sym h.index (Sindex lid);
+  let b = with_block c (fun () -> lblock c body) in
+  Hashtbl.remove c.sym h.index;
+  flush_ops c;
+  Hashtbl.replace c.lvls lid
+    {
+      Ir.l_sid = s.sid;
+      l_cle = h.cmp = CLe;
+      l_lo = lo;
+      l_lo_ops = lo_ops;
+      l_hi = hi;
+      l_hi_ops = hi_ops;
+      l_step = step;
+      l_step_ops = step_ops;
+      l_index_reg = Hashtbl.find_opt c.lidx lid;
+      l_body = b;
+    };
+  c.items <- Ir.Bloop lid :: c.items
 
 (* ---- optimisation: hoisting, promotion, superinstruction fusion ---- *)
 
@@ -839,6 +1087,10 @@ let fcounts nf ops_list =
            d x;
            u a;
            u b
+         | FCmp (_, _, a, b) ->
+           (* dest is an int register; both operands are float uses *)
+           u a;
+           u b
          | FLdSub (x, _, b) | FLdMul (x, _, b) | FLdAdd (x, _, b) ->
            d x;
            u b
@@ -851,8 +1103,8 @@ let fcounts nf ops_list =
            u a;
            u b
          | IConst _ | IMov _ | ItoB _ | IAdd _ | ISub _ | IMul _ | INeg _
-         | IDivZ _ | IModZ _ | IAbs _ | IMin _ | IMax _ | ILd _ | ISt _
-         | IStB _ | ILdCk _ | IStCk _ ->
+         | IDivZ _ | IModZ _ | IAbs _ | IMin _ | IMax _ | ICmp _ | INot _
+         | ILd _ | ISt _ | IStB _ | ILdCk _ | IStCk _ ->
            ()))
     ops_list;
   (defs, uses)
@@ -886,6 +1138,7 @@ let subst_use (op : Ir.fop) d r : Ir.fop option =
     | FSubS (x, a, b) -> FSubS (x, sh a, sh b)
     | FMulS (x, a, b) -> FMulS (x, sh a, sh b)
     | FDivS (x, a, b) -> FDivS (x, sh a, sh b)
+    | FCmp (m, x, a, b) -> FCmp (m, x, sh a, sh b)
     | FSt (cu, a) -> FSt (cu, sh a)
     | FStDem (cu, a) -> FStDem (cu, sh a)
     | FStCk (ar, i, a, l) -> FStCk (ar, i, sh a, l)
@@ -941,95 +1194,102 @@ let retarget (op : Ir.fop) d r : Ir.fop option =
    division (only adjacent ops merge, and none of those opcodes appear in
    any pattern), so memory/effect/raise order is preserved exactly.  Fused
    arithmetic keeps operand order — a*b+c stays (a*b)+c with the same
-   rounding — so results are bit-identical to the unfused sequence. *)
-let fuse_pass ~nf ~pro ~epi ~external_regs ~one_regs (body : Ir.fop array) :
-    Ir.fop array =
-  let body = ref (Array.to_list body) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    let defs, uses = fcounts nf [ pro; !body; epi ] in
-    let temp d =
-      d < nf && (not external_regs.(d)) && defs.(d) = 1 && uses.(d) = 1
-    in
-    let rec scan acc (ops : Ir.fop list) =
-      match ops with
-      | Ir.FLd (t1, c1) :: Ir.FLd (t2, c2) :: Ir.FSub (x, a, b) :: tl
-        when a = t1 && b = t2 && t1 <> t2 && temp t1 && temp t2 ->
-        List.rev_append acc (Ir.FLdSub2 (x, c1, c2) :: tl)
-      | Ir.FLd (t, cu) :: Ir.FAdd (x, a, b) :: Ir.FSt (cu2, r) :: tl
-        when a = t && cu2 = cu && temp t && temp x && x = r && b <> t ->
-        List.rev_append acc (Ir.FAccSt (cu, b) :: tl)
-      | Ir.FLd (t, cu) :: Ir.FSub (x, a, b) :: tl when a = t && temp t && b <> t
-        ->
-        List.rev_append acc (Ir.FLdSub (x, cu, b) :: tl)
-      | Ir.FLd (t, cu) :: Ir.FAdd (x, a, b) :: tl when a = t && temp t && b <> t
-        ->
-        List.rev_append acc (Ir.FLdAdd (x, cu, b) :: tl)
-      | Ir.FLd (t, cu) :: Ir.FMul (x, a, b) :: tl when a = t && temp t && b <> t
-        ->
-        List.rev_append acc (Ir.FLdMul (x, cu, b) :: tl)
-      | Ir.FMul (t, a, b) :: Ir.FAdd (x, p, q) :: tl
-        when p = t && temp t && q <> t ->
-        List.rev_append acc (Ir.FMulAdd (x, a, b, q) :: tl)
-      | Ir.FMul (t, a, b) :: Ir.FAdd (x, p, q) :: tl
-        when q = t && temp t && p <> t ->
-        List.rev_append acc (Ir.FAddMul (x, p, a, b) :: tl)
-      | Ir.FMul (t, a, b) :: Ir.FSub (x, p, q) :: tl
-        when q = t && temp t && p <> t ->
-        List.rev_append acc (Ir.FSubMul (x, p, a, b) :: tl)
-      | Ir.FMul (t, a, b) :: Ir.FAccSt (cu, q) :: tl when q = t && temp t ->
-        List.rev_append acc (Ir.FMulAccSt (cu, a, b) :: tl)
-      | Ir.FDiv (x, o, a) :: tl when o < nf && one_regs.(o) && a <> o ->
-        List.rev_append acc (Ir.FRecip (x, a) :: tl)
-      | Ir.FMath1 (Ir.Msqrt, t, a) :: Ir.FRecip (x, q) :: tl
-        when q = t && temp t ->
-        List.rev_append acc (Ir.FRsqrt (x, a) :: tl)
-      | Ir.FMov (d, r) :: (op2 :: tl as rest) when temp d -> (
-        match subst_use op2 d r with
-        | Some op2' -> List.rev_append acc (op2' :: tl)
-        | None -> scan (Ir.FMov (d, r) :: acc) rest)
-      | op1 :: Ir.FMov (r, d) :: tl when temp d -> (
-        match retarget op1 d r with
-        | Some op1' -> List.rev_append acc (op1' :: tl)
-        | None -> scan (Ir.FMov (r, d) :: op1 :: acc) tl)
-      | op :: tl -> scan (op :: acc) tl
-      | [] -> List.rev acc
-    in
-    let body' = scan [] !body in
-    if body' <> !body then begin
-      body := body';
-      changed := true
-    end
-  done;
-  Array.of_list !body
+   rounding — so results are bit-identical to the unfused sequence.
+   [scan_fuse] applies at most one rewrite per call; the caller recomputes
+   global def/use counts between rewrite sweeps. *)
+let scan_fuse ~nf ~temp ~one_regs (ops : Ir.fop list) : Ir.fop list =
+  let rec scan acc (ops : Ir.fop list) =
+    match ops with
+    | Ir.FLd (t1, c1) :: Ir.FLd (t2, c2) :: Ir.FSub (x, a, b) :: tl
+      when a = t1 && b = t2 && t1 <> t2 && temp t1 && temp t2 ->
+      List.rev_append acc (Ir.FLdSub2 (x, c1, c2) :: tl)
+    | Ir.FLd (t, cu) :: Ir.FAdd (x, a, b) :: Ir.FSt (cu2, r) :: tl
+      when a = t && cu2 = cu && temp t && temp x && x = r && b <> t ->
+      List.rev_append acc (Ir.FAccSt (cu, b) :: tl)
+    | Ir.FLd (t, cu) :: Ir.FSub (x, a, b) :: tl when a = t && temp t && b <> t
+      ->
+      List.rev_append acc (Ir.FLdSub (x, cu, b) :: tl)
+    | Ir.FLd (t, cu) :: Ir.FAdd (x, a, b) :: tl when a = t && temp t && b <> t
+      ->
+      List.rev_append acc (Ir.FLdAdd (x, cu, b) :: tl)
+    | Ir.FLd (t, cu) :: Ir.FMul (x, a, b) :: tl when a = t && temp t && b <> t
+      ->
+      List.rev_append acc (Ir.FLdMul (x, cu, b) :: tl)
+    | Ir.FMul (t, a, b) :: Ir.FAdd (x, p, q) :: tl
+      when p = t && temp t && q <> t ->
+      List.rev_append acc (Ir.FMulAdd (x, a, b, q) :: tl)
+    | Ir.FMul (t, a, b) :: Ir.FAdd (x, p, q) :: tl
+      when q = t && temp t && p <> t ->
+      List.rev_append acc (Ir.FAddMul (x, p, a, b) :: tl)
+    | Ir.FMul (t, a, b) :: Ir.FSub (x, p, q) :: tl
+      when q = t && temp t && p <> t ->
+      List.rev_append acc (Ir.FSubMul (x, p, a, b) :: tl)
+    | Ir.FMul (t, a, b) :: Ir.FAccSt (cu, q) :: tl when q = t && temp t ->
+      List.rev_append acc (Ir.FMulAccSt (cu, a, b) :: tl)
+    | Ir.FDiv (x, o, a) :: tl when o < nf && one_regs.(o) && a <> o ->
+      List.rev_append acc (Ir.FRecip (x, a) :: tl)
+    | Ir.FMath1 (Ir.Msqrt, t, a) :: Ir.FRecip (x, q) :: tl
+      when q = t && temp t ->
+      List.rev_append acc (Ir.FRsqrt (x, a) :: tl)
+    | Ir.FMov (d, r) :: (op2 :: tl as rest) when temp d -> (
+      match subst_use op2 d r with
+      | Some op2' -> List.rev_append acc (op2' :: tl)
+      | None -> scan (Ir.FMov (d, r) :: acc) rest)
+    | op1 :: Ir.FMov (r, d) :: tl when temp d -> (
+      match retarget op1 d r with
+      | Some op1' -> List.rev_append acc (op1' :: tl)
+      | None -> scan (Ir.FMov (r, d) :: op1 :: acc) tl)
+    | op :: tl -> scan (op :: acc) tl
+    | [] -> List.rev acc
+  in
+  scan [] ops
 
-(* ---- whole-loop lowering ---- *)
+(* ---- whole-nest lowering ---- *)
 
-let plan_loop ~env ~user_funcs ~region_set (tbl : Ir.plan) (s : stmt)
-    (h : for_header) (body : block) =
+(* names assigned / declared (including inner loop indexes) anywhere in the
+   nest body, used for invariance and scoping decisions *)
+let collect_info body =
   let assigned = Hashtbl.create 8 in
   let all_locals = Hashtbl.create 8 in
-  List.iter
-    (fun st ->
-      match st.sdesc with
-      | Assign ({ edesc = Var v; _ }, _, _) -> Hashtbl.replace assigned v ()
-      | Decl d -> Hashtbl.replace all_locals d.dname ()
-      | _ -> ())
-    body;
+  let rec stmt s =
+    match s.sdesc with
+    | Assign ({ edesc = Var v; _ }, _, _) -> Hashtbl.replace assigned v ()
+    | Assign _ | Expr_stmt _ | Return _ | Break | Continue -> ()
+    | Decl d -> Hashtbl.replace all_locals d.dname ()
+    | If (_, b1, b2) ->
+      List.iter stmt b1;
+      List.iter stmt b2
+    | While (_, b) | Scope b -> List.iter stmt b
+    | For (h, b) ->
+      Hashtbl.replace all_locals h.index ();
+      List.iter stmt b
+  in
+  List.iter stmt body;
+  (assigned, all_locals)
+
+let plan_loop ~env ~user_funcs ~region_set (s : stmt) (h : for_header)
+    (body : block) : Ir.fast_loop =
+  let assigned, all_locals = collect_info body in
   let c =
     {
       env;
-      index = h.index;
       assigned;
       all_locals;
       user_funcs;
       region_set;
+      sym = Hashtbl.create 8;
       nf = 0;
       ni = 0;
       pro = [];
-      body = [];
+      cur = [];
+      items = [];
       cnt = Ir.zero_counts ();
+      steps = 0;
+      nlevels = 1;
+      lvls = Hashtbl.create 4;
+      lidx = Hashtbl.create 4;
+      sites = [];
+      nsites = 0;
       vtbl = Hashtbl.create 8;
       vars = [];
       nvars = 0;
@@ -1038,79 +1298,120 @@ let plan_loop ~env ~user_funcs ~region_set (tbl : Ir.plan) (s : stmt)
       narrs = 0;
       cursors = [];
       ncursors = 0;
-      locals = Hashtbl.create 8;
-      index_reg = None;
       fconsts = Hashtbl.create 8;
       iconsts = Hashtbl.create 8;
     }
   in
-  (* hi/step are re-evaluated on every loop test/bump by the closure
-     backend; they must be invariant ints so the guard can evaluate them
-     once and derive the exact trip count *)
+  (* root level is id 0; its lo has already been evaluated into the frame
+     slot by the enclosing compiled code, so only hi/step are lowered *)
+  Hashtbl.add c.sym h.index (Sindex 0);
   let hi, hi_ops = invariant c h.hi in
   let step, step_ops = invariant c h.step in
-  List.iter (lstmt c) body;
-  (* per-iteration deltas: body + head test (branch, int op, hi eval) +
-     index bump (int op, step eval); the failing final test is the head
-     delta alone.  The For statement itself is charged by the enclosing
-     segment, so steps per iteration = body statement count. *)
-  let per_iter =
-    let t = c.cnt in
+  let root_body = with_block c (fun () -> lblock c body) in
+  Hashtbl.remove c.sym h.index;
+  Hashtbl.replace c.lvls 0
     {
-      t with
-      Ir.k_int_ops = t.Ir.k_int_ops + 2 + hi_ops + step_ops;
-      Ir.k_branches = t.Ir.k_branches + 1;
-    }
+      Ir.l_sid = s.sid;
+      l_cle = h.cmp = CLe;
+      l_lo = Ir.Iconst 0;
+      l_lo_ops = 0;
+      l_hi = hi;
+      l_hi_ops = hi_ops;
+      l_step = step;
+      l_step_ops = step_ops;
+      l_index_reg = Hashtbl.find_opt c.lidx 0;
+      l_body = root_body;
+    };
+  let levels =
+    Array.init c.nlevels (fun i ->
+        match Hashtbl.find_opt c.lvls i with
+        | Some l -> l
+        | None -> assert false)
   in
-  let final = Ir.zero_counts () in
-  final.Ir.k_int_ops <- 1 + hi_ops;
-  final.Ir.k_branches <- 1;
+  let sites = Array.of_list (List.rev c.sites) in
   let arrs = Array.of_list (List.rev c.arrs) in
   let cursors = Array.of_list (List.rev c.cursors) in
   let zero_coef cu =
-    let _, coef, _ = cursors.(cu) in
-    coef = Ir.Iconst 0
+    let _, coefs, _ = cursors.(cu) in
+    coefs = []
   in
   let arr_of cu =
     let a, _, _ = cursors.(cu) in
     a
   in
+  (* tree traversal helpers: every level/site block is referenced exactly
+     once, so in-place array updates rewrite the whole nest *)
+  let rewrite_tree (f : Ir.fop array -> Ir.fop array) =
+    let rec blk (b : Ir.block) : Ir.block =
+      { b with Ir.b_items = Array.map item b.Ir.b_items }
+    and item (it : Ir.bitem) : Ir.bitem =
+      match it with
+      | Ir.Bops ops -> Ir.Bops (f ops)
+      | Ir.Bsite sid ->
+        let st = sites.(sid) in
+        let s_then = blk st.Ir.s_then in
+        let s_else = blk st.Ir.s_else in
+        sites.(sid) <- { st with Ir.s_then; s_else };
+        it
+      | Ir.Bloop lid ->
+        let lv = levels.(lid) in
+        levels.(lid) <- { lv with Ir.l_body = blk lv.Ir.l_body };
+        it
+    in
+    let lv0 = levels.(0) in
+    levels.(0) <- { lv0 with Ir.l_body = blk lv0.Ir.l_body }
+  in
+  let iter_tree_ops (f : Ir.fop array -> unit) =
+    let rec blk (b : Ir.block) = Array.iter item b.Ir.b_items
+    and item = function
+      | Ir.Bops ops -> f ops
+      | Ir.Bsite sid ->
+        blk sites.(sid).Ir.s_then;
+        blk sites.(sid).Ir.s_else
+      | Ir.Bloop lid -> blk levels.(lid).Ir.l_body
+    in
+    blk levels.(0).Ir.l_body
+  in
   let pro = ref (List.rev c.pro) in
   let epi = ref [] in
-  (* hoist: loads through invariant cursors of arrays never stored move to
-     the prologue (guard re-checks no aliasing store can clobber them) *)
+  (* hoist: loads through invariant (all-zero-coefficient) cursors of
+     arrays never stored move to the prologue (guard re-checks no aliasing
+     store can clobber them); their counter costs stay at the original
+     site, so accounting is unchanged *)
   let hoisted = Hashtbl.create 4 in
-  let body_ops =
-    List.filter_map
-      (fun (op : Ir.fop) ->
-        match op with
-        | (FLd (_, cu) | ILd (_, cu))
-          when zero_coef cu && not arrs.(arr_of cu).ma_stored ->
-          pro := !pro @ [ op ];
-          Hashtbl.replace hoisted (arr_of cu) ();
-          None
-        | _ -> Some op)
-      (List.rev c.body)
-  in
+  rewrite_tree (fun ops ->
+      let kept =
+        List.filter_map
+          (fun (op : Ir.fop) ->
+            match op with
+            | (FLd (_, cu) | ILd (_, cu))
+              when zero_coef cu && not arrs.(arr_of cu).ma_stored ->
+              pro := !pro @ [ op ];
+              Hashtbl.replace hoisted (arr_of cu) ();
+              None
+            | _ -> Some op)
+          (Array.to_list ops)
+      in
+      Array.of_list kept);
   (* promote: an array cell addressed only through one invariant cursor
      becomes a register, loaded on entry and stored back on exit (guard
-     re-checks its base is distinct from every other accessed base) *)
+     re-checks its base is distinct from every other accessed base).  The
+     unconditional epilogue store is unobservable even if the storing arm
+     never ran: it writes back the originally loaded bits. *)
   let cursor_uses = Array.make (max c.ncursors 1) 0 in
   let ck_arrs = Hashtbl.create 4 in
-  List.iter
-    (fun (op : Ir.fop) ->
-      match op with
-      | FLd (_, cu) | FSt (cu, _) | FStDem (cu, _) | ILd (_, cu) | ISt (cu, _)
-      | IStB (cu, _) ->
-        cursor_uses.(cu) <- cursor_uses.(cu) + 1
-      | FLdCk (_, a, _, _) | FStCk (a, _, _, _) | ILdCk (_, a, _, _)
-      | IStCk (a, _, _, _) ->
-        Hashtbl.replace ck_arrs a ()
-      | _ -> ())
-    body_ops;
+  iter_tree_ops
+    (Array.iter (fun (op : Ir.fop) ->
+         match op with
+         | FLd (_, cu) | FSt (cu, _) | FStDem (cu, _) | ILd (_, cu)
+         | ISt (cu, _) | IStB (cu, _) ->
+           cursor_uses.(cu) <- cursor_uses.(cu) + 1
+         | FLdCk (_, a, _, _) | FStCk (a, _, _, _) | ILdCk (_, a, _, _)
+         | IStCk (a, _, _, _) ->
+           Hashtbl.replace ck_arrs a ()
+         | _ -> ()));
   let promoted = ref [] in
   let promoted_regs = ref [] in
-  let body_ops = ref body_ops in
   Array.iteri
     (fun aid (ma : marr) ->
       if ma.ma_stored && not (Hashtbl.mem ck_arrs aid) then begin
@@ -1121,28 +1422,31 @@ let plan_loop ~env ~user_funcs ~region_set (tbl : Ir.plan) (s : stmt)
           cursors;
         match !cus with
         | [ cu ] when zero_coef cu ->
-          let isf = match ma.ma_ety with Ir.Efloat32 | Ir.Efloat64 -> true | _ -> false in
+          let isf =
+            match ma.ma_ety with
+            | Ir.Efloat32 | Ir.Efloat64 -> true
+            | _ -> false
+          in
           let reg = if isf then allocf c else alloci c in
           pro := !pro @ [ (if isf then Ir.FLd (reg, cu) else Ir.ILd (reg, cu)) ];
           epi := !epi @ [ (if isf then Ir.FSt (cu, reg) else Ir.ISt (cu, reg)) ];
-          body_ops :=
-            List.map
-              (fun (op : Ir.fop) : Ir.fop ->
-                match op with
-                | FLd (d, cu') when cu' = cu -> FMov (d, reg)
-                | FSt (cu', sr) when cu' = cu -> FMov (reg, sr)
-                | FStDem (cu', sr) when cu' = cu -> FDem (reg, sr)
-                | ILd (d, cu') when cu' = cu -> IMov (d, reg)
-                | ISt (cu', sr) when cu' = cu -> IMov (reg, sr)
-                | IStB (cu', sr) when cu' = cu -> ItoB (reg, sr)
-                | _ -> op)
-              !body_ops;
+          rewrite_tree
+            (Array.map (fun (op : Ir.fop) : Ir.fop ->
+                 match op with
+                 | FLd (d, cu') when cu' = cu -> FMov (d, reg)
+                 | FSt (cu', sr) when cu' = cu -> FMov (reg, sr)
+                 | FStDem (cu', sr) when cu' = cu -> FDem (reg, sr)
+                 | ILd (d, cu') when cu' = cu -> IMov (d, reg)
+                 | ISt (cu', sr) when cu' = cu -> IMov (reg, sr)
+                 | IStB (cu', sr) when cu' = cu -> ItoB (reg, sr)
+                 | _ -> op));
           promoted := aid :: !promoted;
           if isf then promoted_regs := reg :: !promoted_regs
         | _ -> ()
       end)
     arrs;
-  (* fusion *)
+  (* fusion: fixpoint over the whole tree; def/use counts are global, so a
+     temp absorbed in one block can never still be referenced in another *)
   let external_regs = Array.make (max c.nf 1) false in
   List.iter
     (fun mv ->
@@ -1158,61 +1462,97 @@ let plan_loop ~env ~user_funcs ~region_set (tbl : Ir.plan) (s : stmt)
       | FConst (r, v) when v = 1.0 -> one_regs.(r) <- true
       | _ -> ())
     !pro;
-  let body_arr =
-    fuse_pass ~nf:c.nf ~pro:!pro ~epi:!epi ~external_regs ~one_regs
-      (Array.of_list !body_ops)
-  in
-  let fl : Ir.fast_loop =
-    {
-      fl_sid = s.sid;
-      fl_cle = h.cmp = CLe;
-      fl_hi = hi;
-      fl_hi_ops = hi_ops;
-      fl_step = step;
-      fl_step_ops = step_ops;
-      fl_vars =
-        Array.of_list
-          (List.rev_map
-             (fun mv ->
-               {
-                 Ir.v_name = mv.mv_name;
-                 v_kind = mv.mv_kind;
-                 v_reg = mv.mv_reg;
-                 v_written = mv.mv_written;
-               })
-             c.vars);
-      fl_arrs =
-        Array.map
-          (fun ma ->
-            { Ir.a_name = ma.ma_name; a_ety = ma.ma_ety; a_stored = ma.ma_stored })
-          arrs;
-      fl_cursors =
-        Array.map (fun (a, coef, base) -> { Ir.c_arr = a; c_coef = coef; c_base = base }) cursors;
-      fl_prologue = Array.of_list !pro;
-      fl_body = body_arr;
-      fl_epilogue = Array.of_list !epi;
-      fl_index_reg = c.index_reg;
-      fl_nf = c.nf;
-      fl_ni = c.ni;
-      fl_body_steps = List.length body;
-      fl_per_iter = per_iter;
-      fl_final = final;
-      fl_hoisted =
-        Array.of_list (Hashtbl.fold (fun k () acc -> k :: acc) hoisted []);
-      fl_promoted = Array.of_list !promoted;
-    }
-  in
-  Hashtbl.replace tbl s.sid fl
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let all = ref [ !pro; !epi ] in
+    iter_tree_ops (fun ops -> all := Array.to_list ops :: !all);
+    let defs, uses = fcounts c.nf !all in
+    let temp d =
+      d < c.nf && (not external_regs.(d)) && defs.(d) = 1 && uses.(d) = 1
+    in
+    rewrite_tree (fun ops ->
+        let l = Array.to_list ops in
+        let l' = scan_fuse ~nf:c.nf ~temp ~one_regs l in
+        if l' <> l then begin
+          changed := true;
+          Array.of_list l'
+        end
+        else ops)
+  done;
+  {
+    Ir.fl_sid = s.sid;
+    fl_loc = s.sloc;
+    fl_levels = levels;
+    fl_sites = sites;
+    fl_vars =
+      Array.of_list
+        (List.rev_map
+           (fun mv ->
+             {
+               Ir.v_name = mv.mv_name;
+               v_kind = mv.mv_kind;
+               v_reg = mv.mv_reg;
+               v_written = mv.mv_written;
+             })
+           c.vars);
+    fl_arrs =
+      Array.map
+        (fun ma ->
+          { Ir.a_name = ma.ma_name; a_ety = ma.ma_ety; a_stored = ma.ma_stored })
+        arrs;
+    fl_cursors =
+      Array.map
+        (fun (a, coefs, base) ->
+          {
+            Ir.c_arr = a;
+            c_coefs =
+              Array.init c.nlevels (fun l ->
+                  match List.assoc_opt l coefs with
+                  | Some e -> e
+                  | None -> Ir.Iconst 0);
+            c_base = base;
+          })
+        cursors;
+    fl_prologue = Array.of_list !pro;
+    fl_epilogue = Array.of_list !epi;
+    fl_nf = c.nf;
+    fl_ni = c.ni;
+    fl_hoisted =
+      Array.of_list (Hashtbl.fold (fun k () acc -> k :: acc) hoisted []);
+    fl_promoted = Array.of_list !promoted;
+  }
 
 (* ---- program walk ---- *)
+
+type outcome = Planned of { levels : int; sites : int } | Unplannable of string
 
 let decl_binding_ty (d : decl) =
   match d.darray with Some _ -> Tptr d.dty | None -> d.dty
 
-let plan ?(region_sids = []) (p : program) : Ir.plan =
+let plan_with ?(region_sids = []) ~(note : stmt -> outcome -> unit)
+    (p : program) : Ir.plan =
   let tbl : Ir.plan = Hashtbl.create 16 in
   (match Typecheck.check_program p with
-   | Error _ -> ()  (* ill-typed: run everything on the reference backends *)
+   | Error _ ->
+     (* ill-typed: run everything on the reference backends; still visit
+        every loop so plan reports cover the whole program *)
+     let rec walk blk =
+       List.iter
+         (fun s ->
+           match s.sdesc with
+           | If (_, b1, b2) ->
+             walk b1;
+             walk b2
+           | While (_, b) | Scope b -> walk b
+           | For (_, b) ->
+             note s (Unplannable "ill-typed program");
+             walk b
+           | Decl _ | Assign _ | Expr_stmt _ | Return _ | Break | Continue ->
+             ())
+         blk
+     in
+     List.iter (fun f -> walk f.fbody) (funcs p)
    | Ok () ->
      let user_funcs = Hashtbl.create 8 in
      List.iter (fun f -> Hashtbl.replace user_funcs f.fname ()) (funcs p);
@@ -1235,8 +1575,19 @@ let plan ?(region_sids = []) (p : program) : Ir.plan =
                 walk_block env b;
                 env
               | For (h, body) ->
-                (try plan_loop ~env ~user_funcs ~region_set tbl s h body
-                 with Reject -> ());
+                (match plan_loop ~env ~user_funcs ~region_set s h body with
+                 | fl ->
+                   Hashtbl.replace tbl s.sid fl;
+                   note s
+                     (Planned
+                        {
+                          levels = Array.length fl.Ir.fl_levels;
+                          sites = Array.length fl.Ir.fl_sites;
+                        })
+                 | exception Reject r -> note s (Unplannable r));
+                (* inner loops also get independent plan entries so the
+                   fallback path still fast-paths them when the outer
+                   guard declines *)
                 walk_block (Typecheck.bind env h.index Tint) body;
                 env
               | Assign _ | Expr_stmt _ | Return _ | Break | Continue -> env)
@@ -1246,3 +1597,11 @@ let plan ?(region_sids = []) (p : program) : Ir.plan =
        (fun f -> walk_block (Typecheck.env_for_func p f) f.fbody)
        (funcs p));
   tbl
+
+let plan ?region_sids (p : program) : Ir.plan =
+  plan_with ?region_sids ~note:(fun _ _ -> ()) p
+
+let plan_report ?region_sids (p : program) : (Loc.t * outcome) list =
+  let acc = ref [] in
+  ignore (plan_with ?region_sids ~note:(fun s o -> acc := (s.sloc, o) :: !acc) p);
+  List.rev !acc

@@ -1,28 +1,50 @@
-(** Lowering pass: select and compile canonical loops into {!Ir.fast_loop}s.
+(** Lowering pass: select canonical counted [for] loop nests and compile
+    them to {!Ir.fast_loop} plans for the VM backend.
 
-    The pass consumes typecheck results ({!Typecheck.env_for_func},
-    {!Typecheck.lookup_var}) and walks every function body looking for
-    innermost counted [for] loops whose bodies are straight-line, statically
-    typed statements — scalar declarations with initialisers, assignments to
-    scalars and array elements, and effectful expressions built from
-    arithmetic, math intrinsics, [rand01()] and array reads.  Each eligible
-    loop is lowered to a flat instruction array over unboxed register files,
-    with affine array accesses turned into {!Ir.cursor}s (bounds checks
-    elided, verified once by the executing backend's guard), loop-invariant
-    loads hoisted, accumulator cells register-promoted, and the hottest
-    opcode pairs fused into superinstructions.
+    A loop nest is plannable when every level's bounds are nest-invariant
+    integer expressions (literals, unassigned outer int scalars, and
+    [+]/[-]/[*]/negation over those), its body contains only statically
+    typed statements the flat IR can express — declarations, assignments,
+    expression statements, [if] statements, inner [for] loops, scopes —
+    and all array accesses go through plain outer pointer variables.
+    Ternaries and short-circuit [&&]/[||] lower to control-flow sites with
+    per-site taken counters, so the executing backend's batched step and
+    hardware-counter accounting stays exact even when arms cost
+    differently.  Loops containing [while], [return], [break], [continue],
+    user function calls, or statements inside observation regions are
+    rejected, as is anything whose counter or rounding behaviour the flat
+    IR cannot replicate bit-for-bit; rejected loops simply run on the
+    closure backend, so lowering is a pure, sound optimisation with no
+    effect on observable semantics (values, step budgets, counters, error
+    messages, PRNG draws, or printed output).
 
-    Anything the pass cannot prove eligible is simply left out of the plan:
-    the executing backend falls back to the reference closure compiler for
-    those loops, so lowering is a pure, sound optimisation with no effect on
-    observable semantics (values, step budgets, counters, error messages,
-    PRNG draws, or printed output). *)
+    Lowering is purely syntactic + type-directed: it never looks at
+    runtime values.  All value-dependent safety conditions (trip counts,
+    bounds, aliasing, overflow) are checked per nest entry by the runtime
+    guard in [Fastloop]. *)
+
+(** Why a given [for] statement did or did not get a plan.  [Planned]
+    reports the nest shape actually lowered (number of levels including
+    the root, and number of control-flow sites). *)
+type outcome =
+  | Planned of { levels : int; sites : int }
+  | Unplannable of string
 
 val plan : ?region_sids:int list -> Ast.program -> Ir.plan
-(** [plan ~region_sids p] lowers every eligible loop of [p], keyed by the
-    [For] statement id.  Programs that fail {!Typecheck.check_program}
-    produce an empty plan (the backends reproduce the walker's dynamic
-    behaviour instead).  [region_sids] lists statement ids instrumented as
-    observation regions ([trace_aliases] footprints): loops containing such
-    statements are not planned, and the guard additionally refuses to run
-    while any region is active. *)
+(** [plan ~region_sids p] typechecks [p] and builds fast-loop plans for
+    every plannable [for] nest, keyed by the root [For] statement id.
+    Loops whose body contains a statement in [region_sids] (observation
+    regions / [trace_aliases] footprints) are not planned, since region
+    tracking needs per-statement granularity; the guard additionally
+    refuses to run while any region is active.  Inner loops of a planned
+    nest also get independent entries of their own, so the compiled
+    fallback still fast-paths them when the outer guard declines.
+    Programs that fail {!Typecheck.check_program} produce an empty plan
+    (the backends reproduce the walker's dynamic behaviour instead). *)
+
+val plan_report :
+  ?region_sids:int list -> Ast.program -> (Loc.t * outcome) list
+(** Same walk as {!plan}, but returns one entry per [for] statement (in
+    deterministic program order, outer loops before the loops they
+    contain) describing the planning outcome — used by [--explain] to
+    make coverage misses diagnosable. *)

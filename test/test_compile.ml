@@ -446,6 +446,93 @@ let test_fault_report_backend_invariant () =
   Alcotest.(check string) "why trails identical (compiled)" wa wc;
   Alcotest.(check string) "why trails identical (vm)" wa wv
 
+(* ---- loop-nest lowering: coverage and budget parity ---- *)
+
+(* a K-Means-shaped kernel: a three-level nest with an if site, a ternary
+   site and loop-carried scalars, small enough to sweep step budgets
+   across every outer-iteration boundary *)
+let nest_src =
+  {|
+const int N = 8;
+int main() {
+  double a[N];
+  double b[N];
+  for (int i = 0; i < N; i++) { a[i] = (double)i * 0.25; b[i] = 0.0; }
+  double acc = 0.0;
+  for (int it = 0; it < 4; it++) {
+    for (int i = 0; i < N; i++) {
+      double best = 1.0e9;
+      for (int k = 0; k < 4; k++) {
+        double d = a[i] - (double)k;
+        double d2 = d * d;
+        if (d2 < best) { best = d2; }
+      }
+      b[i] += best;
+      acc += (i < 4) ? best : 0.5 * best;
+    }
+  }
+  double checksum = acc;
+  for (int i = 0; i < N; i++) { checksum += b[i]; }
+  print_float(checksum);
+  return 0;
+}|}
+
+let test_nest_planned_coverage () =
+  let p = parse nest_src in
+  (* the lowering pass plans the whole three-level nest including both
+     control-flow sites *)
+  let outcomes = Ir_lower.plan_report p in
+  check "three-level nest planned" true
+    (List.exists
+       (function
+         | _, Ir_lower.Planned { levels; sites } -> levels = 3 && sites = 2
+         | _ -> false)
+       outcomes);
+  check "no unplannable loops" true
+    (List.for_all
+       (function _, Ir_lower.Planned _ -> true | _ -> false)
+       outcomes);
+  (* and the VM executes nearly all statements on the planned path *)
+  let before = Machine.planned_steps () in
+  let r = Machine.run ~backend:`Vm p in
+  let planned = Machine.planned_steps () - before in
+  let total = r.Machine.counters.Counters.steps in
+  check "planned steps bounded by total" true (planned <= total && planned > 0);
+  check "step coverage >= 0.9" true
+    (float_of_int planned >= 0.9 *. float_of_int total)
+
+let test_nest_budget_bail_parity () =
+  (* sweep the step budget across the whole run, hitting every
+     outer-iteration boundary of the planned nest: the guard's budget
+     bail is pre-effect, so walker, compiled and VM must abort at exactly
+     the same statement with identical partial state — and budgets
+     between the guard's worst-case site accounting and the actual cost
+     exercise bail-then-complete on the closure path with all counters
+     observable *)
+  let p = parse nest_src in
+  let total =
+    (Machine.run ~backend:`Ast p).Machine.counters.Counters.steps
+  in
+  for max_steps = 1 to 100 do
+    let config = { Machine.default_config with max_steps } in
+    check (Printf.sprintf "nest budget %d" max_steps) true (agree ~config p)
+  done;
+  List.iter
+    (fun max_steps ->
+      let config = { Machine.default_config with max_steps } in
+      check (Printf.sprintf "nest budget %d" max_steps) true (agree ~config p))
+    (List.concat_map
+       (fun d -> [ (total / 4) + d; (total / 2) + d; total + d ])
+       [ -2; -1; 0; 1 ]);
+  (* profiled, the nest bails to the closure path pre-effect: same sweep *)
+  List.iter
+    (fun max_steps ->
+      let config = { (full_config p) with max_steps } in
+      check
+        (Printf.sprintf "nest budget %d (profiled)" max_steps)
+        true (agree ~config p))
+    [ 10; 50; (total / 2) + 1; total - 1; total + 50 ]
+
 (* ---- random-program differential property ---- *)
 
 let prop_backends_agree =
@@ -454,6 +541,13 @@ let prop_backends_agree =
     ~count:150 Test_props.arbitrary_program (fun src ->
       let p = parse src in
       agree ~config:(full_config p) p)
+
+(* unprofiled, the VM actually executes random nests/ifs/ternaries on the
+   planned fast path instead of bailing to the closure fallback *)
+let prop_backends_agree_plain =
+  QCheck.Test.make
+    ~name:"backends agree on random kernels (unprofiled, planned nests)"
+    ~count:150 Test_props.arbitrary_program (fun src -> agree (parse src))
 
 let suite =
   [
@@ -474,5 +568,8 @@ let suite =
     Alcotest.test_case "default backend switch" `Quick test_default_backend_switch;
     Alcotest.test_case "fault report backend-invariant" `Slow
       test_fault_report_backend_invariant;
+    Alcotest.test_case "nest planned coverage" `Quick test_nest_planned_coverage;
+    Alcotest.test_case "nest budget-bail parity" `Quick test_nest_budget_bail_parity;
     QCheck_alcotest.to_alcotest prop_backends_agree;
+    QCheck_alcotest.to_alcotest prop_backends_agree_plain;
   ]

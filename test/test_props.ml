@@ -23,42 +23,84 @@ let check = Alcotest.(check bool)
 module Gen = struct
   open QCheck.Gen
 
-  let leaf locals =
+  (* [iv] is the loop index variable the leaves may read — "i" at the
+     outer level, "jK" inside a generated inner loop *)
+  let leaf ?(iv = "i") locals =
     oneof
       ([
          map (fun n -> Printf.sprintf "%.2f" (float_of_int n /. 4.0)) (1 -- 40);
-         return "x[i]";
-         return "(double)i";
+         return (Printf.sprintf "x[%s]" iv);
+         return (Printf.sprintf "(double)%s" iv);
        ]
       @ List.map return locals)
 
-  let rec expr locals depth =
-    if depth = 0 then leaf locals
+  let rec expr ?iv locals depth =
+    if depth = 0 then leaf ?iv locals
     else
       frequency
         [
-          (3, leaf locals);
+          (3, leaf ?iv locals);
           ( 4,
             map3
               (fun op a b -> Printf.sprintf "(%s %s %s)" a op b)
               (oneofl [ "+"; "-"; "*" ])
-              (expr locals (depth - 1))
-              (expr locals (depth - 1)) );
-          (1, map (fun a -> Printf.sprintf "sqrt(fabs(%s) + 1.0)" a) (expr locals (depth - 1)));
+              (expr ?iv locals (depth - 1))
+              (expr ?iv locals (depth - 1)) );
+          (1, map (fun a -> Printf.sprintf "sqrt(fabs(%s) + 1.0)" a) (expr ?iv locals (depth - 1)));
           ( 1,
             map2
               (fun a b -> Printf.sprintf "(%s / (fabs(%s) + 1.0))" a b)
-              (expr locals (depth - 1))
-              (expr locals (depth - 1)) );
+              (expr ?iv locals (depth - 1))
+              (expr ?iv locals (depth - 1)) );
         ]
+
+  (* boolean guards: comparisons between guarded double expressions *)
+  let cond locals =
+    map3
+      (fun op a b -> Printf.sprintf "%s %s %s" a op b)
+      (oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ])
+      (expr locals 2) (expr locals 2)
 
   let stmt idx locals =
     let e = expr locals 3 in
-    oneof
+    let c = cond locals in
+    let j = Printf.sprintf "j%d" idx in
+    frequency
       [
-        map (fun e -> (Printf.sprintf "double t%d = %s;" idx e, Some (Printf.sprintf "t%d" idx))) e;
-        map (fun e -> (Printf.sprintf "y[i] = %s;" e, None)) e;
-        map (fun e -> (Printf.sprintf "y[i] += %s;" e, None)) e;
+        (3, map (fun e -> (Printf.sprintf "double t%d = %s;" idx e, Some (Printf.sprintf "t%d" idx))) e);
+        (3, map (fun e -> (Printf.sprintf "y[i] = %s;" e, None)) e);
+        (3, map (fun e -> (Printf.sprintf "y[i] += %s;" e, None)) e);
+        ( 2,
+          map3
+            (fun c a b ->
+              ( Printf.sprintf "double t%d = (%s) ? %s : %s;" idx c a b,
+                Some (Printf.sprintf "t%d" idx) ))
+            c e e );
+        ( 2,
+          map3
+            (fun c a b ->
+              (Printf.sprintf "if (%s) { y[i] += %s; } else { y[i] -= %s; }" c a b, None))
+            c e e );
+        ( 1,
+          map2
+            (fun c a -> (Printf.sprintf "if (%s) { y[i] = %s; }" c a, None))
+            c e );
+        ( 2,
+          map2
+            (fun inner lim ->
+              ( Printf.sprintf "for (int %s = 0; %s < %d; %s++) { y[i] += %s; }" j j
+                  lim j inner,
+                None ))
+            (expr ~iv:j locals 2) (2 -- 8) );
+        ( 1,
+          map2
+            (fun c inner ->
+              ( Printf.sprintf
+                  "if (%s) { for (int %s = 0; %s < 4; %s++) { y[i] += %s; } }" c j j
+                  j inner,
+                None ))
+            c
+            (expr ~iv:j locals 2) );
       ]
 
   let body =

@@ -178,6 +178,63 @@ let test_step_budget_timeout_deterministic () =
       checks "failure lines identical across jobs" f1 f4;
       checks "why trails identical across jobs" w1 w4)
 
+(* the first line of --why names the active backend; drop it so trails
+   can be compared byte-for-byte across backends *)
+let drop_backend_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let test_nested_budget_fault_backend_invariant () =
+  (* K-Means' hot loops run as planned multi-level nests on the VM.  A
+     step budget small enough to blow mid-nest makes every planned entry
+     fail the guard's budget pre-check — a pre-effect bail — and the
+     closure path then aborts mid-outer-iteration; an injected task fault
+     prunes one accelerator branch on top.  The pruned report must be
+     identical whatever backend interprets and at --jobs 1 and 4: a bail
+     that committed partial steps, counters or writes would diverge
+     here. *)
+  let old_jobs = Util.Pool.default_jobs () in
+  let old_policy = Resilience.policy () in
+  Resilience.set_policy
+    { Resilience.default_policy with Resilience.pol_step_budget = Some 500 };
+  Fun.protect
+    ~finally:(fun () ->
+      Resilience.set_policy old_policy;
+      Util.Pool.set_default_jobs old_jobs)
+    (fun () ->
+      let observe backend jobs =
+        let saved = Machine.default_backend () in
+        Machine.set_default_backend backend;
+        Fun.protect
+          ~finally:(fun () -> Machine.set_default_backend saved)
+          (fun () ->
+            Util.Pool.set_default_jobs jobs;
+            with_faults "task:GPU-2080" (fun () ->
+                Cache.clear_memory ();
+                match
+                  Engine.run ~workload:Kmeans.app.App.app_test_overrides
+                    ~mode:Pipeline.Uninformed Kmeans.app
+                with
+                | Error e -> Alcotest.fail e
+                | Ok rep ->
+                  ( List.map
+                      (fun (d : Design.t) -> Target.short d.Design.d_target)
+                      rep.Engine.rep_designs,
+                    Report.failures_text rep,
+                    drop_backend_line (Report.why_text rep) )))
+      in
+      let d1, f1, w1 = observe `Vm 1 in
+      let d4, f4, w4 = observe `Vm 4 in
+      let da, fa, wa = observe `Ast 1 in
+      check "budget timeouts fired" true (contains ~needle:"step budget" f1);
+      check "designs identical across jobs" true (d1 = d4);
+      checks "failure lines identical across jobs" f1 f4;
+      checks "why trails identical across jobs" w1 w4;
+      check "designs identical across backends" true (d1 = da);
+      checks "failure lines identical across backends" f1 fa;
+      checks "why trails identical across backends" w1 wa)
+
 (* ---- pool worker crash recovery ---- *)
 
 let test_pool_worker_crash_recovered () =
@@ -249,6 +306,8 @@ let suite =
     Alcotest.test_case "strict restores fail-fast" `Slow test_strict_aborts;
     Alcotest.test_case "step-budget timeout deterministic" `Slow
       test_step_budget_timeout_deterministic;
+    Alcotest.test_case "nested budget+fault backend-invariant" `Slow
+      test_nested_budget_fault_backend_invariant;
     Alcotest.test_case "pool worker crash recovered" `Quick test_pool_worker_crash_recovered;
     Alcotest.test_case "cache corruption injected" `Quick test_cache_corruption_injected;
   ]
