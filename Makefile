@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-quick bench-compare bench-warm-cold trace-check fault-check doc clean
+.PHONY: all check test bench bench-quick bench-compare bench-warm-cold bench-jobs trace-check fault-check doc clean
 
 all:
 	dune build @all
@@ -34,6 +34,17 @@ bench-warm-cold:
 	dune exec bench/main.exe -- runs micro ablation --quick --json bench-cold.json
 	dune exec bench/main.exe -- runs micro ablation --quick --json bench-warm.json
 	dune exec bench/compare.exe -- --warm-cold bench-cold.json bench-warm.json
+
+# scheduler-effectiveness gate: the same quick bench at --jobs 1 and
+# --jobs 4 (cache off, so both runs do the full work) must show the
+# combined runs+ablation time dropping >= 1.8x, with the parallel run
+# actually scheduling futures.  Skipped automatically (exit 0) on hosts
+# with fewer than 4 cores, where the speedup is physically unavailable.
+bench-jobs:
+	rm -f bench-jobs1.json bench-jobs4.json
+	dune exec bench/main.exe -- runs ablation --quick --jobs 1 --cache off --json bench-jobs1.json
+	dune exec bench/main.exe -- runs ablation --quick --jobs 4 --cache off --json bench-jobs4.json
+	dune exec bench/compare.exe -- --jobs-speedup bench-jobs1.json bench-jobs4.json
 
 # trace gate: record a span trace of an nbody flow run and validate it
 # (balanced per-domain tracks, all flow-level span kinds, >= 2 domains)

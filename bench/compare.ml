@@ -3,12 +3,21 @@
 
    Usage: compare.exe CURRENT.json BASELINE.json
           compare.exe --warm-cold COLD.json WARM.json
+          compare.exe --jobs-speedup JOBS1.json JOBSN.json
 
    The second form checks the evaluation cache's effectiveness: WARM must
    have been produced by rerunning the same bench against the cache
    directory COLD populated.  It requires the combined runs+micro+ablation
    wall time to drop at least 2x and the warm run to have actually served
    entries from the disk tier.
+
+   The third form checks the work-stealing scheduler's effectiveness:
+   both files must come from the same commit with the cache off, JOBS1
+   run at --jobs 1 and JOBSN at --jobs 4 (or more).  It requires the
+   combined runs+ablation wall time to drop at least 1.8x and the
+   parallel run to have actually scheduled futures (pool.spawned > 0).
+   The gate is skipped (exit 0) when the recording host reports fewer
+   than 4 cores, where no such speedup is physically available.
 
    Gates (first form):
    - every wall-clock section present in both files may regress by at
@@ -250,6 +259,76 @@ let run_warm_cold cold_path warm_path =
      Printf.printf "note  warm run evicted %.0f corrupted cache entries\n" e
    | _ -> ())
 
+(* ---- parallel-speedup gate ---- *)
+
+(* micro and interp are single-domain by construction, so the scheduler
+   gate only sums the sections that fan out over the pool *)
+let jobs_sections = [ "runs"; "ablation" ]
+
+let jobs_speedup = 1.8
+
+(* below this the host cannot show a 1.8x four-way speedup even in
+   principle; the gate degrades to an informational skip *)
+let jobs_min_cores = 4.0
+
+let run_jobs_speedup seq_path par_path =
+  let seq = parse seq_path in
+  let par = parse par_path in
+  let top j name = member name j |> Option.map (function Num f -> f | _ -> nan) in
+  (match top seq "jobs" with
+   | Some j when j > 1.0 ->
+     report "%s was recorded at --jobs %.0f (expected 1)" seq_path j
+   | _ -> ());
+  (match top par "jobs" with
+   | Some j when j < jobs_min_cores ->
+     report "%s was recorded at --jobs %.0f (expected >= %.0f)" par_path j
+       jobs_min_cores
+   | _ -> ());
+  match top par "cores" with
+  | Some cores when cores < jobs_min_cores ->
+    Printf.printf
+      "skip  host reports %.0f core%s (< %.0f): parallel speedup gate not applicable\n"
+      cores
+      (if cores = 1.0 then "" else "s")
+      jobs_min_cores
+  | _ ->
+    let sections j = Option.fold ~none:[] ~some:num_members (member "sections" j) in
+    let combined label j =
+      List.fold_left
+        (fun acc name ->
+          match List.assoc_opt name (sections j) with
+          | Some t -> acc +. t
+          | None ->
+            report "%s is missing section %S" label name;
+            acc)
+        0.0 jobs_sections
+    in
+    let seq_t = combined "jobs-1 run" seq in
+    let par_t = combined "parallel run" par in
+    let ratio = if par_t > 0.0 then seq_t /. par_t else infinity in
+    if ratio < jobs_speedup then
+      report "parallel %s only %.2fx faster than --jobs 1 (%.3fs -> %.3fs, needs >= %.1fx)"
+        (String.concat "+" jobs_sections)
+        ratio seq_t par_t jobs_speedup
+    else
+      Printf.printf "ok    parallel %s %.3fs -> %.3fs (%.2fx >= %.1fx)\n"
+        (String.concat "+" jobs_sections)
+        seq_t par_t ratio jobs_speedup;
+    (* the speedup must come from the scheduler, not from noise *)
+    let metric j name =
+      match member "metrics" j with
+      | Some m -> List.assoc_opt name (num_members m)
+      | None -> None
+    in
+    (match metric par "pool.spawned" with
+     | Some n when n > 0.0 ->
+       Printf.printf "ok    parallel run spawned %.0f futures" n;
+       (match metric par "pool.steals" with
+        | Some s -> Printf.printf " (%.0f stolen)\n" s
+        | None -> print_newline ())
+     | Some _ | None ->
+       report "parallel run spawned no futures (scheduler not exercised)")
+
 (* ---- seed-baseline regression gate ---- *)
 
 let run_regressions current_path baseline_path =
@@ -350,11 +429,13 @@ let run_regressions current_path baseline_path =
 let () =
   (match Sys.argv with
    | [| _; "--warm-cold"; cold; warm |] -> run_warm_cold cold warm
+   | [| _; "--jobs-speedup"; seq; par |] -> run_jobs_speedup seq par
    | [| _; current; baseline |] -> run_regressions current baseline
    | _ ->
      prerr_endline
        "usage: compare.exe CURRENT.json BASELINE.json\n\
-       \       compare.exe --warm-cold COLD.json WARM.json";
+       \       compare.exe --warm-cold COLD.json WARM.json\n\
+       \       compare.exe --jobs-speedup JOBS1.json JOBSN.json";
      exit 2);
   if !failures > 0 then begin
     Printf.printf "%d violation%s detected\n" !failures

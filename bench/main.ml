@@ -115,8 +115,12 @@ let write_json path ~total =
     exit 1
   | oc ->
   let entries = List.rev !timings @ [ ("total", total) ] in
-  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"jobs\": %d,\n  \"sections\": {\n" quick
-    (Util.Pool.default_jobs ());
+  (* "cores" lets compare.exe --jobs-speedup skip its gate on hosts with
+     too few cores to show a parallel speedup at all *)
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"sections\": {\n"
+    quick
+    (Util.Pool.default_jobs ())
+    (Domain.recommended_domain_count ());
   List.iteri
     (fun i (name, t) ->
       Printf.fprintf oc "    %S: %.6f%s\n" name t

@@ -154,12 +154,13 @@ let apply_interp = function
 
 let print_interp_stats () =
   let s = Machine.exec_stats () in
-  if s.Machine.exec_runs > 0 && s.Machine.exec_seconds > 0.0 then begin
-    Printf.printf
-      "\ninterpreter (%s backend): %d runs, %d statements, %.3f s (%.3g statements/s)\n"
+  if s.Machine.exec_runs > 0 then begin
+    (* no wall-clock figures here: --explain is byte-identical at any
+       --jobs level and across reruns; throughput is measured by
+       [bench/main.exe interp] instead *)
+    Printf.printf "\ninterpreter (%s backend): %d runs, %d statements\n"
       (Machine.backend_name (Machine.default_backend ()))
-      s.Machine.exec_runs s.Machine.exec_steps s.Machine.exec_seconds
-      (float_of_int s.Machine.exec_steps /. s.Machine.exec_seconds);
+      s.Machine.exec_runs s.Machine.exec_steps;
     if Machine.default_backend () = `Vm && s.Machine.exec_steps > 0 then begin
       let planned = Machine.planned_steps () in
       Printf.printf "vm coverage: %d / %d planned statements (%.3f)\n" planned
@@ -204,8 +205,23 @@ let print_vm_plan app =
       report
   end
 
+(* Scheduling and wall-clock telemetry ([pool.*] steal/idle/queue
+   instruments, accumulated interpreter seconds) varies with
+   work-stealing order and machine speed, so printing it would break
+   the guarantee that --explain output is byte-identical at any --jobs
+   level.  It is still exported through bench --json and visible as
+   spans under --trace. *)
+let nondeterministic_metric name =
+  (String.length name >= 5 && String.sub name 0 5 = "pool.")
+  || name = "interp.seconds"
+  || Filename.check_suffix name ".waits"
+
 let print_metrics () =
-  let metrics = Obs.Metrics.snapshot () in
+  let metrics =
+    List.filter
+      (fun (name, _) -> not (nondeterministic_metric name))
+      (Obs.Metrics.snapshot ())
+  in
   if metrics <> [] then begin
     Printf.printf "\nmetrics:\n";
     List.iter
@@ -226,12 +242,14 @@ let print_cache_stats () =
   | None -> Printf.printf "\ncache disabled\n"
   | Some dir ->
     let s = Cache.stats () in
+    (* single-flight waits are omitted: how often two domains raced on a
+       key is a scheduling accident, and this block must stay
+       byte-identical at any --jobs level (bench --json still carries
+       the cache.<kind>.waits counters) *)
     Printf.printf
       "\nevaluation cache (%s): %d memory hits, %d disk hits, %d misses, %d \
-       single-flight waits, %d errors%s, %d evictions, %d bytes read, %d bytes \
-       written\n"
-      dir s.Cache.mem_hits s.Cache.disk_hits s.Cache.misses s.Cache.waits
-      s.Cache.errors
+       errors%s, %d evictions, %d bytes read, %d bytes written\n"
+      dir s.Cache.mem_hits s.Cache.disk_hits s.Cache.misses s.Cache.errors
       (if s.Cache.corrupt > 0 then Printf.sprintf ", %d corrupt" s.Cache.corrupt
        else "")
       s.Cache.evictions s.Cache.bytes_read s.Cache.bytes_written;

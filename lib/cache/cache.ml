@@ -337,12 +337,14 @@ module Make (V : SPEC) = struct
     Condition.broadcast cond;
     Mutex.unlock lock
 
-  let compute_and_store key compute =
+  let compute_and_store ?(to_disk = Fun.id) key compute =
     match compute () with
     | v ->
       Obs.Metrics.Counter.incr c_misses;
       if enabled () then begin
-        let payload = Marshal.to_string v [] in
+        (* [to_disk] slims the persisted copy only; the in-memory tier
+           and the caller always see the full value *)
+        let payload = Marshal.to_string (to_disk v) [] in
         match disk_store ~kind:V.kind ~version:V.version ~key payload with
         | -1 -> Obs.Metrics.Counter.incr c_errors
         | evicted ->
@@ -356,7 +358,7 @@ module Make (V : SPEC) = struct
       unclaim key;
       Printexc.raise_with_backtrace e bt
 
-  let find_or_compute ?on_disk_hit ~key compute =
+  let find_or_compute ?on_disk_hit ?to_disk ~key compute =
     Obs.Trace.with_span ~name:("cache:" ^ V.kind) ~kind:Obs.Trace.Cache_lookup
       (fun sp ->
         let outcome o = Obs.Trace.add_attr sp "outcome" (Obs.Trace.Str o) in
@@ -401,14 +403,14 @@ module Make (V : SPEC) = struct
                    a hit *)
                 Obs.Metrics.Counter.incr c_corrupt;
                 outcome "corrupt";
-                compute_and_store key compute)
+                compute_and_store ?to_disk key compute)
            | Miss ->
              outcome "miss";
-             compute_and_store key compute
+             compute_and_store ?to_disk key compute
            | Error_miss ->
              (* corruption-evicted mid-run: count under corrupt, not
                 errors, so hit/miss accounting stays truthful *)
              Obs.Metrics.Counter.incr c_corrupt;
              outcome "corrupt";
-             compute_and_store key compute))
+             compute_and_store ?to_disk key compute))
 end

@@ -113,7 +113,11 @@ end
 
 module Make (V : SPEC) : sig
   val find_or_compute :
-    ?on_disk_hit:(V.value -> unit) -> key:string -> (unit -> V.value) -> V.value
+    ?on_disk_hit:(V.value -> unit) ->
+    ?to_disk:(V.value -> V.value) ->
+    key:string ->
+    (unit -> V.value) ->
+    V.value
   (** Serve [key] from the in-memory tier, else from the disk tier, else
       compute it (storing the result in both tiers).  Concurrent
       requests for the same key block on the first one (single-flight);
@@ -121,7 +125,11 @@ module Make (V : SPEC) : sig
       are never cached, and release the waiters (which then compute
       themselves).  [on_disk_hit] runs on the freshly unmarshalled value
       before it is published to any requester (e.g. to re-reserve AST id
-      ranges). *)
+      ranges).  [to_disk] maps the value just before it is marshalled to
+      the disk tier — use it to drop fields that are expensive to
+      persist and semantically dead on replay; the in-memory tier and
+      the returned value are never transformed, so only entries restored
+      from disk observe the slimming. *)
 
   val stats : unit -> stats
   (** This instance's statistics since the last {!reset}. *)

@@ -1,12 +1,13 @@
 type 'p evaluated = { point : 'p; score : float }
 
 let sweep_all points ~eval =
-  let eval_one point = { point; score = eval point } in
-  match points with
-  (* serial fast path: below three points the pool's chunking costs more
-     than it saves, and nested DSE calls sweep 1–2 point lists constantly *)
-  | [] | [ _ ] | [ _; _ ] -> List.map eval_one points
-  | _ -> Util.Pool.map eval_one points
+  (* one future per point, settled in input order; spawning is cheap
+     enough that even 1–2 point sweeps (constant in nested DSE calls) no
+     longer warrant a serial fast path, and the futures let a sweep
+     overlap with sibling branch paths instead of barriering on them *)
+  points
+  |> List.map (fun point -> Util.Pool.Fut.spawn (fun () -> { point; score = eval point }))
+  |> Util.Pool.Fut.await_all
 
 let best evaluated =
   let pick acc c =

@@ -12,11 +12,9 @@ val sweep : 'p list -> eval:('p -> float) -> 'p evaluated option
     point evaluates finite. *)
 
 val sweep_all : 'p list -> eval:('p -> float) -> 'p evaluated list
-(** Every point with its score, in input order (for reports).  Spaces of
-    three or more points are evaluated via {!Util.Pool.map}, so [eval]
-    must be pure; smaller spaces are evaluated serially (nested DSE
-    calls produce many 1–2 point sweeps, where pool dispatch costs more
-    than it saves). *)
+(** Every point with its score, in input order (for reports).  Each
+    point is spawned as a {!Util.Pool.Fut} task, so [eval] must be
+    pure; with [--jobs 1] the points evaluate serially in input order. *)
 
 val best : 'p evaluated list -> 'p evaluated option
 (** Minimal finite-score element of an evaluated sweep (first wins on

@@ -1,11 +1,15 @@
 let collect ?(quick = false) () =
-  Util.Pool.map
-    (fun (app : App.t) ->
-      let workload =
-        if quick then app.App.app_test_overrides else app.App.app_eval_overrides
-      in
-      Engine.run ~workload ~mode:Pipeline.Uninformed app)
-    Suite.all
+  (* one future per benchmark: a straggler app no longer barriers the
+     others, and its inner branch/DSE tasks are stolen by domains that
+     finished their own app early *)
+  Suite.all
+  |> List.map (fun (app : App.t) ->
+         Util.Pool.Fut.spawn ~label:("run " ^ app.App.app_slug) (fun () ->
+             let workload =
+               if quick then app.App.app_test_overrides else app.App.app_eval_overrides
+             in
+             Engine.run ~workload ~mode:Pipeline.Uninformed app))
+  |> Util.Pool.Fut.await_all
 
 let ok_reports results =
   List.filter_map

@@ -96,8 +96,10 @@ let rec run_node ~tolerant node (oc : outcome) :
     let step acc node =
       let* outcomes, fails = acc in
       let* outs, fails' =
-        concat_results
-          (Util.Pool.map (fun oc -> run_node ~tolerant node oc) outcomes)
+        outcomes
+        |> List.map (fun oc ->
+               Util.Pool.Fut.spawn (fun () -> run_node ~tolerant node oc))
+        |> Util.Pool.Fut.await_all |> concat_results
       in
       Ok (outs, fails @ fails')
     in
@@ -121,9 +123,12 @@ let rec run_node ~tolerant node (oc : outcome) :
                  (String.concat ", " missing))
         in
         Obs.Trace.add_attr sp "chosen" (Obs.Trace.Str (String.concat "," available));
-        concat_results
-          (Util.Pool.map
-             (fun path_name ->
+        (* spawn every taken path as its own future: paths overlap with
+           each other and with any sibling fan-out elsewhere in the DAG
+           sharing the scheduler, while [await_all] keeps the joined
+           outcomes in path order *)
+        available
+        |> List.map (fun path_name ->
                let node = List.assoc path_name bp.bp_paths in
                let art =
                  Artifact.logf oc.oc_artifact "<branch %s -> %s>" bp.bp_name path_name
@@ -145,8 +150,10 @@ let rec run_node ~tolerant node (oc : outcome) :
                    oc_artifact = art;
                  }
                in
-               run_node ~tolerant node tagged)
-             available))
+               Util.Pool.Fut.spawn
+                 ~label:("path " ^ path_name)
+                 (fun () -> run_node ~tolerant node tagged))
+        |> Util.Pool.Fut.await_all |> concat_results)
 
 let run node art =
   Result.map fst (run_node ~tolerant:false node { oc_path = []; oc_artifact = art })

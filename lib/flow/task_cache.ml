@@ -5,8 +5,10 @@ module C = Cache.Make (struct
 
   let kind = "task"
 
-  (* v2: Artifact.t gained [art_prov]; older marshalled layouts must miss *)
-  let version = 2
+  (* v2: Artifact.t gained [art_prov]; older marshalled layouts must miss.
+     v3: kernel profiles no longer retain the baseline run's final memory
+     image; v2 entries would splice the ~800 KB images back in. *)
+  let version = 3
 end)
 
 (* Only the expensive task classes are cached: dynamic tasks run the

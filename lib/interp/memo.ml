@@ -157,8 +157,14 @@ let run ?(config = Machine.default_config) ?backend p =
   let key = key_of backend canon_p (canon_config to_canon config) in
   (* Failed runs propagate their exception and are never cached. *)
   let canon_r =
-    C.find_or_compute ~key (fun () ->
-        translate to_canon (Machine.run ~config ~backend p))
+    (* the persisted copy drops the final memory image (hundreds of KB
+       per entry, nothing downstream reads it from a memoized run); the
+       in-memory tier keeps the full result, so only cross-process
+       replays observe an empty [memory] *)
+    C.find_or_compute
+      ~to_disk:(fun r -> { r with Machine.memory = Memory.create () })
+      ~key
+      (fun () -> translate to_canon (Machine.run ~config ~backend p))
   in
   translate of_canon canon_r
 

@@ -27,7 +27,13 @@
     requester, so [result.memory] and [result.counters] are physically
     shared.  Callers must treat results as read-only — all in-tree
     consumers do ({!Counters.scale}, {!Counters.diff} and
-    {!Memory.to_float_array} are non-mutating). *)
+    {!Memory.to_float_array} are non-mutating).
+
+    Disk-tier caveat: the persisted copy of an entry drops the final
+    memory image ([result.memory] unmarshals empty on a cross-process
+    replay).  The image is hundreds of KB per entry and no consumer
+    reads it from a memoized run; within one process the in-memory tier
+    still returns the full result. *)
 
 type stats = { hits : int; misses : int }
 

@@ -117,6 +117,76 @@ let observe (rep : Engine.report) =
          List.map normalize_line d.Design.d_log))
       rep.Engine.rep_designs )
 
+(* Four levels of nested fan-out sharing one scheduler — suite map →
+   flow → branch-path futures → DSE-point futures — must produce
+   byte-identical reports at every job count.  This is the shape that
+   silently degraded to sequential under the old spare-domain budget,
+   and the shape where work-stealing order must never leak into
+   results. *)
+let run_suite_fanout () =
+  Util.Pool.map
+    (fun (app : App.t) ->
+      match
+        Engine.run ~workload:app.App.app_test_overrides ~mode:Pipeline.Uninformed app
+      with
+      | Ok rep -> (observe rep, Report.why_text rep)
+      | Error e -> Alcotest.fail e)
+    Suite.all
+
+let test_nested_fanout_across_jobs () =
+  Cache.set_dir None;
+  let saved = Util.Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs saved) @@ fun () ->
+  Util.Pool.set_default_jobs 1;
+  let reference = run_suite_fanout () in
+  List.iter
+    (fun jobs ->
+      Util.Pool.set_default_jobs jobs;
+      check
+        (Printf.sprintf "suite reports and --why identical at --jobs %d" jobs)
+        true
+        (run_suite_fanout () = reference))
+    [ 2; 8 ]
+
+(* The metrics `psaflow --explain` prints must also be identical at any
+   job count: everything scheduling- or wall-clock-dependent (pool.*,
+   interp.seconds, cache single-flight waits) is excluded from the
+   explain view, and what remains is required to be deterministic.
+   Mirrors the filter in bin/psaflow.ml. *)
+let explain_visible_snapshot () =
+  List.filter
+    (fun (name, _) ->
+      not
+        ((String.length name >= 5 && String.sub name 0 5 = "pool.")
+        || name = "interp.seconds"
+        || Filename.check_suffix name ".waits"))
+    (Obs.Metrics.snapshot ())
+
+let test_explain_metrics_across_jobs () =
+  Cache.set_dir None;
+  let saved = Util.Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs saved) @@ fun () ->
+  let snap_at jobs =
+    Util.Pool.set_default_jobs jobs;
+    Cache.clear_memory ();
+    Obs.Metrics.reset ();
+    (match
+       Engine.run ~workload:Nbody.app.App.app_test_overrides
+         ~mode:Pipeline.Uninformed Nbody.app
+     with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    explain_visible_snapshot ()
+  in
+  let reference = snap_at 1 in
+  List.iter
+    (fun jobs ->
+      check
+        (Printf.sprintf "explain-visible metrics identical at --jobs %d" jobs)
+        true
+        (snap_at jobs = reference))
+    [ 2; 8 ]
+
 let prop_parallel_run_equals_sequential =
   QCheck.Test.make ~count:5 ~name:"parallel Engine.run == sequential (all apps)"
     (QCheck.make
@@ -146,5 +216,11 @@ let suite =
     ("first failure in input order wins", `Quick, test_first_exception_wins);
     ("nested maps neither deadlock nor reorder", `Quick, test_nested_maps);
     ("default jobs can be set and restored", `Quick, test_default_jobs_roundtrip);
+    ( "nested suite fan-out byte-identical at --jobs 1/2/8",
+      `Quick,
+      test_nested_fanout_across_jobs );
+    ( "explain-visible metrics identical at --jobs 1/2/8",
+      `Quick,
+      test_explain_metrics_across_jobs );
     QCheck_alcotest.to_alcotest prop_parallel_run_equals_sequential;
   ]

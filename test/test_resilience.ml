@@ -248,6 +248,40 @@ let test_pool_worker_crash_recovered () =
       check "worker failure counted" true
         (counter_value "pool.worker_failures" > crashes0))
 
+(* A crash on a *stolen* task: the main domain spawns futures into its
+   own deque and deliberately does not touch them, so the only way a
+   worker obtains one is by stealing — and the first fire
+   (pool:worker@1) therefore kills a worker holding a stolen claim.
+   The awaiting domain must detect the dead claimant, recompute the
+   task, and still return List.map's answer. *)
+let test_stolen_task_crash_recovered () =
+  let steals0 = counter_value "pool.steals" in
+  let crashes0 = counter_value "pool.worker_failures" in
+  let saved = Util.Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs saved) @@ fun () ->
+  with_faults "pool:worker@1" (fun () ->
+      Util.Pool.set_default_jobs 4;
+      let input = List.init 32 Fun.id in
+      let futs =
+        List.map (fun x -> Util.Pool.Fut.spawn (fun () -> (3 * x) + 1)) input
+      in
+      (* wait (bounded) for a worker to steal a claim and crash on it
+         before this domain starts awaiting, so the lost task is a
+         stolen one rather than one we ran inline *)
+      let deadline = Obs.Monotonic.now_s () +. 5.0 in
+      while
+        counter_value "pool.worker_failures" = crashes0
+        && Obs.Monotonic.now_s () < deadline
+      do
+        Domain.cpu_relax ()
+      done;
+      let out = Util.Pool.Fut.await_all futs in
+      check "results identical to List.map" true
+        (out = List.map (fun x -> (3 * x) + 1) input);
+      check "tasks were stolen" true (counter_value "pool.steals" > steals0);
+      check "worker failure counted" true
+        (counter_value "pool.worker_failures" > crashes0))
+
 (* ---- cache corruption injection ---- *)
 
 module Res_cache = Cache.Make (struct
@@ -309,5 +343,7 @@ let suite =
     Alcotest.test_case "nested budget+fault backend-invariant" `Slow
       test_nested_budget_fault_backend_invariant;
     Alcotest.test_case "pool worker crash recovered" `Quick test_pool_worker_crash_recovered;
+    Alcotest.test_case "stolen task crash recovered" `Quick
+      test_stolen_task_crash_recovered;
     Alcotest.test_case "cache corruption injected" `Quick test_cache_corruption_injected;
   ]
