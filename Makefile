@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-quick bench-compare bench-warm-cold bench-jobs trace-check fault-check doc clean
+.PHONY: all check test bench bench-quick bench-compare bench-warm-cold bench-jobs trace-check fault-check report-check doc clean
 
 all:
 	dune build @all
@@ -61,12 +61,34 @@ trace-check:
 fault-check:
 	dune build bin/psaflow.exe bench/tracecheck.exe
 	@rc=0; dune exec --no-build bin/psaflow.exe -- run nbody --quick --jobs 4 --cache off \
-	  --faults "task:FPGA/Generate oneAPI Design" --trace fault-trace.json || rc=$$?; \
+	  --faults "task:FPGA/Generate oneAPI Design" --trace fault-trace.json \
+	  --journal fault-journal.jsonl || rc=$$?; \
 	if [ "$$rc" -ne 3 ]; then echo "fault-check: expected partial exit code 3, got $$rc"; exit 1; fi; \
 	echo "fault-check: partial exit code 3 as expected"
 	dune exec --no-build bench/tracecheck.exe -- fault-trace.json \
 	  --require-kinds task,branch,dse-point,interp-run,cache-lookup \
 	  --require-tids 2
+	dune exec --no-build bench/tracecheck.exe -- --journal fault-journal.jsonl \
+	  --require-kinds span,retry,failure,fault
+
+# ledger gate: two identical quick runs (one per job count) recorded
+# into fresh ledgers must yield a readable report, a stats table, and a
+# "verdict: ok" diff (exit 0) -- i.e. the stable record fields are
+# jobs-invariant and no phantom regressions appear between identical
+# runs.  Exercises the record/report/diff path end to end, plus the
+# flight-recorder journal via --journal.
+report-check:
+	dune build bin/psaflow.exe bench/tracecheck.exe
+	rm -rf .psa-runs-a .psa-runs-b report-journal.jsonl
+	dune exec --no-build bin/psaflow.exe -- run nbody --quick --jobs 4 --cache off \
+	  --ledger .psa-runs-a --journal report-journal.jsonl
+	dune exec --no-build bin/psaflow.exe -- run nbody --quick --jobs 1 --cache off \
+	  --ledger .psa-runs-b
+	dune exec --no-build bin/psaflow.exe -- report .psa-runs-a
+	dune exec --no-build bin/psaflow.exe -- stats .psa-runs-a
+	dune exec --no-build bin/psaflow.exe -- diff .psa-runs-a .psa-runs-b
+	dune exec --no-build bench/tracecheck.exe -- --journal report-journal.jsonl \
+	  --require-kinds span
 
 # API documentation (odoc): fails on any odoc warning in lib/flow,
 # lib/obs or lib/ir, whose public interfaces are the documented API

@@ -204,11 +204,39 @@ let report fmt =
       Printf.printf "FAIL  %s\n" msg)
     fmt
 
+(* every parsed input, so a failing gate can say exactly which code and
+   configuration produced each side *)
+let parsed : (string * json) list ref = ref []
+
 let parse path =
-  try parse_json (read_file path)
-  with Parse_error msg ->
+  match parse_json (read_file path) with
+  | j ->
+    parsed := !parsed @ [ (path, j) ];
+    j
+  | exception Parse_error msg ->
     Printf.eprintf "compare: %s: %s\n" path msg;
     exit 2
+
+let print_meta () =
+  List.iter
+    (fun (path, j) ->
+      match member "meta" j with
+      | Some (Obj fields) ->
+        Printf.printf "meta  %s:" path;
+        List.iter
+          (fun (k, v) ->
+            let s =
+              match v with
+              | Str s -> s
+              | Num f -> Printf.sprintf "%g" f
+              | Bool b -> string_of_bool b
+              | Obj _ -> "{..}"
+            in
+            Printf.printf " %s=%s" k s)
+          fields;
+        print_newline ()
+      | _ -> Printf.printf "meta  %s: none recorded (pre-ledger dump)\n" path)
+    !parsed
 
 (* ---- warm/cold cache-effectiveness gate ---- *)
 
@@ -438,6 +466,7 @@ let () =
        \       compare.exe --jobs-speedup JOBS1.json JOBSN.json";
      exit 2);
   if !failures > 0 then begin
+    print_meta ();
     Printf.printf "%d violation%s detected\n" !failures
       (if !failures = 1 then "" else "s");
     exit 1

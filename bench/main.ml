@@ -23,6 +23,8 @@
      main.exe --cache D       evaluation-cache directory (default .psa-cache; off = disabled)
      main.exe --faults SPEC   arm the deterministic fault-injection harness
      main.exe --trace FILE    write a Chrome trace-event span trace of the run
+     main.exe --ledger D      run-ledger directory for the bench record
+                              (default .psa-runs; off = disabled)
      main.exe fig5 table1 fig6 ablation micro interp    any subset, in any order *)
 
 let argv = Array.to_list Sys.argv
@@ -75,6 +77,12 @@ let () =
 
 let json_file = opt_value "--json"
 
+let ledger =
+  match opt_value "--ledger" with
+  | Some "off" -> None
+  | Some dir -> Some dir
+  | None -> Some ".psa-runs"
+
 let trace_file = opt_value "--trace"
 
 let () = if trace_file <> None then Obs.Trace.start ()
@@ -109,40 +117,50 @@ let throughput : (string * float) list ref = ref []
 let vm_coverage : (string * float) list ref = ref []
 
 let write_json path ~total =
-  match open_out path with
-  | exception Sys_error msg ->
-    Printf.eprintf "bench: cannot write %s: %s\n" path msg;
-    exit 1
-  | oc ->
+  let b = Buffer.create 4096 in
   let entries = List.rev !timings @ [ ("total", total) ] in
   (* "cores" lets compare.exe --jobs-speedup skip its gate on hosts with
      too few cores to show a parallel speedup at all *)
-  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"sections\": {\n"
+  Printf.bprintf b "{\n  \"quick\": %b,\n  \"jobs\": %d,\n  \"cores\": %d,\n"
     quick
     (Util.Pool.default_jobs ())
     (Domain.recommended_domain_count ());
+  (* provenance: which code and configuration produced these numbers;
+     compare.exe prints both sides' meta when a gate fails *)
+  Printf.bprintf b
+    "  \"meta\": {\n\
+    \    \"schema\": %d,\n\
+    \    \"git_rev\": %S,\n\
+    \    \"ir_version\": %d,\n\
+    \    \"backend\": %S,\n\
+    \    \"cmdline\": %S\n\
+    \  },\n"
+    Obs.Ledger.schema_version Run_record.git_rev Ir.version
+    (Machine.backend_name (Machine.default_backend ()))
+    (String.concat " " argv);
+  Printf.bprintf b "  \"sections\": {\n";
   List.iteri
     (fun i (name, t) ->
-      Printf.fprintf oc "    %S: %.6f%s\n" name t
+      Printf.bprintf b "    %S: %.6f%s\n" name t
         (if i < List.length entries - 1 then "," else ""))
     entries;
-  output_string oc "  },\n  \"statements_per_sec\": {\n";
+  Buffer.add_string b "  },\n  \"statements_per_sec\": {\n";
   let tp = !throughput in
   List.iteri
     (fun i (name, sps) ->
-      Printf.fprintf oc "    %S: %.1f%s\n" name sps
+      Printf.bprintf b "    %S: %.1f%s\n" name sps
         (if i < List.length tp - 1 then "," else ""))
     tp;
-  output_string oc "  },\n  \"vm_coverage\": {\n";
+  Buffer.add_string b "  },\n  \"vm_coverage\": {\n";
   let cov = !vm_coverage in
   List.iteri
     (fun i (name, c) ->
-      Printf.fprintf oc "    %S: %.4f%s\n" name c
+      Printf.bprintf b "    %S: %.4f%s\n" name c
         (if i < List.length cov - 1 then "," else ""))
     cov;
-  output_string oc "  },\n";
+  Buffer.add_string b "  },\n";
   let s = Cache.stats () in
-  Printf.fprintf oc
+  Printf.bprintf b
     "  \"cache\": {\n\
     \    \"enabled\": %b,\n\
     \    \"mem_hits\": %d,\n\
@@ -158,30 +176,29 @@ let write_json path ~total =
     (Cache.enabled ()) s.Cache.mem_hits s.Cache.disk_hits s.Cache.misses
     s.Cache.waits s.Cache.errors s.Cache.corrupt s.Cache.evictions
     s.Cache.bytes_read s.Cache.bytes_written;
-  (* flat name -> number map: compare.ml's parser has no array support,
-     so histograms are flattened into .count/.p50/.p90/.p99 entries *)
+  (* flat name -> number map via the shared Obs.Metrics.flatten:
+     compare.ml's parser has no array support, so histograms arrive as
+     .count/.sum/.p50/.p90/.p99 entries; non-finite values (empty
+     histograms) are dropped to keep the document parseable *)
   let metrics =
-    List.concat_map
-      (fun (name, v) ->
-        match v with
-        | Obs.Metrics.Count n -> [ (name, string_of_int n) ]
-        | Obs.Metrics.Value x -> [ (name, Printf.sprintf "%.6g" x) ]
-        | Obs.Metrics.Summary { count; p50; p90; p99; _ } ->
-          [ (name ^ ".count", string_of_int count);
-            (name ^ ".p50", Printf.sprintf "%.6g" p50);
-            (name ^ ".p90", Printf.sprintf "%.6g" p90);
-            (name ^ ".p99", Printf.sprintf "%.6g" p99)
-          ])
-      (Obs.Metrics.snapshot ())
+    List.filter
+      (fun (_, v) -> Float.is_finite v)
+      (Obs.Metrics.flatten (Obs.Metrics.snapshot ()))
   in
-  output_string oc "  \"metrics\": {\n";
+  Buffer.add_string b "  \"metrics\": {\n";
   List.iteri
     (fun i (name, v) ->
-      Printf.fprintf oc "    %S: %s%s\n" name v
+      Printf.bprintf b "    %S: %.6g%s\n" name v
         (if i < List.length metrics - 1 then "," else ""))
     metrics;
-  output_string oc "  }\n}\n";
-  close_out oc
+  Buffer.add_string b "  }\n}\n";
+  (* temp file + atomic rename: a crashed bench never leaves a truncated
+     JSON where compare.exe expects a complete one *)
+  match Obs.Atomic_io.write_file path (Buffer.contents b) with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "bench: cannot write %s: %s\n" path msg;
+    exit 1
 
 (* ---- experiment regeneration ---- *)
 
@@ -418,6 +435,21 @@ let () =
   (match json_file with
    | Some path -> write_json path ~total:(Obs.Monotonic.now_s () -. t0)
    | None -> ());
+  (* one bench-kind ledger record per invocation: the bench.section.*
+     gauges and subsystem counters it snapshots are what `psaflow diff`
+     gates on in report-check *)
+  (match ledger with
+   | None -> ()
+   | Some dir -> (
+     let record =
+       Run_record.base ~kind:"bench" ~app:"suite"
+         ~mode:(if quick then "quick" else "eval")
+         ~workload:[] ~status:0
+         ~cmdline:(String.concat " " argv)
+     in
+     match Obs.Ledger.append ~dir record with
+     | Ok _ -> ()
+     | Error msg -> Printf.eprintf "bench: ledger append failed: %s\n" msg));
   match trace_file with
   | None -> ()
   | Some path ->

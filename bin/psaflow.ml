@@ -110,9 +110,60 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
+let ledger_arg =
+  let doc =
+    "Directory of the persistent run ledger: every $(b,psaflow run) appends \
+     one structured record (spec, decision, designs, failures, metrics \
+     snapshot) for later $(b,psaflow report)/$(b,diff)/$(b,stats) analysis, \
+     or $(b,off) to disable. Default $(b,.psa-runs)."
+  in
+  Arg.(value & opt string ".psa-runs" & info [ "ledger" ] ~docv:"DIR|off" ~doc)
+
+let journal_arg =
+  let doc =
+    "Flush the always-on flight-recorder journal (a bounded per-domain ring \
+     of recent span/retry/fault events) to $(docv) as JSONL when the command \
+     finishes. Without this flag the journal is written only when a run \
+     fails (next to its ledger record)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
 let apply_cache = function
   | "off" -> Cache.set_dir None
   | dir -> Cache.set_dir (Some dir)
+
+let ledger_dir = function "off" -> None | dir -> Some dir
+
+let cmdline () = String.concat " " (Array.to_list Sys.argv)
+
+(* A ledger failure never fails the run it observes. *)
+let append_record ledger record =
+  match ledger with
+  | None -> None
+  | Some dir -> (
+    match Obs.Ledger.append ~dir record with
+    | Ok path -> Some path
+    | Error msg ->
+      Printf.eprintf "warning: ledger append failed: %s\n" msg;
+      None)
+
+(* Journal policy: --journal always flushes; a failed run additionally
+   preserves the flight recorder next to its ledger record, so the
+   events leading up to the failure survive the process. *)
+let finish_journal ~journal ~status ~rec_path =
+  (match journal with
+  | None -> ()
+  | Some file -> (
+    match Obs.Journal.flush file with
+    | Ok n -> Printf.printf "wrote journal %s (%d events)\n" file n
+    | Error msg -> Printf.eprintf "failed to write journal %s: %s\n" file msg));
+  match rec_path with
+  | Some p when status <> 0 && journal = None ->
+    let jf = Filename.chop_suffix p ".psarun" ^ ".journal.jsonl" in
+    (match Obs.Journal.flush jf with
+    | Ok n -> Printf.eprintf "flight recorder: %s (%d events)\n" jf n
+    | Error msg -> Printf.eprintf "failed to write journal %s: %s\n" jf msg)
+  | _ -> ()
 
 (* Exit codes of `psaflow run`: 0 all designs ok, 1 flow failed (or
    --strict hit a task failure), 2 bad --faults spec, 3 partial (some
@@ -205,21 +256,16 @@ let print_vm_plan app =
       report
   end
 
-(* Scheduling and wall-clock telemetry ([pool.*] steal/idle/queue
-   instruments, accumulated interpreter seconds) varies with
+(* Scheduling and wall-clock telemetry (pool.* steal/idle/queue
+   instruments, *.seconds timings, single-flight waits) varies with
    work-stealing order and machine speed, so printing it would break
    the guarantee that --explain output is byte-identical at any --jobs
-   level.  It is still exported through bench --json and visible as
-   spans under --trace. *)
-let nondeterministic_metric name =
-  (String.length name >= 5 && String.sub name 0 5 = "pool.")
-  || name = "interp.seconds"
-  || Filename.check_suffix name ".waits"
-
+   level.  The shared Obs.Metrics.jobs_invariant predicate decides;
+   bench --json and ledger records still carry everything. *)
 let print_metrics () =
   let metrics =
     List.filter
-      (fun (name, _) -> not (nondeterministic_metric name))
+      (fun (name, _) -> Obs.Metrics.jobs_invariant name)
       (Obs.Metrics.snapshot ())
   in
   if metrics <> [] then begin
@@ -308,18 +354,34 @@ let emit_designs dir (rep : Engine.report) =
              (function ' ' -> '_' | c -> c)
              (String.lowercase_ascii (Target.short d.Design.d_target)))
       in
-      let oc = open_out file in
-      output_string oc (Pretty.program_to_string d.Design.d_program);
-      close_out oc;
-      Printf.printf "wrote %s\n" file)
+      (* temp file + atomic rename: an interrupted run never leaves a
+         half-written source under the requested name *)
+      match
+        Obs.Atomic_io.write_file file (Pretty.program_to_string d.Design.d_program)
+      with
+      | Ok () -> Printf.printf "wrote %s\n" file
+      | Error msg -> Printf.eprintf "failed to write %s: %s\n" file msg)
     rep.Engine.rep_designs
 
 let run_cmd =
   let run slug file scale mode quick explain why emit diff jobs interp cache
-      strict faults trace =
+      strict faults trace ledger journal =
     apply_jobs jobs;
     apply_interp interp;
     apply_cache cache;
+    let ledger = ledger_dir ledger in
+    let cmdline = cmdline () in
+    (* a run that never reaches the engine still leaves a ledger trace *)
+    let record_failure ~app ~workload ~msg =
+      let status = 1 in
+      let rec_path =
+        append_record ledger
+          (Run_record.of_failure ~cmdline ~status ~app
+             ~mode:(Pipeline.mode_name mode) ~workload ~msg)
+      in
+      finish_journal ~journal ~status ~rec_path;
+      status
+    in
     match apply_faults faults with
     | Error msg ->
       prerr_endline msg;
@@ -329,7 +391,7 @@ let run_cmd =
       match (if file then app_of_file slug ~scale else find_app slug) with
       | Error msg ->
         prerr_endline msg;
-        1
+        record_failure ~app:slug ~workload:[] ~msg
       | Ok app ->
         let workload =
           if quick then app.App.app_test_overrides else app.App.app_eval_overrides
@@ -337,8 +399,19 @@ let run_cmd =
         (match Engine.run ~workload ~strict ~mode app with
          | Error msg ->
            Printf.eprintf "flow failed: %s\n" msg;
-           1
+           record_failure ~app:app.App.app_slug ~workload ~msg
          | Ok rep ->
+           let status =
+             if rep.Engine.rep_failures = [] then 0
+             else if rep.Engine.rep_designs <> [] then exit_partial
+             else exit_none
+           in
+           (* append before printing: the --explain footer counts this
+              run's record too, and printing can no longer change what
+              the flow recorded *)
+           let rec_path =
+             append_record ledger (Run_record.of_report ~cmdline ~status ~mode rep)
+           in
            Printf.printf "%s - %s mode, workload %s\n\n" app.App.app_name
              (Pipeline.mode_name mode)
              (String.concat ", "
@@ -361,7 +434,14 @@ let run_cmd =
              print_interp_stats ();
              print_vm_plan app;
              print_cache_stats ();
-             print_metrics ()
+             print_metrics ();
+             (* population size only: counts are a property of the ledger
+                directory, not of this run's scheduling *)
+             match ledger with
+             | Some dir ->
+               Printf.printf "\nledger: %s (%d records)\n" dir
+                 (Obs.Ledger.count ~dir)
+             | None -> ()
            end;
            (match emit with Some dir -> emit_designs dir rep | None -> ());
            if diff then begin
@@ -374,9 +454,8 @@ let run_cmd =
                       (Pretty.program_to_string d.Design.d_program)))
                rep.Engine.rep_designs
            end;
-           if rep.Engine.rep_failures = [] then 0
-           else if rep.Engine.rep_designs <> [] then exit_partial
-           else exit_none))
+           finish_journal ~journal ~status ~rec_path;
+           status))
   in
   let doc =
     "Run the PSA-flow on one benchmark (or, with --file, on any mini-C++ \
@@ -396,7 +475,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc ~exits)
     Term.(const run $ app_arg $ file_arg $ scale_arg $ mode_arg $ quick_arg
           $ explain_arg $ why_arg $ emit_arg $ diff_arg $ jobs_arg $ interp_arg
-          $ cache_arg $ strict_arg $ faults_arg $ trace_arg)
+          $ cache_arg $ strict_arg $ faults_arg $ trace_arg $ ledger_arg
+          $ journal_arg)
 
 let apps_cmd =
   let run () =
@@ -542,9 +622,89 @@ let budget_cmd =
       const run $ app_arg $ budget_arg $ quick_arg $ jobs_arg $ interp_arg
       $ cache_arg $ trace_arg)
 
+(* ---- ledger analysis: report | diff | stats ---- *)
+
+let ledger_pos n name =
+  let doc = Printf.sprintf "%s: a ledger directory or a single record file." name in
+  Arg.(value & pos n string ".psa-runs" & info [] ~docv:"LEDGER" ~doc)
+
+let warn_skipped skipped =
+  if skipped > 0 then
+    Printf.eprintf "warning: skipped %d unreadable record file%s\n" skipped
+      (if skipped = 1 then "" else "s")
+
+let report_cmd =
+  let run path =
+    match Obs.Ledger.load_path path with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok ((_, skipped) as pop) ->
+      warn_skipped skipped;
+      print_string (Obs.Ledger_report.report pop);
+      0
+  in
+  let doc =
+    "Aggregate a run ledger: population by kind/app/status, failure \
+     taxonomy, cache hit rates, latency percentiles, interpreter \
+     throughput and mean section timings — reconstructed purely from \
+     persisted records, nothing rerun."
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ ledger_pos 0 "Ledger")
+
+let tol_arg =
+  let doc =
+    "Relative growth tolerance for mean section times (a 0.05 s absolute \
+     noise floor always applies)."
+  in
+  Arg.(value & opt float 0.20 & info [ "tol" ] ~docv:"FRACTION" ~doc)
+
+let diff_ledger_cmd =
+  let run a b tol =
+    match (Obs.Ledger.load_path a, Obs.Ledger.load_path b) with
+    | Error msg, _ | _, Error msg ->
+      prerr_endline msg;
+      2
+    | Ok pa, Ok pb ->
+      warn_skipped (snd pa);
+      warn_skipped (snd pb);
+      let text, regression =
+        Obs.Ledger_report.diff ~tol ~label_a:a ~label_b:b pa pb
+      in
+      print_string text;
+      if regression then 1 else 0
+  in
+  let doc =
+    "Compare two ledgers (B against baseline A): per-metric deltas with \
+     thresholds and a regression verdict. Exits 1 on regression — wire it \
+     into CI."
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"B regresses against A."
+    :: Cmd.Exit.info 2 ~doc:"a ledger could not be read."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "diff" ~doc ~exits)
+    Term.(const run $ ledger_pos 0 "Baseline A" $ ledger_pos 1 "Candidate B" $ tol_arg)
+
+let stats_cmd =
+  let run path =
+    match Obs.Ledger.load_path path with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok ((_, skipped) as pop) ->
+      warn_skipped skipped;
+      print_string (Obs.Ledger_report.stats pop);
+      0
+  in
+  let doc = "Per-(app, mode) population table over a run ledger." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ ledger_pos 0 "Ledger")
+
 let main =
   let doc = "auto-generating diverse heterogeneous designs (PSA-flows)" in
   Cmd.group (Cmd.info "psaflow" ~doc)
-    [ run_cmd; apps_cmd; tasks_cmd; dot_cmd; budget_cmd; fig5_cmd; table1_cmd; fig6_cmd ]
+    [ run_cmd; apps_cmd; tasks_cmd; dot_cmd; budget_cmd; fig5_cmd; table1_cmd;
+      fig6_cmd; report_cmd; diff_ledger_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main)

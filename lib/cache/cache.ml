@@ -102,12 +102,6 @@ let entry_path ~kind ~version ~key =
 
 let ensure_dir d = try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
-let tmp_counter = Atomic.make 0
-
-let tmp_path d =
-  Filename.concat d
-    (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1))
-
 (* Eviction is per-process best-effort: scan the directory, and when the
    cap is exceeded delete oldest-mtime entries down to 3/4 of it.
    Failures (entries deleted by a racing process) are ignored. *)
@@ -208,22 +202,20 @@ let disk_store ~kind ~version ~key payload =
   match dir () with
   | None -> 0
   | Some d ->
+    (* publication (unique temp file + atomic rename) is the shared
+       Obs.Atomic_io discipline, also used by the run ledger and the
+       trace writer *)
     (match
        ensure_dir d;
-       let tmp = tmp_path d in
-       let oc = open_out_bin tmp in
-       (try
-          output_value oc
-            (kind, version, Digest.to_hex (Digest.string key), Digest.string payload);
-          output_string oc payload;
-          close_out oc
-        with e ->
-          close_out_noerr oc;
-          (try Sys.remove tmp with Sys_error _ -> ());
-          raise e);
-       Sys.rename tmp (Filename.concat d (file_name ~kind ~version ~key))
+       Obs.Atomic_io.with_atomic_out
+         (Filename.concat d (file_name ~kind ~version ~key))
+         (fun oc ->
+           output_value oc
+             (kind, version, Digest.to_hex (Digest.string key), Digest.string payload);
+           output_string oc payload)
      with
-     | () -> evict d
+     | Ok () -> evict d
+     | Error _ -> -1
      | exception (Sys_error _ | Unix.Unix_error _) -> -1)
 
 (* ------------------------------------------------------------------ *)

@@ -71,13 +71,23 @@ let stable_ks ~(kp : Kprofile.t) (ks : Kstatic.t) =
 
 let point_key ctx point = ctx ^ "." ^ string_of_int point
 
+let h_point_seconds = Obs.Metrics.histogram "dse.point.seconds"
+
 (* Every point evaluation runs inside a [Dse_point] span — with or
-   without the cache — so traces show the sweep shape either way. *)
+   without the cache — so traces show the sweep shape either way, and
+   each observation lands in the dse.point.seconds histogram that the
+   run ledger persists. *)
 let spanned ~tag eval point =
   Obs.Trace.with_span
     ~attrs:[ ("point", Obs.Trace.Int point) ]
     ~name:tag ~kind:Obs.Trace.Dse_point
-    (fun _ -> eval point)
+    (fun _ ->
+      let t0 = Obs.Monotonic.now_s () in
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.Histogram.observe h_point_seconds
+            (Obs.Monotonic.now_s () -. t0))
+        (fun () -> eval point))
 
 let scores ~tag ctx eval =
   if not (Cache.enabled ()) then spanned ~tag eval

@@ -11,11 +11,20 @@ type report = {
   rep_failures : Graph.failure list;
 }
 
-let flow_span name app f =
+(* Each phase also records its wall-clock into a flow.phase.<slug>.seconds
+   gauge — the per-phase section timings persisted in ledger records.
+   Gauges hold the most recent run's value; the ledger snapshots them at
+   record time, one record per run. *)
+let flow_span ~phase name app f =
+  let g = Obs.Metrics.gauge ("flow.phase." ^ phase ^ ".seconds") in
   Obs.Trace.with_span
     ~attrs:[ ("app", Obs.Trace.Str app.App.app_name) ]
     ~name ~kind:Obs.Trace.Flow
-    (fun _ -> f ())
+    (fun _ ->
+      let t0 = Obs.Monotonic.now_s () in
+      Fun.protect
+        ~finally:(fun () -> Obs.Metrics.Gauge.set g (Obs.Monotonic.now_s () -. t0))
+        f)
 
 (* An assemble-phase failure (design validation, feasibility modelling)
    prunes its outcome exactly as a task failure would: record a terminal
@@ -41,11 +50,11 @@ let assemble_site (oc : Graph.outcome) =
   "assemble/" ^ String.concat "/" (List.map snd oc.Graph.oc_path)
 
 let run ?psa_config ?workload ?(strict = false) ~mode app =
-  flow_span ("flow " ^ app.App.app_name) app @@ fun () ->
+  flow_span ~phase:"total" ("flow " ^ app.App.app_name) app @@ fun () ->
   let workload = Option.value workload ~default:app.App.app_eval_overrides in
   let art0 = Artifact.create app ~workload in
   let* analysed_outcomes =
-    flow_span "target-independent analysis" app (fun () ->
+    flow_span ~phase:"analyse" "target-independent analysis" app (fun () ->
         Graph.run Pipeline.target_independent art0)
   in
   let* analysed =
@@ -54,7 +63,8 @@ let run ?psa_config ?workload ?(strict = false) ~mode app =
     | _ -> Error "target-independent pipeline must produce exactly one artifact"
   in
   let* decision =
-    flow_span "psa decide" app (fun () -> Psa.decide ?config:psa_config analysed)
+    flow_span ~phase:"decide" "psa decide" app (fun () ->
+        Psa.decide ?config:psa_config analysed)
   in
   let* baseline_s =
     match analysed.Artifact.art_t_cpu_single with
@@ -71,7 +81,7 @@ let run ?psa_config ?workload ?(strict = false) ~mode app =
      target-independent phase and design assembly run uncapped — they
      have no sibling paths to fall back on. *)
   let* outcomes, pruned =
-    flow_span "branch fan-out" app (fun () ->
+    flow_span ~phase:"fanout" "branch fan-out" app (fun () ->
         Resilience.with_step_cap (fun () ->
             let node = Pipeline.branch_a ?psa_config mode in
             if strict then
@@ -83,7 +93,7 @@ let run ?psa_config ?workload ?(strict = false) ~mode app =
   in
   let reference_program = App.program app in
   let* designs, pruned =
-    flow_span "assemble designs" app @@ fun () ->
+    flow_span ~phase:"assemble" "assemble designs" app @@ fun () ->
     let folded =
       List.fold_left
         (fun acc oc ->

@@ -131,7 +131,16 @@ let rec drop k = function
   | [] -> []
   | _ :: tl -> drop (k - 1) tl
 
+(* Wall-clock of every task application, hit or compute: the population
+   behind the ledger's flow.task.seconds latency percentiles. *)
+let h_task_seconds = Obs.Metrics.histogram "flow.task.seconds"
+
 let apply (task : Task.t) art =
+  let t0 = Obs.Monotonic.now_s () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.Histogram.observe h_task_seconds (Obs.Monotonic.now_s () -. t0))
+  @@ fun () ->
   Obs.Trace.with_span
     ~attrs:[ ("kind", Obs.Trace.Str (Task.kind_letter task.Task.kind)) ]
     ~name:task.Task.name ~kind:Obs.Trace.Task

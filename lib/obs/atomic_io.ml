@@ -1,0 +1,79 @@
+let tmp_counter = Atomic.make 0
+
+let tmp_path dir =
+  Filename.concat dir
+    (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1))
+
+let with_atomic_out path writer =
+  let dir = Filename.dirname path in
+  let tmp = tmp_path dir in
+  match
+    let oc = open_out_bin tmp in
+    (try
+       writer oc;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let write_file path contents =
+  with_atomic_out path (fun oc -> output_string oc contents)
+
+let header ~tag ~version payload =
+  Printf.sprintf "%s v%d %s %d\n" tag version
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload)
+
+let write_checksummed ~tag ~version path payload =
+  with_atomic_out path (fun oc ->
+      output_string oc (header ~tag ~version payload);
+      output_string oc payload)
+
+type read_error =
+  | Unreadable of string
+  | Malformed
+  | Wrong_version of int
+
+let read_checksummed ~tag ~version path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Unreadable msg)
+  | ic ->
+    let result =
+      match input_line ic with
+      | exception End_of_file -> Error Malformed
+      | line -> (
+        match String.split_on_char ' ' line with
+        | [ t; v; digest; len ]
+          when t = tag
+               && String.length v > 1
+               && v.[0] = 'v'
+               && int_of_string_opt (String.sub v 1 (String.length v - 1)) <> None
+          -> (
+          let v = int_of_string (String.sub v 1 (String.length v - 1)) in
+          if v <> version then Error (Wrong_version v)
+          else
+            match int_of_string_opt len with
+            | None -> Error Malformed
+            | Some len -> (
+              match really_input_string ic len with
+              | exception End_of_file -> Error Malformed
+              | payload ->
+                (* anything after the declared payload is corruption too *)
+                if
+                  (try
+                     ignore (input_char ic);
+                     true
+                   with End_of_file -> false)
+                  || Digest.to_hex (Digest.string payload) <> digest
+                then Error Malformed
+                else Ok payload))
+        | _ -> Error Malformed)
+    in
+    close_in_noerr ic;
+    result

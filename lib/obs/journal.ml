@@ -1,0 +1,148 @@
+let capacity = 512
+
+let enabled_flag = Atomic.make true
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+type event = {
+  jv_ts_us : float;
+  jv_tid : int;
+  jv_seq : int;
+  jv_kind : string;
+  jv_name : string;
+  jv_detail : string;
+  jv_dur_us : float;
+}
+
+let dummy_event =
+  {
+    jv_ts_us = 0.0;
+    jv_tid = 0;
+    jv_seq = 0;
+    jv_kind = "";
+    jv_name = "";
+    jv_detail = "";
+    jv_dur_us = 0.0;
+  }
+
+(* Same ownership scheme as Trace's buffers: one ring per domain, owned
+   exclusively by its domain while it runs, reachable by the flushing
+   domain through a registry; [r_born] orders rings that reuse a domain
+   id after the original owner exited. *)
+type ring = {
+  r_tid : int;
+  r_born : int;
+  events : event array;
+  mutable next : int;  (** total events ever recorded; slot = next mod capacity *)
+}
+
+let reg_mu = Mutex.create ()
+
+let rings : ring list ref = ref []
+
+let born_counter = Atomic.make 0
+
+let new_ring () =
+  let r =
+    {
+      r_tid = (Domain.self () :> int);
+      r_born = Atomic.fetch_and_add born_counter 1;
+      events = Array.make capacity dummy_event;
+      next = 0;
+    }
+  in
+  Mutex.lock reg_mu;
+  rings := r :: !rings;
+  Mutex.unlock reg_mu;
+  r
+
+let epoch = Atomic.make 0
+
+let key : (int * ring) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (Atomic.get epoch, new_ring ()))
+
+let get_ring () =
+  let e, r = Domain.DLS.get key in
+  let cur = Atomic.get epoch in
+  if e = cur then r
+  else begin
+    let r = new_ring () in
+    Domain.DLS.set key (cur, r);
+    r
+  end
+
+let record ~kind ?(detail = "") ?(dur_us = 0.0) name =
+  if Atomic.get enabled_flag then begin
+    let r = get_ring () in
+    let seq = r.next in
+    r.events.(seq mod capacity) <-
+      {
+        jv_ts_us = Monotonic.now_us ();
+        jv_tid = r.r_tid;
+        jv_seq = seq;
+        jv_kind = kind;
+        jv_name = name;
+        jv_detail = detail;
+        jv_dur_us = dur_us;
+      };
+    r.next <- seq + 1
+  end
+
+let clear () =
+  Mutex.lock reg_mu;
+  rings := [];
+  Mutex.unlock reg_mu;
+  Atomic.incr epoch
+
+let events () =
+  Mutex.lock reg_mu;
+  let rs = !rings in
+  Mutex.unlock reg_mu;
+  let rs =
+    List.sort
+      (fun a b ->
+        if a.r_tid <> b.r_tid then compare a.r_tid b.r_tid
+        else compare a.r_born b.r_born)
+      rs
+  in
+  List.concat_map
+    (fun r ->
+      (* the owning domain may still be appending; snapshot [next] once
+         and read at most [capacity] settled slots behind it.  A slot
+         being overwritten concurrently yields one stale-or-fresh event,
+         never a torn read of interest (events are immutable records). *)
+      let hi = r.next in
+      let lo = max 0 (hi - capacity) in
+      List.init (hi - lo) (fun i -> r.events.((lo + i) mod capacity))
+      |> List.filter (fun ev -> ev != dummy_event))
+    rs
+
+let to_jsonl () =
+  let buf = Buffer.create 8192 in
+  List.iter
+    (fun ev ->
+      let first = ref true in
+      Buffer.add_char buf '{';
+      Json_out.field buf ~first "ts_us";
+      Json_out.num buf ev.jv_ts_us;
+      Json_out.field buf ~first "tid";
+      Buffer.add_string buf (string_of_int ev.jv_tid);
+      Json_out.field buf ~first "seq";
+      Buffer.add_string buf (string_of_int ev.jv_seq);
+      Json_out.field buf ~first "kind";
+      Json_out.str buf ev.jv_kind;
+      Json_out.field buf ~first "name";
+      Json_out.str buf ev.jv_name;
+      Json_out.field buf ~first "detail";
+      Json_out.str buf ev.jv_detail;
+      Json_out.field buf ~first "dur_us";
+      Json_out.num buf ev.jv_dur_us;
+      Buffer.add_string buf "}\n")
+    (events ());
+  Buffer.contents buf
+
+let flush path =
+  let n = List.length (events ()) in
+  Result.map (fun () -> n) (Atomic_io.write_file path (to_jsonl ()))

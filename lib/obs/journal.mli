@@ -1,0 +1,58 @@
+(** Always-on flight recorder: a bounded per-domain ring of recent events.
+
+    Unlike {!Trace}, which records everything but only when armed, the
+    journal is armed by default and keeps only the most recent
+    {!capacity} events per domain — span completions (fed by
+    {!Trace.with_span}), retries, failures, injected faults, and anything
+    else callers {!record}.  A crashed or partially-failed run can then
+    flush the rings to JSONL ({!flush}) and leave a post-mortem trail
+    where a disabled tracer would have left nothing.
+
+    The hot path is lock-free and allocation-light: each domain owns its
+    ring exclusively, so {!record} is two clock reads and an array store.
+    Overwritten events are simply lost — the journal answers "what was
+    happening just before it went wrong", not "what happened overall".
+
+    The journal never influences flow results and its contents are
+    wall-clock and scheduling dependent: nothing in it participates in
+    the byte-identical [--jobs] guarantees.  Flushed JSONL is one event
+    object per line (fields [ts_us], [tid], [seq], [kind], [name],
+    [detail], [dur_us]), validated by [bench/tracecheck.exe --journal]. *)
+
+val capacity : int
+(** Events retained per domain ring (oldest overwritten first). *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Disarm (or re-arm) recording; [true] by default. *)
+
+val record : kind:string -> ?detail:string -> ?dur_us:float -> string -> unit
+(** [record ~kind name] appends an event to the calling domain's ring.
+    [kind] is a short class tag ("span", "retry", "failure", "fault",
+    "run", ...); [detail] free-form context; [dur_us] a duration for
+    span-shaped events. *)
+
+(** One recorded event, merged across rings. *)
+type event = {
+  jv_ts_us : float;  (** process-anchored timestamp ({!Monotonic}) *)
+  jv_tid : int;  (** recording domain id *)
+  jv_seq : int;  (** per-ring sequence number *)
+  jv_kind : string;
+  jv_name : string;
+  jv_detail : string;
+  jv_dur_us : float;  (** 0 for point events *)
+}
+
+val events : unit -> event list
+(** Surviving events from every domain ring, ordered by (domain, birth,
+    sequence) — the same track discipline as {!Trace.events}. *)
+
+val clear : unit -> unit
+(** Drop all recorded events (testing). *)
+
+val to_jsonl : unit -> string
+(** Render {!events} as JSONL, one object per line. *)
+
+val flush : string -> (int, string) result
+(** Atomically write {!to_jsonl} to a file; returns the event count. *)

@@ -1,0 +1,40 @@
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let str buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+let num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.3f" f)
+
+let gnum buf f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else begin
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then Buffer.add_string buf s
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  end
+
+let field buf ~first name =
+  if !first then first := false else Buffer.add_char buf ',';
+  str buf name;
+  Buffer.add_char buf ':'

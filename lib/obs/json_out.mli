@@ -1,0 +1,24 @@
+(** Minimal JSON writing helpers.
+
+    Shared by the span tracer ({!Trace}), the run ledger ({!Ledger}) and
+    the flight-recorder journal ({!Journal}); the inverse of
+    {!Trace_json.parse}.  Emission is deterministic: identical values
+    produce identical bytes, with no locale or float-formatting drift. *)
+
+val escape : Buffer.t -> string -> unit
+(** Append the JSON-escaped body of a string (no surrounding quotes). *)
+
+val str : Buffer.t -> string -> unit
+(** Append a quoted, escaped JSON string. *)
+
+val num : Buffer.t -> float -> unit
+(** Append a JSON number: integers within float precision print as
+    integers, everything else with three decimals ([%.3f]). *)
+
+val gnum : Buffer.t -> float -> unit
+(** Append a JSON number with round-trippable precision ([%.17g] only
+    when needed; [nan]/[inf] degrade to [null], which JSON lacks). *)
+
+val field : Buffer.t -> first:bool ref -> string -> unit
+(** Append [,"name":] (or ["name":] on the first call); the caller then
+    appends the value.  Flips [first]. *)

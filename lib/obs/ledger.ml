@@ -1,0 +1,356 @@
+let schema_version = 1
+
+let tag = "psaflow-run"
+
+let suffix = ".psarun"
+
+type design = {
+  ds_target : string;
+  ds_device : string;
+  ds_time_s : float option;
+  ds_speedup : float option;
+  ds_feasible : bool;
+  ds_valid : bool;
+}
+
+type failure = {
+  fs_path : string;
+  fs_class : string;
+  fs_site : string;
+  fs_attempts : int;
+  fs_msg : string;
+}
+
+type meta = {
+  m_git_rev : string;
+  m_cmdline : string;
+  m_jobs : int;
+  m_unix_time : float;
+}
+
+type stable = {
+  s_kind : string;
+  s_app : string;
+  s_mode : string;
+  s_workload : (string * int) list;
+  s_backend : string;
+  s_ir_version : int;
+  s_status : int;
+  s_decision : string;
+  s_best : string option;
+  s_best_cost : float option;
+  s_designs : design list;
+  s_failures : failure list;
+}
+
+type record = {
+  r_meta : meta;
+  r_stable : stable;
+  r_metrics : (string * float) list;
+}
+
+(* ---- serialization ---- *)
+
+let add_bool buf b = Buffer.add_string buf (if b then "true" else "false")
+
+let add_int buf i = Buffer.add_string buf (string_of_int i)
+
+let add_opt buf add = function
+  | None -> Buffer.add_string buf "null"
+  | Some v -> add buf v
+
+let add_design buf d =
+  let first = ref true in
+  Buffer.add_char buf '{';
+  Json_out.field buf ~first "target";
+  Json_out.str buf d.ds_target;
+  Json_out.field buf ~first "device";
+  Json_out.str buf d.ds_device;
+  Json_out.field buf ~first "time_s";
+  add_opt buf Json_out.gnum d.ds_time_s;
+  Json_out.field buf ~first "speedup";
+  add_opt buf Json_out.gnum d.ds_speedup;
+  Json_out.field buf ~first "feasible";
+  add_bool buf d.ds_feasible;
+  Json_out.field buf ~first "valid";
+  add_bool buf d.ds_valid;
+  Buffer.add_char buf '}'
+
+let add_failure buf f =
+  let first = ref true in
+  Buffer.add_char buf '{';
+  Json_out.field buf ~first "path";
+  Json_out.str buf f.fs_path;
+  Json_out.field buf ~first "class";
+  Json_out.str buf f.fs_class;
+  Json_out.field buf ~first "site";
+  Json_out.str buf f.fs_site;
+  Json_out.field buf ~first "attempts";
+  add_int buf f.fs_attempts;
+  Json_out.field buf ~first "msg";
+  Json_out.str buf f.fs_msg;
+  Buffer.add_char buf '}'
+
+let add_list buf add xs =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ',';
+      add buf x)
+    xs;
+  Buffer.add_char buf ']'
+
+let add_stable buf s =
+  let first = ref true in
+  Buffer.add_char buf '{';
+  Json_out.field buf ~first "kind";
+  Json_out.str buf s.s_kind;
+  Json_out.field buf ~first "app";
+  Json_out.str buf s.s_app;
+  Json_out.field buf ~first "mode";
+  Json_out.str buf s.s_mode;
+  Json_out.field buf ~first "workload";
+  let wfirst = ref true in
+  Buffer.add_char buf '{';
+  List.iter
+    (fun (k, v) ->
+      Json_out.field buf ~first:wfirst k;
+      add_int buf v)
+    s.s_workload;
+  Buffer.add_char buf '}';
+  Json_out.field buf ~first "backend";
+  Json_out.str buf s.s_backend;
+  Json_out.field buf ~first "ir_version";
+  add_int buf s.s_ir_version;
+  Json_out.field buf ~first "status";
+  add_int buf s.s_status;
+  Json_out.field buf ~first "decision";
+  Json_out.str buf s.s_decision;
+  Json_out.field buf ~first "best";
+  add_opt buf Json_out.str s.s_best;
+  Json_out.field buf ~first "best_cost";
+  add_opt buf Json_out.gnum s.s_best_cost;
+  Json_out.field buf ~first "designs";
+  add_list buf add_design s.s_designs;
+  Json_out.field buf ~first "failures";
+  add_list buf add_failure s.s_failures;
+  Buffer.add_char buf '}'
+
+let stable_json r =
+  let buf = Buffer.create 512 in
+  add_stable buf r.r_stable;
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 2048 in
+  let first = ref true in
+  Buffer.add_char buf '{';
+  Json_out.field buf ~first "schema";
+  add_int buf schema_version;
+  Json_out.field buf ~first "meta";
+  let m = r.r_meta in
+  let mfirst = ref true in
+  Buffer.add_char buf '{';
+  Json_out.field buf ~first:mfirst "git_rev";
+  Json_out.str buf m.m_git_rev;
+  Json_out.field buf ~first:mfirst "cmdline";
+  Json_out.str buf m.m_cmdline;
+  Json_out.field buf ~first:mfirst "jobs";
+  add_int buf m.m_jobs;
+  Json_out.field buf ~first:mfirst "unix_time";
+  Json_out.gnum buf m.m_unix_time;
+  Buffer.add_char buf '}';
+  Json_out.field buf ~first "stable";
+  add_stable buf r.r_stable;
+  Json_out.field buf ~first "metrics";
+  let xfirst = ref true in
+  Buffer.add_char buf '{';
+  List.iter
+    (fun (k, v) ->
+      Json_out.field buf ~first:xfirst k;
+      Json_out.gnum buf v)
+    r.r_metrics;
+  Buffer.add_char buf '}';
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+let j_str ?(default = "") name j =
+  match Trace_json.member name j with Some (Str s) -> s | _ -> default
+
+let j_int ?(default = 0) name j =
+  match Trace_json.member name j with
+  | Some (Num f) -> int_of_float f
+  | _ -> default
+
+let j_bool ?(default = false) name j =
+  match Trace_json.member name j with Some (Bool b) -> b | _ -> default
+
+let j_opt_num name j =
+  match Trace_json.member name j with Some (Num f) -> Some f | _ -> None
+
+let j_opt_str name j =
+  match Trace_json.member name j with Some (Str s) -> Some s | _ -> None
+
+let design_of_json j =
+  {
+    ds_target = j_str "target" j;
+    ds_device = j_str "device" j;
+    ds_time_s = j_opt_num "time_s" j;
+    ds_speedup = j_opt_num "speedup" j;
+    ds_feasible = j_bool "feasible" j;
+    ds_valid = j_bool "valid" j;
+  }
+
+let failure_of_json j =
+  {
+    fs_path = j_str "path" j;
+    fs_class = j_str "class" j;
+    fs_site = j_str "site" j;
+    fs_attempts = j_int "attempts" j;
+    fs_msg = j_str "msg" j;
+  }
+
+let j_list name j =
+  match Trace_json.member name j with Some (List l) -> l | _ -> []
+
+let of_json text =
+  match Trace_json.parse text with
+  | Error e -> Error e
+  | Ok j -> (
+    match Trace_json.member "schema" j with
+    | Some (Num v) when int_of_float v <> schema_version ->
+      Error (Printf.sprintf "record schema v%.0f, expected v%d" v schema_version)
+    | _ -> (
+      match (Trace_json.member "meta" j, Trace_json.member "stable" j) with
+      | Some meta, Some stable ->
+        let workload =
+          match Trace_json.member "workload" stable with
+          | Some (Obj kvs) ->
+            List.filter_map
+              (fun (k, v) ->
+                match v with Trace_json.Num f -> Some (k, int_of_float f) | _ -> None)
+              kvs
+          | _ -> []
+        in
+        let metrics =
+          match Trace_json.member "metrics" j with
+          | Some (Obj kvs) ->
+            List.filter_map
+              (fun (k, v) ->
+                match v with
+                | Trace_json.Num f -> Some (k, f)
+                | Trace_json.Null -> Some (k, Float.nan)
+                | _ -> None)
+              kvs
+          | _ -> []
+        in
+        Ok
+          {
+            r_meta =
+              {
+                m_git_rev = j_str "git_rev" meta ~default:"unknown";
+                m_cmdline = j_str "cmdline" meta;
+                m_jobs = j_int "jobs" meta ~default:1;
+                m_unix_time =
+                  (match j_opt_num "unix_time" meta with Some t -> t | None -> 0.0);
+              };
+            r_stable =
+              {
+                s_kind = j_str "kind" stable ~default:"run";
+                s_app = j_str "app" stable;
+                s_mode = j_str "mode" stable;
+                s_workload = workload;
+                s_backend = j_str "backend" stable;
+                s_ir_version = j_int "ir_version" stable;
+                s_status = j_int "status" stable;
+                s_decision = j_str "decision" stable;
+                s_best = j_opt_str "best" stable;
+                s_best_cost = j_opt_num "best_cost" stable;
+                s_designs = List.map design_of_json (j_list "designs" stable);
+                s_failures = List.map failure_of_json (j_list "failures" stable);
+              };
+            r_metrics = metrics;
+          }
+      | _ -> Error "not a ledger record (missing meta/stable)"))
+
+(* ---- persistence ---- *)
+
+let appended = Metrics.counter "ledger.appended"
+
+let skipped_ctr = Metrics.counter "ledger.skipped"
+
+let mkdir_p dir =
+  let rec go d =
+    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let seq_counter = Atomic.make 0
+
+let record_path ~dir r =
+  let payload = to_json r in
+  (* sortable by recording time; pid + per-process sequence break ties *)
+  let name =
+    Printf.sprintf "r%013.0f-%05d-%04d%s"
+      (r.r_meta.m_unix_time *. 1000.0)
+      (Unix.getpid () mod 100000)
+      (Atomic.fetch_and_add seq_counter 1 mod 10000)
+      suffix
+  in
+  (Filename.concat dir name, payload)
+
+let append ~dir r =
+  let path, payload = record_path ~dir r in
+  match mkdir_p dir with
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | () -> (
+    match
+      Atomic_io.write_checksummed ~tag ~version:schema_version path (payload ^ "\n")
+    with
+    | Ok () ->
+      Metrics.Counter.incr appended;
+      Ok path
+    | Error e -> Error e)
+
+let load_file path =
+  match Atomic_io.read_checksummed ~tag ~version:schema_version path with
+  | Error (Atomic_io.Unreadable e) -> Error e
+  | Error Atomic_io.Malformed -> Error "malformed record file"
+  | Error (Atomic_io.Wrong_version v) ->
+    Error (Printf.sprintf "record file is v%d, expected v%d" v schema_version)
+  | Ok payload -> of_json (String.trim payload)
+
+let record_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n suffix)
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let load ~dir =
+  List.fold_left
+    (fun (recs, skipped) path ->
+      match load_file path with
+      | Ok r -> (r :: recs, skipped)
+      | Error _ ->
+        Metrics.Counter.incr skipped_ctr;
+        (recs, skipped + 1))
+    ([], 0) (record_files dir)
+  |> fun (recs, skipped) -> (List.rev recs, skipped)
+
+let load_path p =
+  if (not (Sys.file_exists p)) || Sys.is_directory p then Ok (load ~dir:p)
+  else
+    match load_file p with
+    | Ok r -> Ok ([ r ], 0)
+    | Error e -> Error (Printf.sprintf "%s: %s" p e)
+
+let count ~dir = List.length (record_files dir)

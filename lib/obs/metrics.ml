@@ -165,6 +165,39 @@ let snapshot () =
       Hashtbl.fold (fun name i acc -> (name, read i) :: acc) table [])
   |> List.sort compare
 
+let flatten snap =
+  List.concat_map
+    (fun (name, v) ->
+      match v with
+      | Count n -> [ (name, float_of_int n) ]
+      | Value x -> [ (name, x) ]
+      | Summary { count; sum; p50; p90; p99; _ } ->
+        [
+          (name ^ ".count", float_of_int count);
+          (name ^ ".sum", sum);
+          (name ^ ".p50", p50);
+          (name ^ ".p90", p90);
+          (name ^ ".p99", p99);
+        ])
+    snap
+
+let prefixed prefix name =
+  let n = String.length prefix in
+  String.length name >= n && String.sub name 0 n = prefix
+
+let jobs_invariant name =
+  not
+    (prefixed "pool." name || prefixed "bench.section." name
+    || Filename.check_suffix name ".waits"
+    (* any wall-clock instrument, and every flattened field of a
+       latency histogram (h.seconds.count is deterministic, but its
+       siblings are not; dropping the family keeps the filter simple
+       and the explain view free of half-reported instruments) *)
+    || Filename.check_suffix name ".seconds"
+    || (match String.rindex_opt name '.' with
+       | None -> false
+       | Some i -> Filename.check_suffix (String.sub name 0 i) ".seconds"))
+
 let find name = with_table (fun () -> Option.map read (Hashtbl.find_opt table name))
 
 let reset () =

@@ -73,6 +73,22 @@ type value =
 val snapshot : unit -> (string * value) list
 (** All registered instruments, sorted by name. *)
 
+val flatten : (string * value) list -> (string * float) list
+(** Serialize a snapshot to a flat name -> number map: counters and
+    gauges keep their name, a histogram [h] expands to [h.count],
+    [h.sum], [h.p50], [h.p90] and [h.p99].  The flat form is what
+    crosses process boundaries (bench [--json], ledger records) —
+    consumers with a parser too minimal for arrays still read every
+    instrument. *)
+
+val jobs_invariant : string -> bool
+(** Whether this instrument's value is deterministic at any [--jobs]
+    level and across machine speeds — i.e. safe to print where output
+    must be byte-identical ([psaflow --explain]).  False for
+    scheduling-dependent names ([pool.*], single-flight [*.waits]) and
+    all wall-clock ones ([*.seconds] and their histogram expansions,
+    [bench.section.*], [pool.idle_ns]). *)
+
 val find : string -> value option
 
 val reset : unit -> unit

@@ -122,8 +122,22 @@ let next_seq b =
   b.b_seq <- s + 1;
   s
 
+(* Every span completion also feeds the always-on flight recorder
+   (Journal): with tracing off that is the only per-span cost — two clock
+   reads and a ring store — and with tracing on it reuses the span's own
+   timestamps.  The journal keeps a bounded recent window, so this stays
+   cheap whatever the span volume. *)
 let with_span ?(attrs = []) ~name ~kind f =
-  if not (Atomic.get enabled_flag) then f dummy
+  if not (Atomic.get enabled_flag) then
+    if not (Journal.enabled ()) then f dummy
+    else begin
+      let t0 = Monotonic.now_us () in
+      Fun.protect
+        ~finally:(fun () ->
+          Journal.record ~kind:"span" ~detail:(cat_of_kind kind)
+            ~dur_us:(Monotonic.now_us () -. t0) name)
+        (fun () -> f dummy)
+    end
   else begin
     let b = get_buffer () in
     let sp =
@@ -142,7 +156,10 @@ let with_span ?(attrs = []) ~name ~kind f =
       ~finally:(fun () ->
         sp.sp_ts_e <- tick b;
         sp.sp_seq_e <- next_seq b;
-        b.b_spans <- sp :: b.b_spans)
+        b.b_spans <- sp :: b.b_spans;
+        if Journal.enabled () then
+          Journal.record ~kind:"span" ~detail:sp.sp_cat
+            ~dur_us:(sp.sp_ts_e -. sp.sp_ts_b) name)
       (fun () -> f sp)
   end
 
@@ -219,29 +236,9 @@ let events () =
 
 (* ---- JSON ---- *)
 
-let escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
+let add_json_string = Json_out.str
 
-let add_json_string buf s =
-  Buffer.add_char buf '"';
-  escape buf s;
-  Buffer.add_char buf '"'
-
-let add_number buf f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Buffer.add_string buf (Printf.sprintf "%.0f" f)
-  else Buffer.add_string buf (Printf.sprintf "%.3f" f)
+let add_number = Json_out.num
 
 let add_attr_value buf = function
   | Str s -> add_json_string buf s
@@ -295,16 +292,9 @@ let export_json buf =
     evs;
   Buffer.add_string buf "\n]}\n"
 
+(* Published with temp-file + atomic rename: an interrupted run (or a
+   full disk) never leaves a truncated trace under the requested name. *)
 let write_file path =
   let buf = Buffer.create 65536 in
   export_json buf;
-  match open_out_bin path with
-  | exception Sys_error e -> Error e
-  | oc ->
-    (match Buffer.output_buffer oc (buf : Buffer.t) with
-     | () ->
-       close_out oc;
-       Ok ()
-     | exception Sys_error e ->
-       close_out_noerr oc;
-       Error e)
+  Atomic_io.with_atomic_out path (fun oc -> Buffer.output_buffer oc buf)

@@ -148,7 +148,10 @@ let fire tgt ~site =
             if fires then hit := true
           end)
         st_spec.sp_rules;
-      if !hit then Obs.Metrics.Counter.incr (injected_counter tgt);
+      if !hit then begin
+        Obs.Metrics.Counter.incr (injected_counter tgt);
+        Obs.Journal.record ~kind:"fault" ~detail:(target_label tgt) site
+      end;
       !hit
 
 let injected () =

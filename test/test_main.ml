@@ -17,4 +17,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);
+      ("ledger", Test_ledger.suite);
     ]

@@ -150,16 +150,13 @@ let test_nested_fanout_across_jobs () =
 
 (* The metrics `psaflow --explain` prints must also be identical at any
    job count: everything scheduling- or wall-clock-dependent (pool.*,
-   interp.seconds, cache single-flight waits) is excluded from the
-   explain view, and what remains is required to be deterministic.
-   Mirrors the filter in bin/psaflow.ml. *)
+   *.seconds timings and histograms, cache single-flight waits) is
+   excluded by the shared Obs.Metrics.jobs_invariant predicate — the
+   same one bin/psaflow.ml filters with — and what remains is required
+   to be deterministic. *)
 let explain_visible_snapshot () =
   List.filter
-    (fun (name, _) ->
-      not
-        ((String.length name >= 5 && String.sub name 0 5 = "pool.")
-        || name = "interp.seconds"
-        || Filename.check_suffix name ".waits"))
+    (fun (name, _) -> Obs.Metrics.jobs_invariant name)
     (Obs.Metrics.snapshot ())
 
 let test_explain_metrics_across_jobs () =
