@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-quick bench-compare bench-warm-cold bench-jobs trace-check fault-check report-check doc clean
+.PHONY: all check test bench bench-quick bench-compare bench-warm-cold bench-jobs trace-check fault-check report-check serve-check doc clean
 
 all:
 	dune build @all
@@ -90,18 +90,30 @@ report-check:
 	dune exec --no-build bench/tracecheck.exe -- --journal report-journal.jsonl \
 	  --require-kinds span
 
+# daemon gate: start a real psaflowd, drive it over its Unix socket and
+# check the service invariants end to end -- served report bytes equal
+# `psaflow run` stdout for the same spec, repeat requests are cache
+# splices (zero new cache misses), an overload burst sheds with 503
+# without disturbing in-flight runs, finished requests leave ledger
+# records and journals, SIGTERM drains cleanly, and a restart still
+# serves the persisted history.  Artifacts land in ./serve-smoke/.
+serve-check:
+	dune build bin/psaflowd.exe bin/psaflow.exe bench/servesmoke.exe
+	dune exec --no-build bench/servesmoke.exe -- \
+	  _build/default/bin/psaflowd.exe _build/default/bin/psaflow.exe
+
 # API documentation (odoc): fails on any odoc warning in lib/flow,
-# lib/obs or lib/ir, whose public interfaces are the documented API
-# surface.  Skips gracefully when odoc is not installed (opam install
-# odoc).
+# lib/obs, lib/ir or lib/serve, whose public interfaces are the
+# documented API surface.  Skips gracefully when odoc is not installed
+# (opam install odoc).
 doc:
 	@command -v odoc >/dev/null 2>&1 || { \
 	  echo "doc: odoc not installed (opam install odoc); skipping"; exit 0; }; \
 	dune build @doc 2> doc-warnings.log; st=$$?; \
 	cat doc-warnings.log; \
 	if [ $$st -ne 0 ]; then exit $$st; fi; \
-	if grep -E 'lib/(flow|obs|ir)/' doc-warnings.log >/dev/null 2>&1; then \
-	  echo "doc: odoc warnings in lib/flow, lib/obs or lib/ir (see above)"; exit 1; fi; \
+	if grep -E 'lib/(flow|obs|ir|serve)/' doc-warnings.log >/dev/null 2>&1; then \
+	  echo "doc: odoc warnings in lib/flow, lib/obs, lib/ir or lib/serve (see above)"; exit 1; fi; \
 	echo "doc: API docs in _build/default/_doc/_html"
 
 clean:

@@ -377,7 +377,7 @@ let run_cmd =
       let rec_path =
         append_record ledger
           (Run_record.of_failure ~cmdline ~status ~app
-             ~mode:(Pipeline.mode_name mode) ~workload ~msg)
+             ~mode:(Pipeline.mode_name mode) ~workload msg)
       in
       finish_journal ~journal ~status ~rec_path;
       status
@@ -412,18 +412,9 @@ let run_cmd =
            let rec_path =
              append_record ledger (Run_record.of_report ~cmdline ~status ~mode rep)
            in
-           Printf.printf "%s - %s mode, workload %s\n\n" app.App.app_name
-             (Pipeline.mode_name mode)
-             (String.concat ", "
-                (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) workload));
-           print_string (Report.decision_text rep);
-           Printf.printf "\nbaseline (single-thread CPU hotspot): %.4g s\n\n"
-             rep.Engine.rep_baseline_s;
-           print_string (Report.design_table rep);
-           if rep.Engine.rep_failures <> [] then begin
-             print_newline ();
-             print_string (Report.failures_text rep)
-           end;
+           (* the same bytes psaflowd serves for this spec (serve-check
+              compares them) *)
+           print_string (Report.run_text rep);
            if why then begin
              print_newline ();
              print_string (Report.why_text rep)

@@ -1,0 +1,165 @@
+(* psaflowd - serve psaflow flows over HTTP/JSON.
+
+   A thin cmdliner shell around Serve.Server: parse flags into a
+   Serve.Server.config, apply the process-wide knobs the CLI also has
+   (--jobs, --cache), run until SIGTERM/SIGINT, exit with the drain
+   status. *)
+
+open Cmdliner
+
+let socket_arg =
+  let doc =
+    "Listen on a Unix-domain socket at $(docv). The default; an existing \
+     socket file at the path is replaced, and the file is removed on a \
+     clean shutdown."
+  in
+  Arg.(
+    value & opt string "psaflowd.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc =
+    "Listen on TCP 127.0.0.1:$(docv) instead of a Unix socket. The daemon \
+     never binds a non-loopback address."
+  in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Number of domains for parallel flow execution, shared by every \
+     in-flight request. Defaults to the recommended domain count; values \
+     below 2 are raised to 2 so request futures never run inline in the \
+     accept loop."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc =
+    "Directory of the persistent evaluation cache shared by all requests \
+     (this is what makes repeat requests cache splices), or $(b,off). \
+     Default $(b,.psa-cache)."
+  in
+  Arg.(value & opt string ".psa-cache" & info [ "cache" ] ~docv:"DIR|off" ~doc)
+
+let ledger_arg =
+  let doc =
+    "Directory of the persistent run ledger; each finished request appends \
+     one record with kind $(b,serve), or $(b,off). Default $(b,.psa-runs)."
+  in
+  Arg.(value & opt string ".psa-runs" & info [ "ledger" ] ~docv:"DIR|off" ~doc)
+
+let store_arg =
+  let doc =
+    "Directory of the persistent request store (one checksummed record per \
+     request, plus per-request journal files). Default $(b,.psa-reqs)."
+  in
+  Arg.(value & opt string ".psa-reqs" & info [ "store" ] ~docv:"DIR" ~doc)
+
+let queue_cap_arg =
+  let doc =
+    "Admission-queue bound: accepted-but-undispatched requests beyond this \
+     are shed with HTTP 503. Default 64."
+  in
+  Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let max_inflight_arg =
+  let doc =
+    "Maximum concurrently executing requests. Defaults to the effective \
+     $(b,--jobs) count."
+  in
+  Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc =
+    "Per-client token-bucket refill rate in requests/second; 0 disables \
+     rate limiting. Default 10."
+  in
+  Arg.(value & opt float 10.0 & info [ "rate" ] ~docv:"R" ~doc)
+
+let burst_arg =
+  let doc = "Per-client token-bucket capacity. Default 20." in
+  Arg.(value & opt float 20.0 & info [ "burst" ] ~docv:"B" ~doc)
+
+let max_body_arg =
+  let doc = "Request-body size cap in bytes. Default 1048576 (1 MiB)." in
+  Arg.(value & opt int (1024 * 1024) & info [ "max-body" ] ~docv:"BYTES" ~doc)
+
+let no_resume_arg =
+  let doc =
+    "Do not re-admit queued/interrupted store entries at startup (they stay \
+     visible in $(b,GET /v1/flows) but are not re-run)."
+  in
+  Arg.(value & flag & info [ "no-resume" ] ~doc)
+
+let verbose_arg =
+  let doc = "Log one line per request transition on stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let main socket port jobs cache ledger store queue_cap max_inflight rate burst
+    max_body no_resume verbose =
+  (* request futures must land on worker domains, not the accept loop *)
+  let jobs =
+    max 2 (match jobs with Some n -> n | None -> Util.Pool.default_jobs ())
+  in
+  Util.Pool.set_default_jobs jobs;
+  (match cache with
+  | "off" -> Cache.set_dir None
+  | dir -> Cache.set_dir (Some dir));
+  let listen =
+    match port with
+    | Some p -> Serve.Server.Tcp p
+    | None -> Serve.Server.Unix_sock socket
+  in
+  let cfg =
+    {
+      (Serve.Server.default_config listen) with
+      Serve.Server.c_store = store;
+      c_ledger = (match ledger with "off" -> None | dir -> Some dir);
+      c_queue_cap = queue_cap;
+      c_max_inflight =
+        (match max_inflight with Some n -> max 1 n | None -> jobs);
+      c_rate = rate;
+      c_burst = burst;
+      c_max_body = max_body;
+      c_resume = not no_resume;
+      c_verbose = verbose;
+    }
+  in
+  match Serve.Server.run cfg with
+  | Ok code -> code
+  | Error msg ->
+    Printf.eprintf "psaflowd: %s\n" msg;
+    1
+
+let cmd =
+  let doc = "serve psaflow flows as an HTTP/JSON workload" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "$(tname) runs the flow engine as a daemon: clients submit flow \
+         requests over HTTP (POST /v1/flows), poll their state, and fetch \
+         the finished report and provenance. Concurrent requests share one \
+         scheduler and one evaluation cache, so a request for a kernel \
+         another client just ran is served by cache splicing rather than \
+         recomputation.";
+      `P
+        "Reports served by the daemon are byte-identical to $(b,psaflow \
+         run) output for the same spec. SIGTERM drains cleanly: in-flight \
+         requests finish, queued ones persist and are resumed by the next \
+         start.";
+      `S Manpage.s_examples;
+      `Pre
+        "  psaflowd --socket /tmp/psa.sock &\n\
+        \  curl --unix-socket /tmp/psa.sock \\\n\
+        \       -d '{\"app\":\"nbody\",\"workload\":\"quick\"}' \\\n\
+        \       http://localhost/v1/flows";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "psaflowd" ~doc ~man)
+    Term.(
+      const main $ socket_arg $ port_arg $ jobs_arg $ cache_arg $ ledger_arg
+      $ store_arg $ queue_cap_arg $ max_inflight_arg $ rate_arg $ burst_arg
+      $ max_body_arg $ no_resume_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -98,3 +98,26 @@ let summary_line (rep : Engine.report) =
        Printf.sprintf "%s (%.1fx)" (Target.short d.Design.d_target)
          (Option.value d.Design.d_speedup ~default:Float.nan)
      | None -> "none")
+
+(* The CLI's default `psaflow run` output, assembled from the same report
+   the daemon holds; both surfaces print this exact string so the two can
+   be byte-compared (the serve smoke gate does). *)
+let run_text (rep : Engine.report) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s - %s mode, workload %s\n\n" rep.Engine.rep_app.App.app_name
+       (Pipeline.mode_name rep.Engine.rep_mode)
+       (String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+             rep.Engine.rep_workload)));
+  Buffer.add_string buf (decision_text rep);
+  Buffer.add_string buf
+    (Printf.sprintf "\nbaseline (single-thread CPU hotspot): %.4g s\n\n"
+       rep.Engine.rep_baseline_s);
+  Buffer.add_string buf (design_table rep);
+  if rep.Engine.rep_failures <> [] then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (failures_text rep)
+  end;
+  Buffer.contents buf

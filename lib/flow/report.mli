@@ -25,3 +25,12 @@ val failures_text : Engine.report -> string
 
 val summary_line : Engine.report -> string
 (** One line: app, chosen branch, best design and speedup. *)
+
+val run_text : Engine.report -> string
+(** The complete default output of [psaflow run]: header line (app, mode,
+    workload), {!decision_text}, baseline line, {!design_table}, and —
+    only when paths were pruned — a blank line plus {!failures_text}.
+    Shared verbatim by the CLI and by [psaflowd]'s [/v1/flows/ID/report]
+    endpoint, so a daemon-served report is byte-identical to the CLI
+    report for the same spec.  Inherits the engine's determinism
+    invariant: byte-identical at any [--jobs] level. *)

@@ -99,9 +99,9 @@ let failure_sum (f : Graph.failure) =
     fs_msg = fl.Resilience.f_msg;
   }
 
-let of_report ~cmdline ~status ~mode (rep : Engine.report) =
+let of_report ?(kind = "run") ~cmdline ~status ~mode (rep : Engine.report) =
   let r =
-    base ~kind:"run" ~app:rep.Engine.rep_app.App.app_slug
+    base ~kind ~app:rep.Engine.rep_app.App.app_slug
       ~mode:(Pipeline.mode_name mode) ~workload:rep.Engine.rep_workload ~status
       ~cmdline
   in
@@ -125,8 +125,8 @@ let of_report ~cmdline ~status ~mode (rep : Engine.report) =
       };
   }
 
-let of_failure ~cmdline ~status ~app ~mode ~workload ~msg =
-  let r = base ~kind:"run" ~app ~mode ~workload ~status ~cmdline in
+let of_failure ?(kind = "run") ~cmdline ~status ~app ~mode ~workload msg =
+  let r = base ~kind ~app ~mode ~workload ~status ~cmdline in
   {
     r with
     r_stable =

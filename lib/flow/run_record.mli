@@ -31,20 +31,24 @@ val base :
     base the other constructors extend. *)
 
 val of_report :
+  ?kind:string ->
   cmdline:string -> status:int -> mode:Pipeline.mode -> Engine.report ->
   Obs.Ledger.record
 (** Record a completed [psaflow run]: design-quality summary (per-design
     time/speedup/feasibility, chosen best design and its estimated
     monetary cost under {!Cost.default_pricing}), branch decision, and
-    any pruned paths as the failure taxonomy. *)
+    any pruned paths as the failure taxonomy.  [kind] defaults to
+    ["run"]; the daemon records under ["serve"] so ledger analyses can
+    tell CLI runs from served requests. *)
 
 val of_failure :
+  ?kind:string ->
   cmdline:string ->
   status:int ->
   app:string ->
   mode:string ->
   workload:(string * int) list ->
-  msg:string ->
+  string ->
   Obs.Ledger.record
 (** Record a run that produced no report (flow abort, bad spec): the
     error message becomes a single failure entry. *)

@@ -188,6 +188,9 @@ let prefixed prefix name =
 let jobs_invariant name =
   not
     (prefixed "pool." name || prefixed "bench.section." name
+    (* daemon traffic telemetry: admission, shedding and rate limiting
+       depend on arrival order and machine speed, never on the flow *)
+    || prefixed "serve." name
     || Filename.check_suffix name ".waits"
     (* any wall-clock instrument, and every flattened field of a
        latency histogram (h.seconds.count is deterministic, but its

@@ -1,0 +1,29 @@
+type 'a t = {
+  cap : int;
+  q : 'a Queue.t;
+  lock : Mutex.t;
+}
+
+let create ~capacity = { cap = max 0 capacity; q = Queue.create (); lock = Mutex.create () }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  let v = f () in
+  Mutex.unlock t.lock;
+  v
+
+let offer t x =
+  with_lock t (fun () ->
+      if Queue.length t.q >= t.cap then false
+      else begin
+        Queue.add x t.q;
+        true
+      end)
+
+let force t x = with_lock t (fun () -> Queue.add x t.q)
+
+let take t = with_lock t (fun () -> Queue.take_opt t.q)
+
+let length t = with_lock t (fun () -> Queue.length t.q)

@@ -1,0 +1,33 @@
+(** Bounded FIFO admission queue: the daemon's waiting room.
+
+    Holds requests that have been accepted but not yet dispatched to the
+    scheduler.  The bound is the backpressure mechanism: {!offer} on a
+    full queue refuses ([false]) and the server turns that refusal into
+    the load-shed response (503 + [serve.shed]) {e before} any flow work
+    happens — an overloaded daemon degrades by rejecting cheaply at the
+    door, never by queueing unboundedly or stalling in-flight runs.
+
+    Pure bookkeeping: no metrics, no I/O, no scheduling — a mutex around
+    a [Queue.t] — so load-shed behavior is exactly testable with a
+    synthetic burst.  FIFO order is the dispatch order, which keeps
+    admission → execution order deterministic for a serial client. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to >= 0; capacity 0 sheds every offer. *)
+
+val capacity : 'a t -> int
+
+val offer : 'a t -> 'a -> bool
+(** Enqueue unless full; [false] means shed. *)
+
+val force : 'a t -> 'a -> unit
+(** Enqueue even past capacity.  Startup-resume only: re-admitted
+    requests from a previous life must not be shed by a bound meant for
+    live traffic (the queue is otherwise empty at that point). *)
+
+val take : 'a t -> 'a option
+(** Dequeue the oldest entry, if any. *)
+
+val length : 'a t -> int

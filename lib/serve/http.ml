@@ -1,0 +1,176 @@
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_query : string;
+  rq_headers : (string * string) list;
+  rq_body : string;
+}
+
+type error =
+  | Bad_request of string
+  | Too_large
+  | Closed
+
+let max_header_bytes = 16 * 1024
+
+let default_max_body = 1024 * 1024
+
+(* Read until the blank line that ends the header block, returning the
+   header bytes and whatever body prefix arrived in the same segments. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 2048 in
+  let rec split_at i =
+    (* i is the index just past "\n\r\n" or "\n\n" *)
+    let all = Buffer.contents buf in
+    let head = String.sub all 0 i in
+    let rest = String.sub all i (String.length all - i) in
+    Ok (head, rest)
+  and find_end () =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let rec scan i =
+      if i >= n then None
+      else if s.[i] = '\n' then
+        if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then Some (i + 3)
+        else if i + 1 < n && s.[i + 1] = '\n' then Some (i + 2)
+        else scan (i + 1)
+      else scan (i + 1)
+    in
+    scan 0
+  and go () =
+    match find_end () with
+    | Some i -> split_at i
+    | None ->
+      if Buffer.length buf > max_header_bytes then Error Too_large
+      else begin
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error Closed
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error _ -> Error Closed
+      end
+  in
+  go ()
+
+let read_exactly fd prefix want =
+  let buf = Buffer.create want in
+  Buffer.add_string buf prefix;
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    if Buffer.length buf >= want then
+      Ok (String.sub (Buffer.contents buf) 0 want)
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error Closed
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error _ -> Error Closed
+  in
+  go ()
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None (* tolerated: skip malformed header lines *)
+      | Some i ->
+        let name = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+        let value =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        Some (name, value))
+    lines
+
+let header rq name =
+  List.assoc_opt (String.lowercase_ascii name) rq.rq_headers
+
+let read_request ?(max_body = default_max_body) fd =
+  match read_head fd with
+  | Error _ as e -> e
+  | Ok (head, body_prefix) -> (
+    match String.split_on_char '\n' head with
+    | [] -> Error (Bad_request "empty request")
+    | req_line :: header_lines -> (
+      let req_line = strip_cr req_line in
+      match String.split_on_char ' ' req_line with
+      | [ meth; target; _version ] -> (
+        let path, query =
+          match String.index_opt target '?' with
+          | None -> (target, "")
+          | Some i ->
+            ( String.sub target 0 i,
+              String.sub target (i + 1) (String.length target - i - 1) )
+        in
+        let headers =
+          parse_headers
+            (List.filter (fun l -> l <> "") (List.map strip_cr header_lines))
+        in
+        let rq =
+          {
+            rq_method = String.uppercase_ascii meth;
+            rq_path = path;
+            rq_query = query;
+            rq_headers = headers;
+            rq_body = "";
+          }
+        in
+        match header rq "content-length" with
+        | None ->
+          if body_prefix = "" then Ok rq
+          else Error (Bad_request "body without content-length")
+        | Some l -> (
+          match int_of_string_opt (String.trim l) with
+          | None -> Error (Bad_request "invalid content-length")
+          | Some n when n < 0 -> Error (Bad_request "invalid content-length")
+          | Some n when n > max_body -> Error Too_large
+          | Some n -> (
+            match read_exactly fd body_prefix n with
+            | Ok body -> Ok { rq with rq_body = body }
+            | Error _ -> Error Closed)))
+      | _ -> Error (Bad_request ("bad request line: " ^ req_line))))
+
+let status_text = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c -> if c >= 200 && c < 300 then "OK" else "Error"
+
+let response ~status ?(content_type = "application/json")
+    ?(extra_headers = []) body =
+  let buf = Buffer.create (String.length body + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    extra_headers;
+  Buffer.add_string buf "Connection: close\r\n\r\n";
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let send fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error _ -> () (* client gone; nothing to salvage *)
+  in
+  go 0

@@ -1,0 +1,58 @@
+(** Minimal HTTP/1.1 framing over a connected socket.
+
+    Just enough protocol for [psaflowd]'s request/response API — no
+    external deps, no keep-alive, no chunked transfer: each connection
+    carries exactly one request and one [Connection: close] response,
+    which keeps the server loop allocation-light and trivially correct
+    under concurrent clients.
+
+    {2 Robustness invariants}
+
+    - The header block is capped ({!max_header_bytes}) and the body is
+      capped by the caller ([?max_body]); both caps turn a hostile or
+      broken client into a clean {!error}, never into unbounded memory.
+    - A read timeout must be armed by the caller (via [SO_RCVTIMEO] on
+      the socket) so a stalled client cannot wedge the accept loop; a
+      timeout surfaces as {!Closed}.
+    - Parsing tolerates bare-LF line endings (hand-written clients) but
+      emits strict CRLF. *)
+
+type request = {
+  rq_method : string;  (** uppercased, e.g. ["GET"] *)
+  rq_path : string;  (** path only; a [?query] suffix is split off and kept *)
+  rq_query : string;  (** raw query string, [""] when absent *)
+  rq_headers : (string * string) list;  (** names lowercased, in arrival order *)
+  rq_body : string;
+}
+
+type error =
+  | Bad_request of string  (** unparsable framing — answer 400 *)
+  | Too_large  (** header or body cap exceeded — answer 413 *)
+  | Closed  (** peer closed or timed out before a full request arrived *)
+
+val max_header_bytes : int
+(** Cap on the request line + header block (16 KiB). *)
+
+val read_request : ?max_body:int -> Unix.file_descr -> (request, error) result
+(** Read one request from a connected socket.  [max_body] defaults to
+    1 MiB.  Never raises on I/O errors: they degrade to {!Closed}. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (first match). *)
+
+val status_text : int -> string
+(** Canonical reason phrase, e.g. [429 -> "Too Many Requests"]. *)
+
+val response :
+  status:int ->
+  ?content_type:string ->
+  ?extra_headers:(string * string) list ->
+  string ->
+  string
+(** Serialize a complete response (status line, [Content-Length],
+    [Connection: close], body).  [content_type] defaults to
+    ["application/json"]. *)
+
+val send : Unix.file_descr -> string -> unit
+(** Write all bytes, swallowing [EPIPE]/reset from a vanished client —
+    the server never crashes because a client hung up first. *)

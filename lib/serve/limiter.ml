@@ -1,0 +1,59 @@
+type verdict =
+  | Admit
+  | Limited of float
+
+type bucket = {
+  mutable tokens : float;
+  mutable last : float;  (** clock value of the last refill *)
+}
+
+type t = {
+  rate : float;
+  burst : float;
+  clock : unit -> float;
+  table : (string, bucket) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create ?(clock = Obs.Monotonic.now_s) ~rate ~burst () =
+  {
+    rate;
+    burst = Float.max 1.0 burst;
+    clock;
+    table = Hashtbl.create 16;
+    lock = Mutex.create ();
+  }
+
+let check t ~client =
+  if t.rate <= 0.0 then Admit
+  else begin
+    Mutex.lock t.lock;
+    let now = t.clock () in
+    let b =
+      match Hashtbl.find_opt t.table client with
+      | Some b -> b
+      | None ->
+        let b = { tokens = t.burst; last = now } in
+        Hashtbl.replace t.table client b;
+        b
+    in
+    (* continuous refill; a clock that stands still refills nothing *)
+    let elapsed = Float.max 0.0 (now -. b.last) in
+    b.tokens <- Float.min t.burst (b.tokens +. (elapsed *. t.rate));
+    b.last <- now;
+    let v =
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        Admit
+      end
+      else Limited ((1.0 -. b.tokens) /. t.rate)
+    in
+    Mutex.unlock t.lock;
+    v
+  end
+
+let clients t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,40 @@
+(** Per-client token-bucket rate limiter.
+
+    Each client identity owns a bucket holding up to [burst] tokens,
+    refilled continuously at [rate] tokens per second; admitting a
+    request costs one token, and a client with an empty bucket is told
+    how long until the next token ({!Limited}).  Clients are independent:
+    one identity flooding the daemon cannot consume another's tokens.
+
+    {2 Determinism invariant}
+
+    All state transitions are pure functions of (creation parameters,
+    the sequence of [(clock value, client)] pairs passed to {!check}).
+    With an injected [clock], replaying the same arrival script yields
+    the same verdict sequence — the test suite's replay-determinism gate
+    relies on this, and it is what makes 429 behavior debuggable from a
+    request log.  The default clock is {!Obs.Monotonic.now_s}, immune to
+    wall-clock steps.
+
+    Thread-safety: {!check} may be called from any domain; a single lock
+    guards the bucket table (the daemon calls it once per HTTP request,
+    far off any hot path). *)
+
+type t
+
+type verdict =
+  | Admit
+  | Limited of float
+      (** seconds until one full token is available (the [Retry-After]
+          hint, always > 0) *)
+
+val create : ?clock:(unit -> float) -> rate:float -> burst:float -> unit -> t
+(** [rate] tokens/second, capacity [burst] (clamped to >= 1 token).
+    A non-positive [rate] disables limiting: every {!check} admits. *)
+
+val check : t -> client:string -> verdict
+(** Spend one token of [client]'s bucket, creating it full on first
+    sight. *)
+
+val clients : t -> int
+(** Distinct identities seen (testing/metrics). *)

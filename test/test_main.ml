@@ -18,4 +18,5 @@ let () =
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);
       ("ledger", Test_ledger.suite);
+      ("serve", Test_serve.suite);
     ]
